@@ -1,0 +1,73 @@
+// Ablation A6 — bidirectional vs unidirectional point-to-point search.
+//
+// The thesis motivates MSSG with the observation that long-path queries
+// touch "sometimes over 80% of the total graph's edges"; meeting in the
+// middle is the classic fix for point-to-point queries on small-world
+// graphs.  This bench quantifies the saving per path length.
+#include "bench_util.hpp"
+#include "query/bidirectional_bfs.hpp"
+
+namespace {
+
+using namespace mssg;
+
+void bidir_bucket(benchmark::State& state, const bench::Workload& w,
+                  const bench::ClusterSpec& spec, Metadata distance,
+                  bool bidirectional) {
+  auto& ready = bench::cluster_for(w, spec);
+  const auto pairs = w.pairs_with_distance(distance);
+  if (pairs.empty()) {
+    state.SkipWithError("no query pairs at this path length");
+    return;
+  }
+  std::uint64_t edges_total = 0;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    for (const auto& pair : pairs) {
+      ClusterQueryResult result;
+      if (bidirectional) {
+        result = ready.cluster->bidirectional_bfs(pair.src, pair.dst);
+      } else {
+        result = ready.cluster->bfs(pair.src, pair.dst);
+      }
+      if (result.distance != pair.distance) {
+        state.SkipWithError("distance mismatch — result invalid");
+        return;
+      }
+      edges_total += result.edges_scanned;
+      ++queries;
+    }
+  }
+  state.counters["edges_per_query"] =
+      queries == 0 ? 0
+                   : static_cast<double>(edges_total) /
+                         static_cast<double>(queries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = mssg::bench::scale_from_env(0.25);
+  const auto& w = mssg::bench::workload(mssg::pubmed_s(scale));
+
+  mssg::bench::ClusterSpec spec;
+  spec.backend = mssg::Backend::kGrDB;
+  spec.backend_nodes = 8;
+
+  for (const bool bidirectional : {false, true}) {
+    for (mssg::Metadata distance = 2; distance <= 6; ++distance) {
+      benchmark::RegisterBenchmark(
+          (std::string("AblationBidir/") +
+           (bidirectional ? "bidirectional" : "algorithm1") +
+           "/pathlen:" + std::to_string(distance))
+              .c_str(),
+          [&w, spec, distance, bidirectional](benchmark::State& state) {
+            bidir_bucket(state, w, spec, distance, bidirectional);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation A7 — storage granularity and declustering policy (§3.2).
+//
+// The thesis weighs vertex-level granularity (a vertex's full adjacency
+// list on one node; searches route fringes to owners) against edge-level
+// granularity (edges spread independently; searches broadcast fringes to
+// every node).  This bench measures both sides of the trade-off: fringe
+// message volume per query and back-end load balance at ingestion, for
+// all four declustering policies.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace mssg;
+
+void granularity_bench(benchmark::State& state, const bench::Workload& w,
+                       DeclusterPolicy policy) {
+  // Not using the shared cluster cache: policies change the ingest-time
+  // placement, so each needs its own cluster (built once per benchmark).
+  static std::map<int, std::unique_ptr<MssgCluster>> clusters;
+  auto& cluster = clusters[static_cast<int>(policy)];
+  IngestReport report;
+  if (!cluster) {
+    ClusterConfig config;
+    config.backend = Backend::kGrDB;
+    config.backend_nodes = 8;
+    config.frontend_nodes = 4;
+    config.decluster = policy;
+    config.db.cache_bytes =
+        std::max<std::size_t>(256 << 10, 4 * w.directed_bytes() / 8);
+    config.db.max_vertices = w.spec.vertices;
+    cluster = std::make_unique<MssgCluster>(config);
+    report = cluster->ingest(w.edges);
+    state.counters["imbalance"] = report.imbalance();
+  }
+
+  const auto pairs = w.pairs_with_distance(5);
+  if (pairs.empty()) {
+    state.SkipWithError("no pairs");
+    return;
+  }
+  std::uint64_t messages = 0, edges = 0, expanded = 0, queries = 0;
+  for (auto _ : state) {
+    for (const auto& pair : pairs) {
+      const auto result = cluster->bfs(pair.src, pair.dst);
+      if (result.distance != pair.distance) {
+        state.SkipWithError("distance mismatch");
+        return;
+      }
+      messages += result.fringe_messages;
+      edges += result.edges_scanned;
+      expanded += result.vertices_expanded;
+      ++queries;
+    }
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(messages) / static_cast<double>(queries);
+  state.counters["edges_per_query"] =
+      static_cast<double>(edges) / static_cast<double>(queries);
+  // Edge granularity forces every rank to probe every fringe vertex
+  // (adjacency lists are split), so expansions multiply by ~p.
+  state.counters["expanded_per_query"] =
+      static_cast<double>(expanded) / static_cast<double>(queries);
+}
+
+std::string policy_name(DeclusterPolicy policy) {
+  switch (policy) {
+    case DeclusterPolicy::kHashMod: return "vertex_hashmod";
+    case DeclusterPolicy::kVertexRoundRobin: return "vertex_roundrobin";
+    case DeclusterPolicy::kEdgeRoundRobin: return "edge_roundrobin";
+    case DeclusterPolicy::kBlockCluster: return "block_cluster";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = mssg::bench::scale_from_env(0.25);
+  const auto& w = mssg::bench::workload(mssg::pubmed_s(scale));
+
+  for (const auto policy :
+       {mssg::DeclusterPolicy::kHashMod, mssg::DeclusterPolicy::kVertexRoundRobin,
+        mssg::DeclusterPolicy::kEdgeRoundRobin,
+        mssg::DeclusterPolicy::kBlockCluster}) {
+    benchmark::RegisterBenchmark(
+        (std::string("AblationGranularity/") + policy_name(policy)).c_str(),
+        [&w, policy](benchmark::State& state) {
+          granularity_bench(state, w, policy);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation A3 — Algorithm 1 (bulk exchange) vs Algorithm 2 (pipelined
+// chunked sends) and the pipeline threshold (§4.2).  Counts messages and
+// compares wall/modeled times: smaller thresholds overlap more but send
+// more messages.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_s(scale));
+
+  bench::ClusterSpec spec;
+  spec.backend = Backend::kGrDB;
+  spec.backend_nodes = 8;
+
+  benchmark::RegisterBenchmark((std::string(      "AblationPipeline/algorithm1")).c_str(), [&w, spec](benchmark::State& state) {
+        bench::run_search_bucket(state, w, spec, /*distance=*/5);
+      })
+      ->Unit(benchmark::kMillisecond);
+
+  for (const std::size_t threshold : {64, 256, 1024, 4096, 16384}) {
+    BfsOptions options;
+    options.pipelined = true;
+    options.pipeline_threshold = threshold;
+    benchmark::RegisterBenchmark((std::string(        "AblationPipeline/algorithm2/threshold:" + std::to_string(threshold))).c_str(),
+        [&w, spec, options](benchmark::State& state) {
+          bench::run_search_bucket(state, w, spec, /*distance=*/5, options);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

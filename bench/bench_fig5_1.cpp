@@ -1,0 +1,31 @@
+// Figure 5.1 — search performance of the in-memory GraphDB backends
+// (Array vs HashMap) on PubMed-S, 16 back-end nodes, 100 random BFS
+// queries averaged by path length.
+//
+// Paper shape: Array beats HashMap at every path length (no hash lookup
+// per adjacency access); the gap widens with path length as fringes grow
+// exponentially.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_s(scale));
+
+  for (const Backend backend : {Backend::kArray, Backend::kHashMap}) {
+    for (Metadata distance = 2; distance <= 6; ++distance) {
+      bench::ClusterSpec spec;
+      spec.backend = backend;
+      spec.backend_nodes = 16;
+      benchmark::RegisterBenchmark((std::string(          "Fig5_1/" + bench::short_name(backend) + "/pathlen:" +
+              std::to_string(distance))).c_str(),
+          [&w, spec, distance](benchmark::State& state) {
+            bench::run_search_bucket(state, w, spec, distance);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 5.4 — search performance of all five GraphDB backends on
+// PubMed-S, 16 nodes, by path length.
+//
+// Paper shape: Array < HashMap < grDB < BerkeleyDB < MySQL in execution
+// time; grDB ~33% faster than BerkeleyDB; grDB within ~1.7x of HashMap
+// and ~2.9x of Array; short paths are negligible for every backend.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_s(scale));
+
+  for (const Backend backend :
+       {Backend::kArray, Backend::kHashMap, Backend::kStream,
+        Backend::kKVStore, Backend::kRelational, Backend::kGrDB}) {
+    for (Metadata distance = 2; distance <= 6; ++distance) {
+      bench::ClusterSpec spec;
+      spec.backend = backend;
+      spec.backend_nodes = 16;
+      benchmark::RegisterBenchmark((std::string(          "Fig5_4/" + bench::short_name(backend) + "/pathlen:" +
+              std::to_string(distance))).c_str(),
+          [&w, spec, distance](benchmark::State& state) {
+            bench::run_search_bucket(state, w, spec, distance);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

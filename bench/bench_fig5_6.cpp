@@ -1,0 +1,37 @@
+// Figure 5.6 — execution-time search performance on PubMed-L: five
+// backends, back-end nodes varied (4/8/16), long-path queries.
+//
+// Paper shape: Array fastest, HashMap close behind; grDB performs well on
+// 8 and 16 nodes but drops below StreamDB at 4 nodes (random access vs
+// one sequential scan when each node holds a large share); MySQL slowest.
+// With one physical CPU the node-count scaling appears in the
+// modeled_ms_per_query counter (max-per-node work), not in wall time.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_l(scale));
+
+  for (const Backend backend :
+       {Backend::kArray, Backend::kHashMap, Backend::kStream,
+        Backend::kKVStore, Backend::kRelational, Backend::kGrDB}) {
+    for (const int nodes : {4, 8, 16}) {
+      for (Metadata distance = 4; distance <= 5; ++distance) {
+        bench::ClusterSpec spec;
+        spec.backend = backend;
+        spec.backend_nodes = nodes;
+        spec.frontend_nodes = 8;
+        benchmark::RegisterBenchmark((std::string(            "Fig5_6/" + bench::short_name(backend) + "/backends:" +
+                std::to_string(nodes) + "/pathlen:" + std::to_string(distance))).c_str(),
+            [&w, spec, distance](benchmark::State& state) {
+              bench::run_search_bucket(state, w, spec, distance);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5.7 — aggregate edges-per-second search performance on
+// PubMed-L (the same runs as Figure 5.6 viewed as throughput).
+//
+// Paper shape: Array approaches 30 M edges/s; grDB reaches 20 M edges/s
+// on 16 nodes but drops significantly on 4 nodes; grDB processes more
+// edges/s than StreamDB even where StreamDB's total time is lower.
+// Read the edges_per_modeled_s counter for the node-scaling series.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_l(scale));
+
+  for (const Backend backend :
+       {Backend::kArray, Backend::kHashMap, Backend::kStream,
+        Backend::kKVStore, Backend::kRelational, Backend::kGrDB}) {
+    for (const int nodes : {4, 8, 16}) {
+      bench::ClusterSpec spec;
+      spec.backend = backend;
+      spec.backend_nodes = nodes;
+      spec.frontend_nodes = 8;
+      // Longest available bucket: throughput is defined by large fringes.
+      benchmark::RegisterBenchmark((std::string(          "Fig5_7/" + bench::short_name(backend) + "/backends:" +
+              std::to_string(nodes))).c_str(),
+          [&w, spec](benchmark::State& state) {
+            bench::run_search_bucket(state, w, spec, /*distance=*/5);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

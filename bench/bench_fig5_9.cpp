@@ -1,0 +1,35 @@
+// Figure 5.9 — edges-per-second search performance on Syn-2B using grDB.
+//
+// Paper shape: "when touching a large portion of the graph ... MSSG and
+// grDB can process over 10 million edges per second".  Throughput grows
+// with node count (read edges_per_modeled_s) and with path length (larger
+// fringes amortize per-level costs).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mssg;
+  const double scale = bench::scale_from_env(0.5);
+  const auto& w = bench::workload(syn_2b(scale));
+
+  for (const bool external : {false, true}) {
+    for (const int nodes : {4, 8, 16}) {
+      bench::ClusterSpec spec;
+      spec.backend = Backend::kGrDB;
+      spec.backend_nodes = nodes;
+      spec.frontend_nodes = 8;
+      spec.external_metadata = external;
+      spec.cache_bytes = std::max<std::size_t>(
+          256 << 10, w.directed_bytes() / nodes / 4);
+      benchmark::RegisterBenchmark((std::string(          std::string("Fig5_9/grDB/visited:") +
+              (external ? "external" : "memory") +
+              "/backends:" + std::to_string(nodes))).c_str(),
+          [&w, spec](benchmark::State& state) {
+            bench::run_search_bucket(state, w, spec, /*distance=*/5);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

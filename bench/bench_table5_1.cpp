@@ -1,0 +1,50 @@
+// Table 5.1 — statistics of the experiment graphs.
+//
+// Prints the same columns as the thesis (vertices, undirected edges,
+// min/max/avg degree) for the three dataset analogues.  Paper values,
+// for reference:
+//   PubMed-S   3,751,921 | 27,841,339  | 1 | 722,692   | 14.84
+//   PubMed-L  26,676,177 | 259,815,339 | 1 | 6,114,328 | 19.48
+//   Syn-2B   100,000,000 | 999,999,820 | 1 | 42,964    | 20.00
+// The analogues are scaled down (~31x / ~65x / ~190x at scale 1) with the
+// same average degree and hub structure; see DESIGN.md.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace mssg;
+
+void dataset_stats(benchmark::State& state, const DatasetSpec& spec) {
+  const auto& w = bench::workload(spec);
+  GraphStats stats;
+  for (auto _ : state) {
+    stats = compute_stats(spec.vertices, w.edges);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["vertices"] = static_cast<double>(stats.vertices);
+  state.counters["und_edges"] = static_cast<double>(stats.undirected_edges);
+  state.counters["min_deg"] = static_cast<double>(stats.min_degree);
+  state.counters["max_deg"] = static_cast<double>(stats.max_degree);
+  state.counters["avg_deg"] = stats.avg_degree;
+  state.counters["hub_frac_pct"] = 100.0 *
+                                   static_cast<double>(stats.max_degree) /
+                                   static_cast<double>(stats.vertices);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = mssg::bench::scale_from_env(1.0);
+  for (const auto& spec :
+       {mssg::pubmed_s(scale), mssg::pubmed_l(scale), mssg::syn_2b(scale)}) {
+    benchmark::RegisterBenchmark((std::string("Table5_1/" + spec.name)).c_str(),
+                                 [spec](benchmark::State& state) {
+                                   dataset_stats(state, spec);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

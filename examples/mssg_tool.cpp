@@ -1,0 +1,207 @@
+// mssg_tool — command-line front end to the framework, the workflow a
+// downstream user drives: generate graph files, inspect them, ingest
+// them into a persistent cluster directory, and run analyses against it.
+//
+//   mssg_tool gen   <out.txt> [--model pubmed-s|pubmed-l|syn|ba] [--scale S]
+//   mssg_tool stats <edges.txt>
+//   mssg_tool ingest <edges.txt> <storage-dir> [--nodes N] [--backend B]
+//   mssg_tool bfs   <storage-dir> <src> <dst> [--nodes N] [--backend B]
+//   mssg_tool khop  <storage-dir> <src> <k>   [--nodes N] [--backend B]
+//   mssg_tool cc    <storage-dir>             [--nodes N] [--backend B]
+//   mssg_tool defrag <storage-dir>            [--nodes N]
+//
+// Backends: grdb (default), kvstore, relational, stream.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gen/datasets.hpp"
+#include "gen/stats.hpp"
+#include "ingest/edge_source.hpp"
+#include "mssg/mssg.hpp"
+
+namespace {
+
+using namespace mssg;
+
+int usage() {
+  std::cerr << "usage: mssg_tool gen|stats|ingest|bfs|khop|cc|defrag ...\n"
+               "       (see header comment of examples/mssg_tool.cpp)\n";
+  return 2;
+}
+
+struct CommonArgs {
+  int nodes = 4;
+  Backend backend = Backend::kGrDB;
+  double scale = 0.05;
+  std::string model = "pubmed-s";
+};
+
+CommonArgs parse_flags(int argc, char** argv, int first) {
+  CommonArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw UsageError("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--nodes") {
+      args.nodes = std::stoi(next());
+    } else if (flag == "--scale") {
+      args.scale = std::stod(next());
+    } else if (flag == "--model") {
+      args.model = next();
+    } else if (flag == "--backend") {
+      const auto name = next();
+      if (name == "grdb") {
+        args.backend = Backend::kGrDB;
+      } else if (name == "kvstore") {
+        args.backend = Backend::kKVStore;
+      } else if (name == "relational") {
+        args.backend = Backend::kRelational;
+      } else if (name == "stream") {
+        args.backend = Backend::kStream;
+      } else {
+        throw UsageError("unknown backend: " + name);
+      }
+    } else {
+      throw UsageError("unknown flag: " + flag);
+    }
+  }
+  return args;
+}
+
+std::vector<Edge> load_edges(const std::string& path) {
+  AsciiEdgeSource source(path);
+  std::vector<Edge> all, block;
+  while (source.next_block(1 << 20, block)) {
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  return all;
+}
+
+MssgCluster open_cluster(const std::string& dir, const CommonArgs& args) {
+  ClusterConfig config;
+  config.backend_nodes = args.nodes;
+  config.backend = args.backend;
+  config.storage_root = dir;
+  return MssgCluster(std::move(config));
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto args = parse_flags(argc, argv, 3);
+  DatasetSpec spec;
+  if (args.model == "pubmed-s") {
+    spec = pubmed_s(args.scale);
+  } else if (args.model == "pubmed-l") {
+    spec = pubmed_l(args.scale);
+  } else if (args.model == "syn") {
+    spec = syn_2b(args.scale);
+  } else if (args.model == "ba") {
+    spec = pubmed_s(args.scale);
+    spec.model = DatasetModel::kBarabasiAlbert;
+  } else {
+    throw UsageError("unknown model: " + args.model);
+  }
+  const auto edges = build_dataset(spec);
+  write_ascii_edges(argv[2], edges);
+  std::cout << "wrote " << edges.size() << " edges (" << spec.name
+            << " analogue, scale " << args.scale << ") to " << argv[2]
+            << "\n";
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto edges = load_edges(argv[2]);
+  VertexId max_vertex = 0;
+  for (const auto& e : edges) max_vertex = std::max({max_vertex, e.src, e.dst});
+  const auto stats = compute_stats(max_vertex + 1, edges);
+  std::cout << "vertices:   " << stats.vertices << "\n"
+            << "und. edges: " << stats.undirected_edges << "\n"
+            << "min degree: " << stats.min_degree << "\n"
+            << "max degree: " << stats.max_degree << "\n"
+            << "avg degree: " << stats.avg_degree << "\n";
+  return 0;
+}
+
+int cmd_ingest(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto args = parse_flags(argc, argv, 4);
+  const auto edges = load_edges(argv[2]);
+  auto cluster = open_cluster(argv[3], args);
+  const auto report = cluster.ingest(edges);
+  std::cout << "ingested " << report.edges_stored << " directed edges in "
+            << report.seconds << " s across " << args.nodes
+            << " nodes (imbalance " << report.imbalance() << "x)\n";
+  return 0;
+}
+
+int cmd_bfs(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto args = parse_flags(argc, argv, 5);
+  auto cluster = open_cluster(argv[2], args);
+  const auto result =
+      cluster.bfs(std::stoull(argv[3]), std::stoull(argv[4]));
+  if (result.distance == kUnvisited) {
+    std::cout << "unreachable (scanned " << result.edges_scanned
+              << " edges)\n";
+  } else {
+    std::cout << "distance " << result.distance << " (scanned "
+              << result.edges_scanned << " edges in " << result.seconds
+              << " s)\n";
+  }
+  return 0;
+}
+
+int cmd_khop(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto args = parse_flags(argc, argv, 5);
+  auto cluster = open_cluster(argv[2], args);
+  const auto result = cluster.khop(std::stoull(argv[3]),
+                                   static_cast<Metadata>(std::stoi(argv[4])));
+  std::cout << result.vertices_within << " vertices within " << argv[4]
+            << " hops of " << argv[3] << "\n";
+  return 0;
+}
+
+int cmd_cc(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto args = parse_flags(argc, argv, 3);
+  auto cluster = open_cluster(argv[2], args);
+  const auto result = cluster.connected_components();
+  std::cout << result.components << " connected components over "
+            << result.vertices << " vertices (" << result.iterations
+            << " rounds, " << result.seconds << " s)\n";
+  return 0;
+}
+
+int cmd_defrag(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto args = parse_flags(argc, argv, 3);
+  auto cluster = open_cluster(argv[2], args);
+  std::cout << "rewrote " << cluster.defragment_all()
+            << " fragmented adjacency chains\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") return cmd_gen(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "ingest") return cmd_ingest(argc, argv);
+    if (command == "bfs") return cmd_bfs(argc, argv);
+    if (command == "khop") return cmd_khop(argc, argv);
+    if (command == "cc") return cmd_cc(argc, argv);
+    if (command == "defrag") return cmd_defrag(argc, argv);
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+// Dynamic bitset sized at runtime.  Backs the in-memory visited structure
+// of the BFS analyses and the free-space maps of the storage substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits, bool initial = false)
+      : bits_(bits),
+        words_((bits + 63) / 64, initial ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void resize(std::size_t bits, bool value = false) {
+    const std::size_t old_bits = bits_;
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    if (value && old_bits < bits && old_bits % 64 != 0) {
+      // Fill the tail of the formerly-last word.
+      words_[old_bits / 64] |= ~std::uint64_t{0} << (old_bits % 64);
+    }
+    trim();
+  }
+
+  void set(std::size_t i) {
+    check(i);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  void clear(std::size_t i) {
+    check(i);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    check(i);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Atomically-ish test-and-set for single-threaded use: returns the
+  /// previous value and sets the bit.
+  bool test_and_set(std::size_t i) {
+    check(i);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    const bool was = (words_[i / 64] & mask) != 0;
+    words_[i / 64] |= mask;
+    return was;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  void reset_all() { words_.assign(words_.size(), 0); }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  [[nodiscard]] std::size_t find_first_set(std::size_t from = 0) const {
+    if (from >= bits_) return bits_;
+    std::size_t word = from / 64;
+    std::uint64_t w = words_[word] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+      if (w != 0) {
+        const std::size_t bit = word * 64 +
+                                static_cast<std::size_t>(__builtin_ctzll(w));
+        return bit < bits_ ? bit : bits_;
+      }
+      if (++word >= words_.size()) return bits_;
+      w = words_[word];
+    }
+  }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= bits_) throw UsageError("DynamicBitset index out of range");
+  }
+
+  void trim() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= ~std::uint64_t{0} >> (64 - bits_ % 64);
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mssg

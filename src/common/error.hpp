@@ -1,0 +1,65 @@
+// Exception hierarchy.  The thesis' GraphDB interface throws
+// GraphStorageException; StorageError is the C++ analogue.  All MSSG
+// errors derive from mssg::Error so callers can catch the family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mssg {
+
+/// Root of the MSSG exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failure in a GraphDB backend or the storage substrate (disk I/O,
+/// corrupt page, capacity exceeded).  Mirrors GraphStorageException.
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input data (edge list parse errors, bad configs).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Misuse of an API (preconditions violated by the caller).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Instance edge violates the ontology schema (chapter 1 semantics).
+class OntologyError : public Error {
+ public:
+  explicit OntologyError(const std::string& what) : Error(what) {}
+};
+
+/// Communication-layer failure (closed channel, bad rank).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failed(const char* expr,
+                                            const char* file, int line) {
+  throw UsageError(std::string("MSSG_CHECK failed: ") + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mssg
+
+/// Always-on invariant check (used at module boundaries; unlike assert it
+/// survives release builds, per the "fail loudly" guideline).
+#define MSSG_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::mssg::detail::throw_check_failed(#expr, __FILE__, __LINE__); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace mssg::log {
+
+namespace {
+std::atomic<Level> g_threshold{Level::kWarn};
+std::mutex g_write_mutex;
+
+constexpr const char* name_of(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view msg) {
+  if (level < threshold()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[mssg %s] %.*s\n", name_of(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mssg::log

@@ -1,0 +1,48 @@
+// Minimal leveled logger.  Thread-safe, writes to stderr, off by default
+// above kWarn so benchmarks stay quiet.  Not a general logging framework:
+// MSSG only needs coarse progress / diagnostic lines.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace mssg::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emit one line (used by the MSSG_LOG macro; prefer the macro).
+void write(Level level, std::string_view msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mssg::log
+
+/// Stream-style logging: MSSG_LOG(kInfo) << "ingested " << n << " edges";
+#define MSSG_LOG(level_name)                                      \
+  if (::mssg::log::Level::level_name < ::mssg::log::threshold()) \
+    ;                                                             \
+  else                                                            \
+    ::mssg::log::detail::LineBuilder(::mssg::log::Level::level_name)

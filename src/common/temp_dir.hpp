@@ -1,0 +1,58 @@
+// RAII scratch directory.  Each simulated back-end node stores its
+// GraphDB files under one of these; tests and benches get automatic
+// cleanup.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace mssg {
+
+class TempDir {
+ public:
+  /// Creates <base>/<prefix>-<counter> under the system temp directory
+  /// (or under `base` when given).  The directory is removed, with all
+  /// contents, on destruction.
+  explicit TempDir(const std::string& prefix = "mssg",
+                   const std::filesystem::path& base = {}) {
+    static std::atomic<std::uint64_t> counter{0};
+    const auto root =
+        base.empty() ? std::filesystem::temp_directory_path() : base;
+    path_ = root / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  TempDir& operator=(TempDir&& other) noexcept {
+    if (this != &other) {
+      remove();
+      path_ = std::move(other.path_);
+      other.path_.clear();
+    }
+    return *this;
+  }
+
+  ~TempDir() { remove(); }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void remove() noexcept {
+    if (!path_.empty()) {
+      std::error_code ec;  // best-effort cleanup; ignore failures
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  std::filesystem::path path_;
+};
+
+}  // namespace mssg

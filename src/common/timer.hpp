@@ -1,0 +1,48 @@
+// Wall-clock timing utilities for the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mssg {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals (used to split
+/// compute vs. communication time inside the BFS analyses).
+class SplitTimer {
+ public:
+  void start() { running_ = Timer(); }
+  void stop() { total_ += running_.seconds(); }
+  [[nodiscard]] double seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  Timer running_;
+  double total_ = 0.0;
+};
+
+}  // namespace mssg

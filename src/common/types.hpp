@@ -1,0 +1,81 @@
+// Core value types shared by every MSSG module.
+//
+// MSSG models a semantic graph as a set of directed typed edges between
+// 64-bit global vertex ids (GIDs).  The thesis reserves the 3 most
+// significant bits of a 64-bit word for grDB-internal tagging, so user
+// GIDs must fit in 61 bits ("sufficient for graphs with up to 2
+// quintillion vertices").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mssg {
+
+/// Global vertex identifier.  Valid GIDs occupy the low 61 bits.
+using VertexId = std::uint64_t;
+
+/// Number of bits available for a vertex id (3 MSBs reserved by grDB).
+inline constexpr int kVertexIdBits = 61;
+
+/// Largest representable vertex id.
+inline constexpr VertexId kMaxVertexId = (VertexId{1} << kVertexIdBits) - 1;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Per-vertex metadata word (Listing 3.1 uses a Java int).  The BFS
+/// analyses store the search level here; kUnvisited plays the role of
+/// `level[v] = infinity`.
+using Metadata = std::int32_t;
+inline constexpr Metadata kUnvisited = std::numeric_limits<Metadata>::max();
+
+/// Semantic type tags (ontology layer).  0 means "untyped".
+using TypeId = std::uint32_t;
+inline constexpr TypeId kUntyped = 0;
+
+/// A directed edge.  Undirected graphs store both orientations.
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << '(' << e.src << "->" << e.dst << ')';
+}
+
+/// A directed edge carrying ontology types for its endpoints and itself.
+struct TypedEdge {
+  Edge edge;
+  TypeId src_type = kUntyped;
+  TypeId dst_type = kUntyped;
+  TypeId edge_type = kUntyped;
+
+  friend constexpr bool operator==(const TypedEdge&,
+                                   const TypedEdge&) = default;
+};
+
+/// Identifies a simulated cluster node (MPI-style rank).
+using Rank = int;
+
+}  // namespace mssg
+
+template <>
+struct std::hash<mssg::Edge> {
+  std::size_t operator()(const mssg::Edge& e) const noexcept {
+    // splitmix64-style mix of the two ids.
+    std::uint64_t x = e.src * 0x9e3779b97f4a7c15ull ^ (e.dst + 0x7f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

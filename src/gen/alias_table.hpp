@@ -1,0 +1,73 @@
+// Walker alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) setup.  Used by the Chung-Lu generator to draw
+// edge endpoints from a power-law weight vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mssg {
+
+class AliasTable {
+ public:
+  explicit AliasTable(std::span<const double> weights) {
+    MSSG_CHECK(!weights.empty());
+    const std::size_t n = weights.size();
+    double total = 0;
+    for (double w : weights) {
+      MSSG_CHECK(w >= 0);
+      total += w;
+    }
+    MSSG_CHECK(total > 0);
+
+    prob_.resize(n);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+
+    std::vector<std::uint64_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const auto s = small.back();
+      small.pop_back();
+      const auto l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Numerical leftovers land at probability 1.
+    for (const auto i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (const auto i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const {
+    const std::uint64_t column = rng.below(prob_.size());
+    return rng.uniform() < prob_[column] ? column : alias_[column];
+  }
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint64_t> alias_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,98 @@
+#include "gen/datasets.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+
+namespace mssg {
+
+namespace {
+std::uint64_t scaled(std::uint64_t base, double scale) {
+  return static_cast<std::uint64_t>(std::llround(static_cast<double>(base) *
+                                                 scale));
+}
+}  // namespace
+
+DatasetSpec pubmed_s(double scale) {
+  // Base size = paper / ~31.
+  DatasetSpec spec;
+  spec.name = "PubMed-S";
+  spec.model = DatasetModel::kChungLu;
+  spec.vertices = scaled(120'000, scale);
+  spec.edges = scaled(890'000, scale);  // avg degree ~14.8
+  // Steep exponent + hub cap: median degree of a few (most vertices fit
+  // grDB's low levels) with hubs near 0.2|V|, as in the real PubMed-S.
+  spec.exponent = 2.1;
+  spec.hub_cap = 0.20;
+  spec.seed = 0x5eed'0001;
+  return spec;
+}
+
+DatasetSpec pubmed_l(double scale) {
+  // Base size = paper / ~65 (kept runnable; pass scale>1 for more).
+  DatasetSpec spec;
+  spec.name = "PubMed-L";
+  spec.model = DatasetModel::kChungLu;
+  spec.vertices = scaled(410'000, scale);
+  spec.edges = scaled(4'000'000, scale);  // avg degree ~19.5
+  spec.exponent = 2.08;
+  spec.hub_cap = 0.23;  // paper: max degree 22.9% of |V|
+  spec.seed = 0x5eed'0002;
+  return spec;
+}
+
+DatasetSpec syn_2b(double scale) {
+  // Base size = paper / ~190.
+  DatasetSpec spec;
+  spec.name = "Syn-2B";
+  spec.model = DatasetModel::kRmat;
+  spec.vertices = std::bit_ceil(scaled(524'288, scale));
+  spec.edges = scaled(5'242'880, scale);  // avg degree 20.0
+  spec.rmat_a = 0.32;  // light tail: hub << 1% |V| as in the paper
+  spec.rmat_d = 0.11;
+  spec.seed = 0x5eed'0003;
+  return spec;
+}
+
+std::vector<Edge> build_dataset(const DatasetSpec& spec) {
+  std::vector<Edge> edges;
+  switch (spec.model) {
+    case DatasetModel::kChungLu: {
+      ChungLuConfig config;
+      config.vertices = spec.vertices;
+      config.edges = spec.edges;
+      config.exponent = spec.exponent;
+      config.hub_cap_fraction = spec.hub_cap;
+      config.seed = spec.seed;
+      edges = generate_chung_lu(config);
+      break;
+    }
+    case DatasetModel::kRmat: {
+      RmatConfig config;
+      MSSG_CHECK(std::has_single_bit(spec.vertices));
+      config.scale = std::countr_zero(spec.vertices);
+      config.edges = spec.edges;
+      config.a = spec.rmat_a;
+      const double bc = (1.0 - spec.rmat_a - spec.rmat_d) / 2.0;
+      config.b = bc;
+      config.c = bc;
+      config.seed = spec.seed;
+      edges = generate_rmat(config);
+      break;
+    }
+    case DatasetModel::kBarabasiAlbert: {
+      const std::uint64_t m =
+          std::max<std::uint64_t>(1, spec.edges / std::max<std::uint64_t>(
+                                         1, spec.vertices));
+      edges = generate_barabasi_albert(spec.vertices, m, spec.seed);
+      break;
+    }
+  }
+  scramble_ids(edges, spec.vertices, spec.seed ^ 0x1d);
+  shuffle_edges(edges, spec.seed ^ 0x2e);
+  return edges;
+}
+
+}  // namespace mssg

@@ -1,0 +1,49 @@
+// Named dataset specifications calibrated to the thesis' Table 5.1.
+//
+// The original graphs (PubMed extractions and a 10^9-edge synthetic) are
+// not redistributable / not CI-sized, so each dataset here is a synthetic
+// analogue: same average degree, same qualitative hub structure, sizes
+// scaled by a user-chosen factor.  `scale = 1.0` is the CI default
+// (~30x smaller than PubMed-S); pass larger scales to approach the
+// paper's sizes when disk and time allow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+enum class DatasetModel { kChungLu, kRmat, kBarabasiAlbert };
+
+struct DatasetSpec {
+  std::string name;
+  DatasetModel model = DatasetModel::kChungLu;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  double exponent = 2.3;   ///< Chung-Lu degree exponent
+  double hub_cap = 0.0;    ///< Chung-Lu hub cap (fraction of |V|)
+  double rmat_a = 0.45;    ///< RMAT quadrant weights (b = c = (1-a-d)/2)
+  double rmat_d = 0.11;
+  std::uint64_t seed = 42;
+};
+
+/// PubMed-S analogue (paper: 3.75M vertices, 27.8M undirected edges,
+/// avg degree 14.84, max degree 722,692 ≈ 0.19|V|).  Heavy Chung-Lu tail.
+DatasetSpec pubmed_s(double scale = 1.0);
+
+/// PubMed-L analogue (paper: 26.7M vertices, 259.8M edges, avg 19.48,
+/// max degree 6.1M ≈ 0.23|V|).
+DatasetSpec pubmed_l(double scale = 1.0);
+
+/// Syn-2B analogue (paper: 100M vertices, ~1B edges, avg 20.0, max
+/// degree 42,964 — a much lighter tail than PubMed).  RMAT.
+DatasetSpec syn_2b(double scale = 1.0);
+
+/// Generates the edge stream for a spec.  Edge order is shuffled and
+/// vertex ids scrambled, as in a real streaming ingest.
+std::vector<Edge> build_dataset(const DatasetSpec& spec);
+
+}  // namespace mssg

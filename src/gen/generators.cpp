@@ -1,0 +1,165 @@
+#include "gen/generators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gen/alias_table.hpp"
+
+namespace mssg {
+
+std::vector<Edge> generate_chung_lu(const ChungLuConfig& config) {
+  MSSG_CHECK(config.vertices >= 2);
+  MSSG_CHECK(config.exponent > 1.0);
+
+  // Power-law endpoint weights: w_i ∝ (i+1)^(-1/(beta-1)).
+  const double alpha = 1.0 / (config.exponent - 1.0);
+  std::vector<double> weights(config.vertices);
+  for (std::uint64_t i = 0; i < config.vertices; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -alpha);
+  }
+
+  if (config.hub_cap_fraction > 0) {
+    // Clamp the head so the top vertex's expected degree
+    // (2E * w / sum(w)) is hub_cap_fraction * |V|.  Clamping shifts the
+    // total weight, so iterate to a fixed point.
+    const double target =
+        config.hub_cap_fraction * static_cast<double>(config.vertices);
+    for (int round = 0; round < 8; ++round) {
+      double total = 0;
+      for (const double w : weights) total += w;
+      const double cap = target * total /
+                         (2.0 * static_cast<double>(config.edges));
+      bool changed = false;
+      for (auto& w : weights) {
+        if (w > cap) {
+          w = cap;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+  const AliasTable table(weights);
+
+  Rng rng(config.seed);
+  std::vector<Edge> edges;
+  edges.reserve(config.edges);
+  std::unordered_set<Edge> seen;
+  if (!config.allow_multi_edges) seen.reserve(config.edges * 2);
+
+  while (edges.size() < config.edges) {
+    const VertexId u = table.sample(rng);
+    const VertexId v = table.sample(rng);
+    if (u == v) continue;
+    if (!config.allow_multi_edges) {
+      const Edge canonical{std::min(u, v), std::max(u, v)};
+      if (!seen.insert(canonical).second) continue;
+    }
+    edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_barabasi_albert(std::uint64_t vertices,
+                                           std::uint64_t edges_per_vertex,
+                                           std::uint64_t seed) {
+  MSSG_CHECK(edges_per_vertex >= 1);
+  MSSG_CHECK(vertices > edges_per_vertex);
+  Rng rng(seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(vertices * edges_per_vertex);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from
+  // it implements preferential attachment exactly.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(2 * vertices * edges_per_vertex);
+
+  // Seed clique over the first m+1 vertices.
+  const std::uint64_t m = edges_per_vertex;
+  for (std::uint64_t i = 0; i <= m; ++i) {
+    for (std::uint64_t j = i + 1; j <= m; ++j) {
+      edges.push_back(Edge{i, j});
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+    }
+  }
+
+  std::vector<VertexId> picks;
+  for (std::uint64_t v = m + 1; v < vertices; ++v) {
+    picks.clear();
+    while (picks.size() < m) {
+      const VertexId target = endpoint_pool[rng.below(endpoint_pool.size())];
+      if (target == v) continue;
+      bool duplicate = false;
+      for (const VertexId p : picks) duplicate |= (p == target);
+      if (duplicate) continue;
+      picks.push_back(target);
+    }
+    for (const VertexId target : picks) {
+      edges.push_back(Edge{v, target});
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_rmat(const RmatConfig& config) {
+  MSSG_CHECK(config.scale >= 1 && config.scale <= 40);
+  const double d = 1.0 - config.a - config.b - config.c;
+  MSSG_CHECK(d >= 0);
+  Rng rng(config.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(config.edges);
+  const std::uint64_t n = std::uint64_t{1} << config.scale;
+  while (edges.size() < config.edges) {
+    std::uint64_t row = 0, col = 0;
+    for (int level = 0; level < config.scale; ++level) {
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < config.a) {
+        // top-left quadrant: nothing to add
+      } else if (r < config.a + config.b) {
+        col |= 1;
+      } else if (r < config.a + config.b + config.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) continue;
+    MSSG_CHECK(row < n && col < n);
+    edges.push_back(Edge{row, col});
+  }
+  return edges;
+}
+
+void shuffle_edges(std::vector<Edge>& edges, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.below(i)]);
+  }
+}
+
+void scramble_ids(std::vector<Edge>& edges, std::uint64_t vertices,
+                  std::uint64_t seed) {
+  std::vector<VertexId> perm(vertices);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  Rng rng(seed);
+  for (std::size_t i = vertices; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  for (auto& e : edges) {
+    MSSG_CHECK(e.src < vertices && e.dst < vertices);
+    e.src = perm[e.src];
+    e.dst = perm[e.dst];
+  }
+}
+
+}  // namespace mssg

@@ -1,0 +1,69 @@
+// Scale-free graph generators.  The thesis evaluates MSSG on two PubMed
+// extraction graphs and one synthetic power-law graph; none of those data
+// sets are redistributable, so these generators produce synthetic graphs
+// calibrated to the published Table 5.1 statistics (see datasets.hpp).
+//
+// Three models are provided:
+//  - Chung-Lu: expected-degree model.  Endpoint weights follow a
+//    power-law, which reproduces the extreme hubs of the PubMed graphs
+//    (max degree ~ 20% of |V| in PubMed-L).
+//  - Barabási–Albert preferential attachment: the classic scale-free
+//    process referenced in the thesis' related work ([10]).
+//  - RMAT (recursive matrix): Graph500-style generator with a milder
+//    tail, used for the Syn-2B analogue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+struct ChungLuConfig {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;      ///< undirected edge count to sample
+  double exponent = 2.2;        ///< degree power-law exponent beta
+  /// Caps the heaviest vertex's *expected* degree at this fraction of
+  /// |V| (the PubMed graphs top out near 0.2|V|).  0 disables the cap.
+  /// Capping lets a steep exponent produce the realistic shape: median
+  /// degree of a few, a long low-degree tail, and bounded hubs.
+  double hub_cap_fraction = 0.0;
+  std::uint64_t seed = 1;
+  bool allow_multi_edges = true;  ///< duplicates kept (adjacency realism)
+};
+
+/// Samples `edges` undirected edges; endpoints drawn independently from a
+/// power-law weight vector w_i ∝ (i+1)^(-1/(beta-1)).  Self-loops are
+/// rejected and resampled.  Vertex 0 is the heaviest hub.
+std::vector<Edge> generate_chung_lu(const ChungLuConfig& config);
+
+/// Barabási–Albert: starts from a small clique and attaches each new
+/// vertex to `edges_per_vertex` existing vertices chosen proportional to
+/// degree.  Produces ~n*edges_per_vertex undirected edges.
+std::vector<Edge> generate_barabasi_albert(std::uint64_t vertices,
+                                           std::uint64_t edges_per_vertex,
+                                           std::uint64_t seed);
+
+struct RmatConfig {
+  int scale = 16;               ///< vertices = 2^scale
+  std::uint64_t edges = 0;
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1-a-b-c
+  std::uint64_t seed = 1;
+};
+
+/// RMAT recursive-quadrant sampler.  Self-loops rejected.
+std::vector<Edge> generate_rmat(const RmatConfig& config);
+
+/// Fisher-Yates shuffles the edge order — ingestion experiments stream
+/// edges in arrival order, and the thesis notes edge ordering affects
+/// back-end load balance.
+void shuffle_edges(std::vector<Edge>& edges, std::uint64_t seed);
+
+/// Relabels vertices with a random permutation so vertex id carries no
+/// degree information (hub ids spread across the id space, as in real
+/// semantic graphs).
+void scramble_ids(std::vector<Edge>& edges, std::uint64_t vertices,
+                  std::uint64_t seed);
+
+}  // namespace mssg

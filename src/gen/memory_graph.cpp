@@ -1,0 +1,77 @@
+#include "gen/memory_graph.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+MemoryGraph::MemoryGraph(std::uint64_t vertex_count,
+                         std::span<const Edge> edges, bool symmetrize) {
+  xadj_.assign(vertex_count + 1, 0);
+  for (const auto& e : edges) {
+    MSSG_CHECK(e.src < vertex_count && e.dst < vertex_count);
+    ++xadj_[e.src + 1];
+    if (symmetrize) ++xadj_[e.dst + 1];
+  }
+  for (std::size_t i = 1; i < xadj_.size(); ++i) xadj_[i] += xadj_[i - 1];
+
+  adj_.resize(xadj_.back());
+  std::vector<std::uint64_t> cursor(xadj_.begin(), xadj_.end() - 1);
+  for (const auto& e : edges) {
+    adj_[cursor[e.src]++] = e.dst;
+    if (symmetrize) adj_[cursor[e.dst]++] = e.src;
+  }
+}
+
+std::span<const VertexId> MemoryGraph::neighbors(VertexId v) const {
+  MSSG_CHECK(v < vertex_count());
+  return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+}
+
+std::uint64_t MemoryGraph::degree(VertexId v) const {
+  MSSG_CHECK(v < vertex_count());
+  return xadj_[v + 1] - xadj_[v];
+}
+
+std::vector<Metadata> MemoryGraph::bfs_levels(VertexId source) const {
+  MSSG_CHECK(source < vertex_count());
+  std::vector<Metadata> level(vertex_count(), kUnvisited);
+  std::deque<VertexId> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    const Metadata next = level[v] + 1;
+    for (const VertexId u : neighbors(v)) {
+      if (level[u] == kUnvisited) {
+        level[u] = next;
+        queue.push_back(u);
+      }
+    }
+  }
+  return level;
+}
+
+Metadata MemoryGraph::bfs_distance(VertexId s, VertexId t) const {
+  MSSG_CHECK(s < vertex_count() && t < vertex_count());
+  if (s == t) return 0;
+  std::vector<Metadata> level(vertex_count(), kUnvisited);
+  std::deque<VertexId> queue{s};
+  level[s] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    const Metadata next = level[v] + 1;
+    for (const VertexId u : neighbors(v)) {
+      if (u == t) return next;
+      if (level[u] == kUnvisited) {
+        level[u] = next;
+        queue.push_back(u);
+      }
+    }
+  }
+  return kUnvisited;
+}
+
+}  // namespace mssg

@@ -1,0 +1,44 @@
+// In-memory CSR graph used as the reference implementation: ground truth
+// for GraphDB contract tests, BFS correctness checks, and query-pair
+// distance labelling.  (The Array GraphDB backend has its own CSR tuned
+// to the GraphDB interface; this one is the analysis-side utility.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+class MemoryGraph {
+ public:
+  /// Builds a CSR over `vertex_count` vertices.  When `symmetrize` is
+  /// set, each input edge is stored in both directions (the thesis'
+  /// graphs are undirected).  Self-loops are kept as given.
+  MemoryGraph(std::uint64_t vertex_count, std::span<const Edge> edges,
+              bool symmetrize = true);
+
+  [[nodiscard]] std::uint64_t vertex_count() const {
+    return static_cast<std::uint64_t>(xadj_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t directed_edge_count() const {
+    return static_cast<std::uint64_t>(adj_.size());
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
+  [[nodiscard]] std::uint64_t degree(VertexId v) const;
+
+  /// Single-source BFS levels; unreachable vertices get kUnvisited.
+  [[nodiscard]] std::vector<Metadata> bfs_levels(VertexId source) const;
+
+  /// Shortest hop count, or kUnvisited when t is unreachable from s.
+  [[nodiscard]] Metadata bfs_distance(VertexId s, VertexId t) const;
+
+ private:
+  std::vector<std::uint64_t> xadj_;
+  std::vector<VertexId> adj_;
+};
+
+}  // namespace mssg

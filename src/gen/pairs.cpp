@@ -1,0 +1,80 @@
+#include "gen/pairs.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mssg {
+
+namespace {
+std::vector<VertexId> non_isolated(const MemoryGraph& graph) {
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (graph.degree(v) > 0) ids.push_back(v);
+  }
+  return ids;
+}
+}  // namespace
+
+std::vector<QueryPair> sample_random_pairs(const MemoryGraph& graph,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  const auto candidates = non_isolated(graph);
+  MSSG_CHECK(candidates.size() >= 2);
+  Rng rng(seed);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  // Scale-free giant components make reachable pairs overwhelmingly
+  // likely; the attempt cap is a safety net for degenerate graphs.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 100 + 1000;
+  while (pairs.size() < count && attempts++ < max_attempts) {
+    const VertexId s = candidates[rng.below(candidates.size())];
+    const VertexId t = candidates[rng.below(candidates.size())];
+    if (s == t) continue;
+    const Metadata d = graph.bfs_distance(s, t);
+    if (d == kUnvisited) continue;
+    pairs.push_back(QueryPair{s, t, d});
+  }
+  return pairs;
+}
+
+std::vector<QueryPair> sample_stratified_pairs(const MemoryGraph& graph,
+                                               Metadata max_distance,
+                                               std::size_t per_bucket,
+                                               std::uint64_t seed) {
+  const auto candidates = non_isolated(graph);
+  MSSG_CHECK(!candidates.empty());
+  Rng rng(seed);
+  std::vector<std::vector<QueryPair>> buckets(
+      static_cast<std::size_t>(max_distance) + 1);
+
+  std::size_t filled = 0;
+  const std::size_t want =
+      per_bucket * static_cast<std::size_t>(max_distance);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = want * 200 + 2000;
+  while (filled < want && attempts++ < max_attempts) {
+    const VertexId s = candidates[rng.below(candidates.size())];
+    // One BFS labels distances to every vertex; harvest all buckets.
+    const auto levels = graph.bfs_levels(s);
+    // Sample destinations at random rather than scanning in id order so
+    // repeated sources do not bias toward low ids.
+    for (std::size_t probe = 0; probe < candidates.size(); ++probe) {
+      const VertexId t = candidates[rng.below(candidates.size())];
+      const Metadata d = levels[t];
+      if (d < 1 || d > max_distance) continue;
+      auto& bucket = buckets[static_cast<std::size_t>(d)];
+      if (bucket.size() >= per_bucket) continue;
+      bucket.push_back(QueryPair{s, t, d});
+      if (++filled >= want) break;
+    }
+  }
+
+  std::vector<QueryPair> pairs;
+  for (const auto& bucket : buckets) {
+    pairs.insert(pairs.end(), bucket.begin(), bucket.end());
+  }
+  return pairs;
+}
+
+}  // namespace mssg

@@ -1,0 +1,37 @@
+// Query-pair sampling for the search experiments.  The thesis runs "100
+// random BFS queries ... averaged based on the path length between the
+// source and destination vertices"; pairs here are labelled with their
+// true hop distance (computed on the in-memory reference graph) so the
+// bench harness can bucket results by path length exactly as the figures
+// do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gen/memory_graph.hpp"
+
+namespace mssg {
+
+struct QueryPair {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Metadata distance = kUnvisited;
+};
+
+/// Uniformly random reachable pairs (both endpoints non-isolated),
+/// labelled with distance.  Mirrors the paper's "100 random queries".
+std::vector<QueryPair> sample_random_pairs(const MemoryGraph& graph,
+                                           std::size_t count,
+                                           std::uint64_t seed);
+
+/// At least `per_bucket` pairs per path length in [1, max_distance]
+/// (fewer when the graph has no such pairs); useful for the per-length
+/// series in Figures 5.1-5.4.
+std::vector<QueryPair> sample_stratified_pairs(const MemoryGraph& graph,
+                                               Metadata max_distance,
+                                               std::size_t per_bucket,
+                                               std::uint64_t seed);
+
+}  // namespace mssg

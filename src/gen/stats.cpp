@@ -1,0 +1,86 @@
+#include "gen/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+std::vector<std::uint64_t> degrees(std::uint64_t vertex_count,
+                                   std::span<const Edge> edges) {
+  std::vector<std::uint64_t> deg(vertex_count, 0);
+  for (const auto& e : edges) {
+    MSSG_CHECK(e.src < vertex_count && e.dst < vertex_count);
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+}  // namespace
+
+std::string GraphStats::to_row(const std::string& name) const {
+  std::ostringstream os;
+  os << name << "," << vertices << "," << undirected_edges << ","
+     << min_degree << "," << max_degree << "," << avg_degree;
+  return os.str();
+}
+
+GraphStats compute_stats(std::uint64_t vertex_count,
+                         std::span<const Edge> edges) {
+  const auto deg = degrees(vertex_count, edges);
+  GraphStats stats;
+  stats.declared_vertices = vertex_count;
+  stats.undirected_edges = edges.size();
+  stats.min_degree = std::numeric_limits<std::uint64_t>::max();
+  for (const auto d : deg) {
+    if (d == 0) continue;  // isolated ids are not graph vertices
+    ++stats.vertices;
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+  }
+  if (stats.vertices == 0) {
+    stats.min_degree = 0;
+  } else {
+    stats.avg_degree = 2.0 * static_cast<double>(stats.undirected_edges) /
+                       static_cast<double>(stats.vertices);
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> degree_histogram(std::uint64_t vertex_count,
+                                            std::span<const Edge> edges,
+                                            std::size_t max_bucket) {
+  MSSG_CHECK(max_bucket >= 1);
+  const auto deg = degrees(vertex_count, edges);
+  std::vector<std::uint64_t> hist(max_bucket + 1, 0);
+  for (const auto d : deg) {
+    if (d == 0) continue;
+    ++hist[std::min<std::uint64_t>(d, max_bucket)];
+  }
+  return hist;
+}
+
+double power_law_slope(std::span<const std::uint64_t> histogram) {
+  // Least squares over (log k, log hist[k]) for k >= 1 with hist[k] > 0.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  std::size_t n = 0;
+  for (std::size_t k = 1; k < histogram.size(); ++k) {
+    if (histogram[k] == 0) continue;
+    const double x = std::log(static_cast<double>(k));
+    const double y = std::log(static_cast<double>(histogram[k]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  MSSG_CHECK(n >= 2);
+  const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+  MSSG_CHECK(std::abs(denom) > 1e-12);
+  return (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+}
+
+}  // namespace mssg

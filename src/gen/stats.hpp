@@ -1,0 +1,40 @@
+// Degree statistics, reproducing the columns of Table 5.1, plus a
+// log-log power-law slope estimate used by the generator tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+struct GraphStats {
+  std::uint64_t vertices = 0;        ///< vertices with degree >= 1
+  std::uint64_t declared_vertices = 0;  ///< id-space size used to compute
+  std::uint64_t undirected_edges = 0;
+  std::uint64_t min_degree = 0;      ///< over vertices with degree >= 1
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0;             ///< 2E / vertices
+
+  [[nodiscard]] std::string to_row(const std::string& name) const;
+};
+
+/// Treats `edges` as undirected (each contributes to both endpoints).
+GraphStats compute_stats(std::uint64_t vertex_count,
+                         std::span<const Edge> edges);
+
+/// Degree histogram: hist[k] = number of vertices with degree k
+/// (capped at max_bucket; heavier vertices land in the last bucket).
+std::vector<std::uint64_t> degree_histogram(std::uint64_t vertex_count,
+                                            std::span<const Edge> edges,
+                                            std::size_t max_bucket);
+
+/// Least-squares slope of log(count) vs log(degree) over the histogram —
+/// a scale-free graph shows a negative slope (≈ -beta).  Degrees with
+/// zero count are skipped.
+double power_law_slope(std::span<const std::uint64_t> histogram);
+
+}  // namespace mssg

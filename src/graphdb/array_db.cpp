@@ -1,0 +1,62 @@
+#include "graphdb/array_db.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+void ArrayDB::store_edges(std::span<const Edge> edges) {
+  if (finalized_) {
+    throw StorageError(
+        "Array backend cannot grow after finalize_ingest (static CSR)");
+  }
+  for (const auto& e : edges) {
+    MSSG_CHECK(e.src <= kMaxVertexId && e.dst <= kMaxVertexId);
+    staging_[e.src].push_back(e.dst);
+    max_vertex_ = std::max({max_vertex_, e.src, e.dst});
+  }
+}
+
+void ArrayDB::finalize_ingest() {
+  if (finalized_) return;
+  xadj_.assign(max_vertex_ + 2, 0);
+  for (const auto& [v, neighbors] : staging_) {
+    xadj_[v + 1] = neighbors.size();
+  }
+  for (std::size_t i = 1; i < xadj_.size(); ++i) xadj_[i] += xadj_[i - 1];
+  adj_.resize(xadj_.back());
+  for (const auto& [v, neighbors] : staging_) {
+    std::copy(neighbors.begin(), neighbors.end(), adj_.begin() + xadj_[v]);
+  }
+  staging_.clear();
+  finalized_ = true;
+}
+
+void ArrayDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
+  if (!finalized_) {
+    for (const auto& [v, neighbors] : staging_) {
+      if (!neighbors.empty() && !visit(v)) return;
+    }
+    return;
+  }
+  for (VertexId v = 0; v <= max_vertex_; ++v) {
+    if (xadj_[v + 1] > xadj_[v] && !visit(v)) return;
+  }
+}
+
+void ArrayDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  if (!finalized_) {
+    // Queries before finalization read the staging hash (matches the
+    // thesis' two-phase load).
+    auto it = staging_.find(v);
+    if (it != staging_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    return;
+  }
+  if (v > max_vertex_) return;
+  out.insert(out.end(), adj_.begin() + xadj_[v], adj_.begin() + xadj_[v + 1]);
+}
+
+}  // namespace mssg

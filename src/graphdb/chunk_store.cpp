@@ -1,0 +1,144 @@
+#include "graphdb/chunk_store.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+
+std::uint32_t read_u32(std::span<const std::byte> data, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, data.data() + off, sizeof(v));
+  return v;
+}
+
+void write_u32(std::vector<std::byte>& data, std::size_t off,
+               std::uint32_t v) {
+  std::memcpy(data.data() + off, &v, sizeof(v));
+}
+
+/// Parsed view of one chunk.
+struct Chunk {
+  std::uint32_t num_chunks = 0;  // meaningful only for chunk 0
+  std::vector<VertexId> neighbors;
+
+  static Chunk parse(std::span<const std::byte> data, bool first) {
+    Chunk chunk;
+    std::size_t off = 0;
+    if (first) {
+      chunk.num_chunks = read_u32(data, off);
+      off += 4;
+    }
+    const std::uint32_t count = read_u32(data, off);
+    off += 4;
+    MSSG_CHECK(off + count * sizeof(VertexId) <= data.size());
+    chunk.neighbors.resize(count);
+    if (count > 0) {
+      std::memcpy(chunk.neighbors.data(), data.data() + off,
+                  count * sizeof(VertexId));
+    }
+    return chunk;
+  }
+
+  [[nodiscard]] std::vector<std::byte> serialize(bool first) const {
+    const std::size_t header = first ? 8 : 4;
+    std::vector<std::byte> data(header + neighbors.size() * sizeof(VertexId));
+    std::size_t off = 0;
+    if (first) {
+      write_u32(data, off, num_chunks);
+      off += 4;
+    }
+    write_u32(data, off, static_cast<std::uint32_t>(neighbors.size()));
+    off += 4;
+    if (!neighbors.empty()) {
+      std::memcpy(data.data() + off, neighbors.data(),
+                  neighbors.size() * sizeof(VertexId));
+    }
+    return data;
+  }
+};
+
+}  // namespace
+
+void AdjacencyChunkStore::append(VertexId v,
+                                 std::span<const VertexId> neighbors) {
+  if (neighbors.empty()) return;
+
+  // Read chunk 0 to learn the chunk count, then the tail chunk.
+  Chunk head;
+  auto head_bytes = backend_.get_chunk(v, 0);
+  if (head_bytes) {
+    head = Chunk::parse(*head_bytes, /*first=*/true);
+  } else {
+    head.num_chunks = 1;
+  }
+
+  std::size_t pos = 0;
+  bool head_dirty = !head_bytes.has_value();
+
+  // Fill the head chunk first.
+  while (pos < neighbors.size() &&
+         head.neighbors.size() < kFirstChunkCapacity) {
+    head.neighbors.push_back(neighbors[pos++]);
+    head_dirty = true;
+  }
+
+  if (pos < neighbors.size()) {
+    // Load the current tail (if beyond the head) and keep appending,
+    // allocating fresh chunks as each fills.
+    std::uint32_t tail_index = head.num_chunks - 1;
+    Chunk tail;
+    bool tail_dirty = false;
+    if (tail_index > 0) {
+      auto tail_bytes = backend_.get_chunk(v, tail_index);
+      MSSG_CHECK(tail_bytes.has_value());
+      tail = Chunk::parse(*tail_bytes, /*first=*/false);
+    } else {
+      // Head is the tail and it is full: open chunk 1.
+      tail_index = 1;
+      head.num_chunks = 2;
+      head_dirty = true;
+      tail_dirty = true;
+    }
+    while (pos < neighbors.size()) {
+      if (tail.neighbors.size() >= kChunkCapacity) {
+        // Persist the full tail only if this append actually changed it —
+        // a tail that was already full on disk is left untouched.
+        if (tail_dirty) {
+          backend_.put_chunk(v, tail_index, tail.serialize(/*first=*/false));
+        }
+        ++tail_index;
+        head.num_chunks = tail_index + 1;
+        head_dirty = true;
+        tail = Chunk{};
+        tail_dirty = false;
+      }
+      tail.neighbors.push_back(neighbors[pos++]);
+      tail_dirty = true;
+    }
+    if (tail_dirty) {
+      backend_.put_chunk(v, tail_index, tail.serialize(/*first=*/false));
+    }
+  }
+
+  if (head_dirty) {
+    backend_.put_chunk(v, 0, head.serialize(/*first=*/true));
+  }
+}
+
+void AdjacencyChunkStore::read(VertexId v, std::vector<VertexId>& out) {
+  auto head_bytes = backend_.get_chunk(v, 0);
+  if (!head_bytes) return;
+  const Chunk head = Chunk::parse(*head_bytes, /*first=*/true);
+  out.insert(out.end(), head.neighbors.begin(), head.neighbors.end());
+  for (std::uint32_t k = 1; k < head.num_chunks; ++k) {
+    auto bytes = backend_.get_chunk(v, k);
+    MSSG_CHECK(bytes.has_value());
+    const Chunk chunk = Chunk::parse(*bytes, /*first=*/false);
+    out.insert(out.end(), chunk.neighbors.begin(), chunk.neighbors.end());
+  }
+}
+
+}  // namespace mssg

@@ -1,0 +1,66 @@
+// Chunked-BLOB adjacency storage — the common schema of the MySQL and
+// BerkeleyDB backends (Figure 4.3): a vertex's adjacency list is
+// serialized into fixed-size binary chunks keyed by (vertex id, chunk
+// number).  "If the adjacency list of a vertex is too large to fit into
+// one row, it is split over multiple rows and the second column ... is
+// used as a unique identifier for each row."
+//
+// ChunkBackend abstracts where a chunk lives (B+tree value vs. heap-file
+// row); AdjacencyChunkStore implements the read-modify-write append logic
+// and the retrieval path on top of it.
+//
+// Chunk layout (little-endian):
+//   chunk 0:  [num_chunks u32][count u32][neighbors u64 * count]
+//   chunk k:  [count u32][neighbors u64 * count]
+// Chunks are padded to their nominal size only implicitly (count bounds
+// the live prefix); the nominal payload is kChunkBytes = 8 KB, the
+// MySQL-documentation-suggested block size the thesis adopted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+inline constexpr std::size_t kChunkBytes = 8192;
+
+class ChunkBackend {
+ public:
+  virtual ~ChunkBackend() = default;
+
+  /// Reads chunk (v, k); nullopt when absent.
+  [[nodiscard]] virtual std::optional<std::vector<std::byte>> get_chunk(
+      VertexId v, std::uint32_t chunk) = 0;
+
+  /// Inserts or replaces chunk (v, k).
+  virtual void put_chunk(VertexId v, std::uint32_t chunk,
+                         std::span<const std::byte> data) = 0;
+};
+
+class AdjacencyChunkStore {
+ public:
+  explicit AdjacencyChunkStore(ChunkBackend& backend) : backend_(backend) {}
+
+  /// Appends neighbors to v's adjacency list (read-modify-write of the
+  /// last chunk, allocating new chunks as they fill — the update cost
+  /// the thesis calls "very costly" for vertex-granularity storage).
+  void append(VertexId v, std::span<const VertexId> neighbors);
+
+  /// Appends v's full adjacency list to `out`.
+  void read(VertexId v, std::vector<VertexId>& out);
+
+ private:
+  // Capacities chosen so every chunk's byte size is <= kChunkBytes.
+  static constexpr std::size_t kFirstChunkCapacity =
+      (kChunkBytes - 8) / sizeof(VertexId);
+  static constexpr std::size_t kChunkCapacity =
+      (kChunkBytes - 4) / sizeof(VertexId);
+
+  ChunkBackend& backend_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,50 @@
+#include <filesystem>
+
+#include "graphdb/array_db.hpp"
+#include "graphdb/graphdb.hpp"
+#include "graphdb/grdb/grdb.hpp"
+#include "graphdb/hashmap_db.hpp"
+#include "graphdb/kvstore_db.hpp"
+#include "graphdb/relational_db.hpp"
+#include "graphdb/stream_db.hpp"
+
+namespace mssg {
+
+namespace {
+std::unique_ptr<MetadataStore> make_metadata(const GraphDBConfig& config) {
+  if (config.external_metadata) {
+    std::filesystem::create_directories(config.dir);
+    return std::make_unique<ExternalMetadata>(config.dir / "metadata.dat",
+                                              config.max_vertices,
+                                              /*cache_bytes=*/1u << 20);
+  }
+  return std::make_unique<InMemoryMetadata>();
+}
+}  // namespace
+
+std::unique_ptr<GraphDB> make_graphdb(Backend backend,
+                                      const GraphDBConfig& config) {
+  auto metadata = make_metadata(config);
+  const bool on_disk = backend == Backend::kRelational ||
+                       backend == Backend::kKVStore ||
+                       backend == Backend::kStream || backend == Backend::kGrDB;
+  if (on_disk) std::filesystem::create_directories(config.dir);
+
+  switch (backend) {
+    case Backend::kArray:
+      return std::make_unique<ArrayDB>(std::move(metadata));
+    case Backend::kHashMap:
+      return std::make_unique<HashMapDB>(std::move(metadata));
+    case Backend::kRelational:
+      return std::make_unique<RelationalDB>(config, std::move(metadata));
+    case Backend::kKVStore:
+      return std::make_unique<KVStoreDB>(config, std::move(metadata));
+    case Backend::kStream:
+      return std::make_unique<StreamDB>(config, std::move(metadata));
+    case Backend::kGrDB:
+      return std::make_unique<GrDB>(config, std::move(metadata));
+  }
+  throw UsageError("unknown Backend");
+}
+
+}  // namespace mssg

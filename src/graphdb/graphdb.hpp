@@ -1,0 +1,134 @@
+// The GraphDB Service interface — C++ rendering of the thesis' Listing
+// 3.1.  A GraphDB instance stores the subgraph assigned to one back-end
+// node and answers purely local operations; no method communicates.
+//
+// "In order to be complete, a graph-storage service only needs to store
+// edges and retrieve lists of distance-1 neighbors", plus a fused
+// neighbors-filtered-by-metadata call for performance.  Metadata is the
+// per-vertex int the BFS analyses use as their level/visited array.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graphdb/metadata_store.hpp"
+#include "storage/io_stats.hpp"
+
+namespace mssg {
+
+/// The `operation` argument of getAdjacencyListUsingMetadata.
+enum class MetadataOp : int {
+  kAll = -2,       ///< ignore metadata, return all neighbors
+  kNotEqual = -1,  ///< neighbor's metadata != input
+  kEqual = 0,      ///< neighbor's metadata == input
+  kGreater = 1,    ///< neighbor's metadata >  input
+  kLess = 2,       ///< neighbor's metadata <  input
+};
+
+class GraphDB {
+ public:
+  virtual ~GraphDB() = default;
+
+  /// Stores a batch of directed edges (undirected graphs are symmetrized
+  /// by the Ingestion service before routing).  Throws StorageError.
+  virtual void store_edges(std::span<const Edge> edges) = 0;
+
+  /// Appends v's out-neighbors to `out`.  Unknown vertices yield nothing
+  /// (Algorithm 1 relies on "the empty set when an adjacency list of a
+  /// vertex that is not assigned to that processor is requested").
+  virtual void get_adjacency(VertexId v, std::vector<VertexId>& out) = 0;
+
+  /// Fused neighbors+metadata filter (Listing 3.1's performance call).
+  /// Appends each neighbor u of v for which `op` holds between
+  /// metadata(u) and `metadata`.
+  virtual void get_adjacency_using_metadata(VertexId v,
+                                            std::vector<VertexId>& out,
+                                            Metadata metadata, MetadataOp op);
+
+  /// Per-vertex metadata (BFS level).  Backed by the pluggable
+  /// MetadataStore (in-memory by default; external-memory for the
+  /// Fig 5.8/5.9 configuration).
+  [[nodiscard]] virtual Metadata get_metadata(VertexId v);
+  virtual void set_metadata(VertexId v, Metadata metadata);
+
+  /// Resets all metadata between queries.
+  virtual void clear_metadata(Metadata fill = kUnvisited);
+
+  /// Visits every vertex with at least one locally stored out-edge, in
+  /// unspecified order; the visitor returns false to stop.  Whole-graph
+  /// analyses (connected components) use this to enumerate the local
+  /// vertex set.
+  virtual void for_each_vertex(
+      const std::function<bool(VertexId)>& visit) = 0;
+
+  /// Hints that the adjacency lists of `vertices` are about to be read
+  /// (the next BFS fringe).  Out-of-core backends may warm their caches;
+  /// grDB sorts the accesses by file offset to cut seek overhead — the
+  /// §4.2 future-work optimization.  Default: no-op.
+  virtual void prefetch(std::span<const VertexId> vertices) {
+    (void)vertices;
+  }
+
+  /// Called once after ingestion completes, before queries.  The Array
+  /// backend converts its ingest-time hash storage into CSR here; others
+  /// flush write buffers.
+  virtual void finalize_ingest() {}
+
+  /// Persists any buffered state.
+  virtual void flush() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Disk accounting (zeroes for in-memory backends).
+  [[nodiscard]] virtual IoStats io_stats() const { return {}; }
+
+  /// Direct access to the metadata store (the BFS analyses use it).
+  [[nodiscard]] MetadataStore& metadata_store() { return *metadata_; }
+
+ protected:
+  explicit GraphDB(std::unique_ptr<MetadataStore> metadata)
+      : metadata_(std::move(metadata)) {}
+
+  static bool metadata_matches(Metadata lhs, Metadata rhs, MetadataOp op);
+
+  std::unique_ptr<MetadataStore> metadata_;
+};
+
+/// Available backends — the six instances of chapter 4.
+enum class Backend {
+  kArray,       ///< in-memory CSR (§4.1.1)
+  kHashMap,     ///< in-memory hash of adjacency arrays (§4.1.2)
+  kRelational,  ///< MySQL stand-in: heap table + index (§4.1.3)
+  kKVStore,     ///< BerkeleyDB stand-in: B+tree of blobs (§4.1.4)
+  kStream,      ///< append-only edge log, scan-based (§4.1.5)
+  kGrDB,        ///< the proposed graph database (§4.1.6 / §3.4.1)
+};
+
+[[nodiscard]] std::string to_string(Backend backend);
+
+struct GraphDBConfig {
+  /// Node-local storage directory (ignored by in-memory backends).
+  std::filesystem::path dir;
+  /// Block/page cache budget for out-of-core backends.
+  std::size_t cache_bytes = 16u << 20;
+  /// Disable the block cache entirely (Figure 5.2's "without cache").
+  bool cache_enabled = true;
+  /// Use an external-memory metadata/visited store instead of in-memory
+  /// (Figures 5.8/5.9 discussion).
+  bool external_metadata = false;
+  /// Upper bound on vertex ids this node may see (sizes the external
+  /// metadata file and grDB's level 0; in-memory stores grow lazily).
+  VertexId max_vertices = 1u << 20;
+};
+
+/// Creates a backend instance.
+std::unique_ptr<GraphDB> make_graphdb(Backend backend,
+                                      const GraphDBConfig& config);
+
+}  // namespace mssg

@@ -1,0 +1,41 @@
+#include "graphdb/grdb/format.hpp"
+
+namespace mssg::grdb {
+
+Geometry Geometry::standard() {
+  Geometry geo;
+  geo.levels = {
+      LevelSpec{2, 4096},      LevelSpec{4, 4096},     LevelSpec{16, 4096},
+      LevelSpec{256, 4096},    LevelSpec{4096, 32768},
+      LevelSpec{16384, 262144},
+  };
+  geo.max_file_bytes = 256u << 20;
+  geo.validate();
+  return geo;
+}
+
+void Geometry::validate() const {
+  if (levels.empty() || levels.size() > 6) {
+    throw UsageError("grDB: 1-6 levels supported (3 tag bits)");
+  }
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const auto& spec = levels[l];
+    if (spec.entries_per_subblock < 2) {
+      throw UsageError("grDB: sub-blocks need >= 2 entries");
+    }
+    if (l > 0 &&
+        spec.entries_per_subblock < 2 * levels[l - 1].entries_per_subblock) {
+      throw UsageError("grDB: d_l must be >= 2*d_{l-1}");
+    }
+    if (spec.block_bytes % spec.subblock_bytes() != 0 ||
+        spec.block_bytes < spec.subblock_bytes()) {
+      throw UsageError("grDB: block size must be a multiple of sub-block size");
+    }
+    if (max_file_bytes % spec.block_bytes != 0 ||
+        max_file_bytes < spec.block_bytes) {
+      throw UsageError("grDB: file size must be a multiple of block size");
+    }
+  }
+}
+
+}  // namespace mssg::grdb

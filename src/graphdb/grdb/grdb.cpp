@@ -1,0 +1,560 @@
+#include "graphdb/grdb/grdb.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/serial.hpp"
+
+namespace mssg {
+
+using grdb::EntryKind;
+
+namespace {
+constexpr std::uint64_t kMetaMagic = 0x4d535347'67724442ull;  // "MSSGgrDB"
+}
+
+// ---- SubblockRef -----------------------------------------------------------
+
+std::uint64_t GrDB::SubblockRef::get(std::uint64_t i) const {
+  std::uint64_t value;
+  std::memcpy(&value,
+              handle.data().data() + offset + i * grdb::kEntryBytes,
+              sizeof(value));
+  return value;
+}
+
+void GrDB::SubblockRef::set(std::uint64_t i, std::uint64_t value) {
+  std::memcpy(handle.mutable_data().data() + offset + i * grdb::kEntryBytes,
+              &value, sizeof(value));
+}
+
+// ---- Construction / persistence -------------------------------------------
+
+GrDB::GrDB(const GraphDBConfig& config,
+           std::unique_ptr<MetadataStore> metadata, GrDBOptions options)
+    : GraphDB(std::move(metadata)),
+      options_(std::move(options)),
+      dir_(config.dir),
+      cache_(config.cache_enabled ? config.cache_bytes : 0, &stats_) {
+  options_.geometry.validate();
+  const int level_count = options_.geometry.level_count();
+  levels_.resize(level_count);
+  for (int l = 0; l < level_count; ++l) {
+    Level& level = levels_[l];
+    level.spec = options_.geometry.levels[l];
+    level.store_id = cache_.register_store(
+        level.spec.block_bytes,
+        [this, l](std::uint64_t block, std::span<std::byte> out) {
+          Level& lvl = levels_[l];
+          if (block >= lvl.initialized.size() ||
+              !lvl.initialized.test(block)) {
+            // Block has never been written: every slot reads as empty.
+            std::memset(out.data(), 0xFF, out.size());
+            return;
+          }
+          const std::uint64_t n = options_.geometry.blocks_per_file(l);
+          ensure_file(l, block / n)
+              .read_at(lvl.spec.block_bytes * (block % n), out);
+        },
+        [this, l](std::uint64_t block, std::span<const std::byte> in) {
+          Level& lvl = levels_[l];
+          if (block >= lvl.initialized.size()) {
+            lvl.initialized.resize(block + 1);
+          }
+          lvl.initialized.set(block);
+          const std::uint64_t n = options_.geometry.blocks_per_file(l);
+          ensure_file(l, block / n)
+              .write_at(lvl.spec.block_bytes * (block % n), in);
+        });
+  }
+  if (std::filesystem::exists(dir_ / "grdb.meta")) load_meta();
+}
+
+GrDB::~GrDB() {
+  // Flush here (not in ~BlockCache) so write-backs run while the level
+  // file handles are still alive.
+  try {
+    flush();
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
+  }
+}
+
+File& GrDB::ensure_file(int level, std::uint64_t file_index) {
+  Level& lvl = levels_[level];
+  if (file_index >= lvl.files.size()) lvl.files.resize(file_index + 1);
+  if (!lvl.files[file_index]) {
+    const auto path = dir_ / ("level" + std::to_string(level) + "." +
+                              std::to_string(file_index) + ".dat");
+    lvl.files[file_index] =
+        std::make_unique<File>(File::open(path, &stats_));
+  }
+  return *lvl.files[file_index];
+}
+
+void GrDB::flush() {
+  cache_.flush();
+  if (any_data_) save_meta();
+}
+
+void GrDB::save_meta() {
+  ByteWriter writer;
+  writer.put_u64(kMetaMagic);
+  writer.put_u64(options_.geometry.max_file_bytes);
+  writer.put_u64(max_vertex_);
+  writer.put_u32(static_cast<std::uint32_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    writer.put_u64(level.spec.entries_per_subblock);
+    writer.put_u64(level.spec.block_bytes);
+    writer.put_u64(level.alloc);
+    writer.put_vector(level.free_list);
+    // Initialized-block bitmap, as a varint extent + raw test per block.
+    writer.put_varint(level.initialized.size());
+    std::vector<std::uint8_t> bits((level.initialized.size() + 7) / 8, 0);
+    for (std::size_t b = 0; b < level.initialized.size(); ++b) {
+      if (level.initialized.test(b)) bits[b / 8] |= std::uint8_t(1u << (b % 8));
+    }
+    writer.put_vector(bits);
+  }
+  const auto bytes = writer.take();
+  File meta = File::open(dir_ / "grdb.meta", &stats_);
+  meta.truncate(0);
+  meta.write_at(0, bytes);
+}
+
+void GrDB::load_meta() {
+  File meta = File::open_readonly(dir_ / "grdb.meta", &stats_);
+  std::vector<std::byte> bytes(meta.size());
+  meta.read_at(0, bytes);
+  ByteReader reader(bytes);
+  if (reader.get_u64() != kMetaMagic) {
+    throw StorageError("grDB: bad meta file magic");
+  }
+  if (reader.get_u64() != options_.geometry.max_file_bytes) {
+    throw StorageError("grDB: geometry mismatch (max file size)");
+  }
+  max_vertex_ = reader.get_u64();
+  const auto level_count = reader.get_u32();
+  if (level_count != levels_.size()) {
+    throw StorageError("grDB: geometry mismatch (level count)");
+  }
+  for (auto& level : levels_) {
+    if (reader.get_u64() != level.spec.entries_per_subblock ||
+        reader.get_u64() != level.spec.block_bytes) {
+      throw StorageError("grDB: geometry mismatch (level spec)");
+    }
+    level.alloc = reader.get_u64();
+    level.free_list = reader.get_vector<std::uint64_t>();
+    const auto extent = reader.get_varint();
+    const auto bits = reader.get_vector<std::uint8_t>();
+    level.initialized.resize(extent);
+    for (std::uint64_t b = 0; b < extent; ++b) {
+      if ((bits[b / 8] >> (b % 8)) & 1) level.initialized.set(b);
+    }
+  }
+  any_data_ = true;
+}
+
+// ---- Sub-block management --------------------------------------------------
+
+GrDB::SubblockRef GrDB::pin_subblock(int level, std::uint64_t subblock) {
+  const auto addr = grdb::locate(options_.geometry, level, subblock);
+  SubblockRef ref;
+  ref.handle = cache_.get(levels_[level].store_id, addr.block);
+  ref.offset = addr.block_offset;
+  ref.entries = levels_[level].spec.entries_per_subblock;
+  return ref;
+}
+
+std::uint64_t GrDB::allocate_subblock(int level) {
+  MSSG_CHECK(level >= 1 && level < static_cast<int>(levels_.size()));
+  Level& lvl = levels_[level];
+  std::uint64_t subblock;
+  if (!lvl.free_list.empty()) {
+    subblock = lvl.free_list.back();
+    lvl.free_list.pop_back();
+  } else {
+    subblock = lvl.alloc++;
+  }
+  // Fresh sub-blocks start all-empty (a recycled one may hold stale data).
+  SubblockRef ref = pin_subblock(level, subblock);
+  std::memset(ref.handle.mutable_data().data() + ref.offset, 0xFF,
+              lvl.spec.subblock_bytes());
+  return subblock;
+}
+
+void GrDB::release_subblock(int level, std::uint64_t subblock) {
+  MSSG_CHECK(level >= 1 && level < static_cast<int>(levels_.size()));
+  levels_[level].free_list.push_back(subblock);
+}
+
+// ---- Chain walking ---------------------------------------------------------
+
+std::pair<int, std::uint64_t> GrDB::find_tail(
+    VertexId v, std::vector<std::pair<int, std::uint64_t>>* track) {
+  int level = 0;
+  std::uint64_t subblock = v;
+  while (true) {
+    if (track != nullptr) track->emplace_back(level, subblock);
+    SubblockRef ref = pin_subblock(level, subblock);
+    const std::uint64_t last = ref.get(ref.entries - 1);
+    if (grdb::classify(last) != EntryKind::kPointer) return {level, subblock};
+    level = grdb::pointer_level(last);
+    subblock = grdb::pointer_subblock(last);
+  }
+}
+
+std::vector<std::pair<int, std::uint64_t>> GrDB::chain_of(VertexId v) {
+  std::vector<std::pair<int, std::uint64_t>> chain;
+  find_tail(v, &chain);
+  return chain;
+}
+
+std::uint64_t GrDB::allocated_subblocks(int level) const {
+  MSSG_CHECK(level >= 0 && level < static_cast<int>(levels_.size()));
+  if (level == 0) return any_data_ ? max_vertex_ + 1 : 0;
+  return levels_[level].alloc;
+}
+
+// ---- Reads -----------------------------------------------------------------
+
+void GrDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  if (!any_data_ || v > max_vertex_) {
+    // Nothing was ever stored at/above this id on this node; level-0
+    // space beyond the extent is untouched (reads as empty anyway).
+    if (!any_data_) return;
+  }
+  int level = 0;
+  std::uint64_t subblock = v;
+  while (true) {
+    SubblockRef ref = pin_subblock(level, subblock);
+    bool done = true;
+    for (std::uint64_t i = 0; i < ref.entries; ++i) {
+      const std::uint64_t entry = ref.get(i);
+      switch (grdb::classify(entry)) {
+        case EntryKind::kVertex:
+          out.push_back(grdb::entry_vertex(entry));
+          break;
+        case EntryKind::kEmpty:
+          return;  // slots are filled left-to-right; first empty ends it
+        case EntryKind::kPointer:
+          level = grdb::pointer_level(entry);
+          subblock = grdb::pointer_subblock(entry);
+          done = false;
+          i = ref.entries;  // break the for; continue outer loop
+          break;
+      }
+    }
+    if (done) return;
+  }
+}
+
+void GrDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
+  if (!any_data_) return;
+  for (VertexId v = 0; v <= max_vertex_; ++v) {
+    SubblockRef ref = pin_subblock(0, v);
+    if (grdb::classify(ref.get(0)) == EntryKind::kEmpty) continue;
+    if (!visit(v)) return;
+  }
+}
+
+void GrDB::prefetch(std::span<const VertexId> vertices) {
+  if (!any_data_) return;
+  // Distinct level-0 blocks, ascending => file offsets ascending.
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(vertices.size());
+  const std::uint64_t k0 = levels_[0].spec.subblocks_per_block();
+  for (const VertexId v : vertices) {
+    if (v <= max_vertex_) blocks.push_back(v / k0);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  for (const std::uint64_t block : blocks) {
+    BlockHandle handle = cache_.get(levels_[0].store_id, block);
+  }
+}
+
+// ---- Writes ----------------------------------------------------------------
+
+void GrDB::store_edges(std::span<const Edge> edges) {
+  // Batch by source: one chain walk per distinct vertex per batch.
+  std::unordered_map<VertexId, std::vector<VertexId>> by_source;
+  for (const auto& e : edges) {
+    MSSG_CHECK(e.src <= kMaxVertexId && e.dst <= kMaxVertexId);
+    by_source[e.src].push_back(e.dst);
+  }
+  for (const auto& [src, neighbors] : by_source) append(src, neighbors);
+}
+
+void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
+  if (neighbors.empty()) return;
+  any_data_ = true;
+  max_vertex_ = std::max(max_vertex_, v);
+  const int last_level = static_cast<int>(levels_.size()) - 1;
+
+  // Walk to the tail, remembering the parent sub-block for copy-up mode.
+  int prev_level = -1;
+  std::uint64_t prev_subblock = 0;
+  int level = 0;
+  std::uint64_t subblock = v;
+  while (true) {
+    SubblockRef ref = pin_subblock(level, subblock);
+    const std::uint64_t last = ref.get(ref.entries - 1);
+    if (grdb::classify(last) != EntryKind::kPointer) break;
+    prev_level = level;
+    prev_subblock = subblock;
+    level = grdb::pointer_level(last);
+    subblock = grdb::pointer_subblock(last);
+  }
+
+  SubblockRef ref = pin_subblock(level, subblock);
+  std::uint64_t d = ref.entries;
+  // First empty slot; d means the sub-block is completely full.
+  std::uint64_t idx = 0;
+  while (idx < d && grdb::classify(ref.get(idx)) != EntryKind::kEmpty) ++idx;
+
+  std::size_t pos = 0;
+  while (pos < neighbors.size()) {
+    if (idx + 1 < d) {
+      ref.set(idx++, grdb::make_vertex_entry(neighbors[pos++]));
+      continue;
+    }
+    if (idx == d - 1 && pos + 1 == neighbors.size()) {
+      // Exactly one neighbor left: it may occupy the final slot (a full
+      // sub-block without a pointer is a valid chain tail).
+      ref.set(idx++, grdb::make_vertex_entry(neighbors[pos++]));
+      continue;
+    }
+
+    // The sub-block overflows.  Either link to a fresh sub-block at the
+    // next level, or (copy-up mode, levels >= 1) migrate this sub-block's
+    // contents up and retarget the parent pointer.
+    const int next_level = std::min(level + 1, last_level);
+
+    if (options_.growth == GrDBGrowth::kCopyUp && level >= 1 &&
+        level < last_level) {
+      const std::uint64_t new_subblock = allocate_subblock(next_level);
+      SubblockRef new_ref = pin_subblock(next_level, new_subblock);
+      for (std::uint64_t i = 0; i < idx; ++i) new_ref.set(i, ref.get(i));
+      MSSG_CHECK(prev_level >= 0);
+      SubblockRef parent = pin_subblock(prev_level, prev_subblock);
+      parent.set(parent.entries - 1,
+                 grdb::make_pointer_entry(next_level, new_subblock));
+      release_subblock(level, subblock);
+      level = next_level;
+      subblock = new_subblock;
+      ref = std::move(new_ref);
+      // idx (fill count) carries over; capacity grew, so filling resumes.
+      d = ref.entries;
+      continue;
+    }
+
+    // Link mode (also used at level 0, which is the fixed chain root, and
+    // at the maximum level, where chains extend sideways).
+    std::uint64_t displaced = grdb::kEmptySlot;
+    if (idx == d) displaced = ref.get(d - 1);  // full: relocate last entry
+    const std::uint64_t new_subblock = allocate_subblock(next_level);
+    SubblockRef new_ref = pin_subblock(next_level, new_subblock);
+    ref.set(d - 1, grdb::make_pointer_entry(next_level, new_subblock));
+    prev_level = level;
+    prev_subblock = subblock;
+    level = next_level;
+    subblock = new_subblock;
+    ref = std::move(new_ref);
+    d = ref.entries;
+    idx = 0;
+    if (displaced != grdb::kEmptySlot) ref.set(idx++, displaced);
+  }
+}
+
+// ---- Verification ----------------------------------------------------------
+
+GrDB::VerifyReport GrDB::verify() {
+  VerifyReport report;
+  if (!any_data_) return report;
+
+  const int last_level = static_cast<int>(levels_.size()) - 1;
+  // Sub-blocks reachable from some chain, per level (level 0 excluded:
+  // it is directly addressed, never pointed at).
+  std::vector<std::unordered_set<std::uint64_t>> reachable(levels_.size());
+  auto complain = [&report](std::string message) {
+    if (report.errors.size() < 64) report.errors.push_back(std::move(message));
+  };
+
+  for (VertexId v = 0; v <= max_vertex_; ++v) {
+    int level = 0;
+    std::uint64_t subblock = v;
+    std::size_t hops = 0;
+    bool chain_counted = false;
+    // Generous bound: a sound chain cannot exceed one sub-block per level
+    // plus last-level extensions.
+    const std::size_t hop_limit =
+        levels_.size() + levels_[last_level].alloc + 1;
+    while (true) {
+      if (++hops > hop_limit) {
+        complain("vertex " + std::to_string(v) + ": chain exceeds " +
+                 std::to_string(hop_limit) + " sub-blocks (cycle?)");
+        break;
+      }
+      SubblockRef ref = pin_subblock(level, subblock);
+      bool saw_empty = false;
+      std::uint64_t next_subblock = 0;
+      int next_level = -1;
+      for (std::uint64_t i = 0; i < ref.entries; ++i) {
+        std::uint64_t entry;
+        try {
+          entry = ref.get(i);
+          switch (grdb::classify(entry)) {
+            case EntryKind::kVertex:
+              if (saw_empty) {
+                complain("vertex " + std::to_string(v) +
+                         ": entry after empty slot at level " +
+                         std::to_string(level));
+              }
+              ++report.entries;
+              if (!chain_counted) {
+                ++report.chains_checked;
+                chain_counted = true;
+              }
+              break;
+            case EntryKind::kEmpty:
+              saw_empty = true;
+              break;
+            case EntryKind::kPointer: {
+              if (i + 1 != ref.entries) {
+                complain("vertex " + std::to_string(v) +
+                         ": pointer not in last slot");
+              }
+              next_level = grdb::pointer_level(entry);
+              next_subblock = grdb::pointer_subblock(entry);
+              if (next_level > last_level) {
+                complain("vertex " + std::to_string(v) +
+                         ": pointer to level beyond geometry");
+                next_level = -1;
+              } else if (next_subblock >= levels_[next_level].alloc) {
+                complain("vertex " + std::to_string(v) +
+                         ": pointer past allocated extent of level " +
+                         std::to_string(next_level));
+                next_level = -1;
+              } else if (!reachable[next_level].insert(next_subblock)
+                              .second) {
+                complain("sub-block " + std::to_string(next_subblock) +
+                         " at level " + std::to_string(next_level) +
+                         " reachable from two chains");
+                next_level = -1;
+              }
+              break;
+            }
+          }
+        } catch (const Error& e) {
+          complain("vertex " + std::to_string(v) + ": " + e.what());
+          next_level = -1;
+          break;
+        }
+      }
+      if (next_level < 0) break;
+      level = next_level;
+      subblock = next_subblock;
+    }
+  }
+
+  // Free-listed sub-blocks must not be reachable.
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    for (const auto free_sb : levels_[l].free_list) {
+      if (reachable[l].contains(free_sb)) {
+        complain("sub-block " + std::to_string(free_sb) + " at level " +
+                 std::to_string(l) + " is both free and reachable");
+      }
+    }
+  }
+  return report;
+}
+
+// ---- Defragmentation -------------------------------------------------------
+
+namespace {
+/// The optimal (copy-up) chain shape for a given degree: the level-0 root
+/// links directly to the smallest single sub-block that holds the rest —
+/// intermediate levels vanish, exactly what repeated copy-up produces.
+/// Degrees beyond the top level extend sideways at the top level.
+std::vector<int> optimal_levels(std::uint64_t degree,
+                                const grdb::Geometry& geo) {
+  std::vector<int> seq{0};
+  const int last = geo.level_count() - 1;
+  const std::uint64_t d0 = geo.levels[0].entries_per_subblock;
+  if (degree <= d0) return seq;
+  std::uint64_t remaining = degree - (d0 - 1);
+  for (int l = 1; l <= last; ++l) {
+    if (geo.levels[l].entries_per_subblock >= remaining) {
+      seq.push_back(l);
+      return seq;
+    }
+  }
+  const std::uint64_t d_last = geo.levels[last].entries_per_subblock;
+  while (true) {
+    seq.push_back(last);
+    if (remaining <= d_last) return seq;
+    remaining -= d_last - 1;
+  }
+}
+}  // namespace
+
+std::uint64_t GrDB::defragment() {
+  if (!any_data_) return 0;
+  std::uint64_t rewritten = 0;
+  std::vector<VertexId> neighbors;
+  std::vector<std::pair<int, std::uint64_t>> chain;
+
+  for (VertexId v = 0; v <= max_vertex_; ++v) {
+    chain.clear();
+    find_tail(v, &chain);
+    if (chain.size() <= 1) continue;
+
+    neighbors.clear();
+    get_adjacency(v, neighbors);
+
+    // Already optimal?  Compare the level sequences.
+    const auto target = optimal_levels(neighbors.size(), options_.geometry);
+    bool optimal = target.size() == chain.size();
+    for (std::size_t i = 0; optimal && i < chain.size(); ++i) {
+      optimal = chain[i].first == target[i];
+    }
+    if (optimal) continue;
+
+    // Recycle the old chain (all but the fixed level-0 root)...
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      release_subblock(chain[i].first, chain[i].second);
+    }
+
+    // ...and write the compact chain along the optimal level sequence.
+    std::uint64_t subblock = v;
+    std::size_t pos = 0;
+    for (std::size_t step = 0; step < target.size(); ++step) {
+      const int level = target[step];
+      SubblockRef ref = pin_subblock(level, subblock);
+      const std::uint64_t d = ref.entries;
+      std::memset(ref.handle.mutable_data().data() + ref.offset, 0xFF,
+                  levels_[level].spec.subblock_bytes());
+      if (step + 1 == target.size()) {
+        const std::uint64_t remaining = neighbors.size() - pos;
+        MSSG_CHECK(remaining <= d);
+        for (std::uint64_t i = 0; i < remaining; ++i) {
+          ref.set(i, grdb::make_vertex_entry(neighbors[pos++]));
+        }
+      } else {
+        for (std::uint64_t i = 0; i < d - 1; ++i) {
+          ref.set(i, grdb::make_vertex_entry(neighbors[pos++]));
+        }
+        const int next_level = target[step + 1];
+        const std::uint64_t next_subblock = allocate_subblock(next_level);
+        ref.set(d - 1, grdb::make_pointer_entry(next_level, next_subblock));
+        subblock = next_subblock;
+      }
+    }
+    ++rewritten;
+  }
+  return rewritten;
+}
+
+}  // namespace mssg

@@ -1,0 +1,44 @@
+// In-memory hash-map backend — §4.1.2's second variant: "storing the
+// adjacency lists of each vertex separately and using a hash
+// data-structure to store and retrieve the pointers to those adjacency
+// lists".  Grows dynamically during ingestion; every adjacency access
+// pays one hash lookup, which is what separates it from Array in the
+// search figures.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graphdb/graphdb.hpp"
+
+namespace mssg {
+
+class HashMapDB final : public GraphDB {
+ public:
+  explicit HashMapDB(std::unique_ptr<MetadataStore> metadata)
+      : GraphDB(std::move(metadata)) {}
+
+  void store_edges(std::span<const Edge> edges) override {
+    for (const auto& e : edges) adjacency_[e.src].push_back(e.dst);
+  }
+
+  void get_adjacency(VertexId v, std::vector<VertexId>& out) override {
+    auto it = adjacency_.find(v);
+    if (it != adjacency_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  void for_each_vertex(const std::function<bool(VertexId)>& visit) override {
+    for (const auto& [v, neighbors] : adjacency_) {
+      if (!neighbors.empty() && !visit(v)) return;
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "HashMap"; }
+
+ private:
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+};
+
+}  // namespace mssg

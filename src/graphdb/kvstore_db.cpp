@@ -1,0 +1,36 @@
+#include "graphdb/kvstore_db.hpp"
+
+#include <unordered_map>
+
+namespace mssg {
+
+namespace {
+constexpr std::size_t kPageBytes = 4096;
+}
+
+KVStoreDB::KVStoreDB(const GraphDBConfig& config,
+                     std::unique_ptr<MetadataStore> metadata)
+    : GraphDB(std::move(metadata)),
+      pager_(config.dir / "kvstore.db", kPageBytes,
+             config.cache_enabled ? config.cache_bytes : 0, &stats_),
+      tree_(pager_),
+      backend_(tree_),
+      chunks_(backend_) {}
+
+void KVStoreDB::store_edges(std::span<const Edge> edges) {
+  // Group the batch by source so each vertex pays one read-modify-write
+  // per batch rather than per edge (the thesis' "blocking" mitigation).
+  std::unordered_map<VertexId, std::vector<VertexId>> by_source;
+  for (const auto& e : edges) by_source[e.src].push_back(e.dst);
+  for (const auto& [src, neighbors] : by_source) {
+    chunks_.append(src, neighbors);
+  }
+}
+
+void KVStoreDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  chunks_.read(v, out);
+}
+
+void KVStoreDB::flush() { pager_.flush(); }
+
+}  // namespace mssg

@@ -1,0 +1,64 @@
+#include "graphdb/metadata_store.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+ExternalMetadata::ExternalMetadata(const std::filesystem::path& path,
+                                   VertexId max_vertices,
+                                   std::size_t cache_bytes, IoStats* stats)
+    : file_(File::open(path, stats)),
+      cache_(cache_bytes, stats),
+      max_vertices_(max_vertices) {
+  store_id_ = cache_.register_store(
+      kPageBytes,
+      [this](std::uint64_t block, std::span<std::byte> out) {
+        file_.read_at(block * kPageBytes, out);
+      },
+      [this](std::uint64_t block, std::span<const std::byte> in) {
+        file_.write_at(block * kPageBytes, in);
+      });
+}
+
+Metadata ExternalMetadata::get(VertexId v) {
+  MSSG_CHECK(v < max_vertices_);
+  auto handle = cache_.get(store_id_, page_of(v));
+  auto data = handle.data();
+  Metadata stamp;
+  std::memcpy(&stamp, data.data() + kPerPage * sizeof(Metadata),
+              sizeof(stamp));
+  if (stamp != generation_) return fill_;
+  Metadata value;
+  std::memcpy(&value, data.data() + (v % kPerPage) * sizeof(Metadata),
+              sizeof(value));
+  return value;
+}
+
+void ExternalMetadata::set(VertexId v, Metadata value) {
+  MSSG_CHECK(v < max_vertices_);
+  auto handle = cache_.get(store_id_, page_of(v));
+  auto data = handle.mutable_data();
+  Metadata stamp;
+  std::memcpy(&stamp, data.data() + kPerPage * sizeof(Metadata),
+              sizeof(stamp));
+  if (stamp != generation_) {
+    // First touch since the last clear(): initialise the page to fill.
+    for (std::size_t i = 0; i < kPerPage; ++i) {
+      std::memcpy(data.data() + i * sizeof(Metadata), &fill_,
+                  sizeof(Metadata));
+    }
+    std::memcpy(data.data() + kPerPage * sizeof(Metadata), &generation_,
+                sizeof(generation_));
+  }
+  std::memcpy(data.data() + (v % kPerPage) * sizeof(Metadata), &value,
+              sizeof(value));
+}
+
+void ExternalMetadata::clear(Metadata fill) {
+  fill_ = fill;
+  ++generation_;  // outdates every page's stamp — O(1) reset
+}
+
+}  // namespace mssg

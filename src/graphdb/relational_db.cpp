@@ -1,0 +1,135 @@
+#include "graphdb/relational_db.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+
+// Simulated MySQL row: a generic header precedes the three columns
+// (vertex BIGINT, chunk INT, blob).  The header mirrors the bookkeeping a
+// relational engine stores per row: format tag, column count, null
+// bitmap, and a length word per column.
+//   [format u16][columns u16][null_bitmap u32]
+//   [len(vertex) u32][len(chunk) u32][len(blob) u32]
+//   [vertex u64][chunk u32][blob bytes]
+constexpr std::size_t kRowHeaderBytes = 2 + 2 + 4 + 3 * 4;
+constexpr std::uint16_t kRowFormat = 0x4d01;  // "MySQL-ish row v1"
+
+std::vector<std::byte> encode_row(VertexId v, std::uint32_t chunk,
+                                  std::span<const std::byte> blob) {
+  std::vector<std::byte> row(kRowHeaderBytes + 8 + 4 + blob.size());
+  std::size_t off = 0;
+  auto put = [&](const auto& value) {
+    std::memcpy(row.data() + off, &value, sizeof(value));
+    off += sizeof(value);
+  };
+  put(kRowFormat);
+  put(std::uint16_t{3});           // column count
+  put(std::uint32_t{0});           // null bitmap: nothing null
+  put(std::uint32_t{8});           // len(vertex)
+  put(std::uint32_t{4});           // len(chunk)
+  put(static_cast<std::uint32_t>(blob.size()));
+  put(v);
+  put(chunk);
+  std::memcpy(row.data() + off, blob.data(), blob.size());
+  return row;
+}
+
+std::vector<std::byte> decode_blob(std::span<const std::byte> row, VertexId v,
+                                   std::uint32_t chunk) {
+  MSSG_CHECK(row.size() >= kRowHeaderBytes + 12);
+  std::uint16_t format;
+  std::memcpy(&format, row.data(), sizeof(format));
+  if (format != kRowFormat) {
+    throw StorageError("relational: row format corrupted");
+  }
+  std::uint32_t blob_len;
+  std::memcpy(&blob_len, row.data() + 16, sizeof(blob_len));
+  VertexId row_v;
+  std::memcpy(&row_v, row.data() + kRowHeaderBytes, sizeof(row_v));
+  std::uint32_t row_chunk;
+  std::memcpy(&row_chunk, row.data() + kRowHeaderBytes + 8,
+              sizeof(row_chunk));
+  if (row_v != v || row_chunk != chunk) {
+    throw StorageError("relational: index row points at wrong record");
+  }
+  MSSG_CHECK(kRowHeaderBytes + 12 + blob_len <= row.size());
+  std::vector<std::byte> blob(blob_len);
+  std::memcpy(blob.data(), row.data() + kRowHeaderBytes + 12, blob_len);
+  return blob;
+}
+
+std::vector<std::byte> encode_rowid(RowId id) {
+  std::vector<std::byte> bytes(sizeof(PageId) + sizeof(std::uint16_t));
+  std::memcpy(bytes.data(), &id.page, sizeof(id.page));
+  std::memcpy(bytes.data() + sizeof(id.page), &id.slot, sizeof(id.slot));
+  return bytes;
+}
+
+RowId decode_rowid(std::span<const std::byte> bytes) {
+  MSSG_CHECK(bytes.size() == sizeof(PageId) + sizeof(std::uint16_t));
+  RowId id;
+  std::memcpy(&id.page, bytes.data(), sizeof(id.page));
+  std::memcpy(&id.slot, bytes.data() + sizeof(id.page), sizeof(id.slot));
+  return id;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::byte>> RelationalDB::Backend::get_chunk(
+    VertexId v, std::uint32_t chunk) {
+  // Index probe...
+  auto rowid_bytes = index_.get(BTreeKey{v, chunk});
+  if (!rowid_bytes) return std::nullopt;
+  // ...then heap fetch (the double indirection MySQL pays).
+  const auto row = heap_.read(decode_rowid(*rowid_bytes));
+  return decode_blob(row, v, chunk);
+}
+
+void RelationalDB::Backend::put_chunk(VertexId v, std::uint32_t chunk,
+                                      std::span<const std::byte> data) {
+  const auto row = encode_row(v, chunk, data);
+  auto rowid_bytes = index_.get(BTreeKey{v, chunk});
+  if (rowid_bytes) {
+    const RowId old_id = decode_rowid(*rowid_bytes);
+    const RowId new_id = heap_.update(old_id, row);
+    if (!(new_id == old_id)) {
+      index_.put(BTreeKey{v, chunk}, encode_rowid(new_id));
+    }
+  } else {
+    const RowId id = heap_.insert(row);
+    index_.put(BTreeKey{v, chunk}, encode_rowid(id));
+  }
+}
+
+RelationalDB::RelationalDB(const GraphDBConfig& config,
+                           std::unique_ptr<MetadataStore> metadata)
+    : GraphDB(std::move(metadata)),
+      pager_(config.dir / "relational.db", kPageBytes,
+             config.cache_enabled ? config.cache_bytes : 0, &stats_),
+      index_(pager_, /*meta_base=*/0),
+      heap_(pager_, /*meta_base=*/2),
+      backend_(index_, heap_),
+      chunks_(backend_) {}
+
+void RelationalDB::store_edges(std::span<const Edge> edges) {
+  std::unordered_map<VertexId, std::vector<VertexId>> by_source;
+  for (const auto& e : edges) by_source[e.src].push_back(e.dst);
+  for (const auto& [src, neighbors] : by_source) {
+    chunks_.append(src, neighbors);
+  }
+}
+
+void RelationalDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  chunks_.read(v, out);
+}
+
+void RelationalDB::flush() { pager_.flush(); }
+
+}  // namespace mssg

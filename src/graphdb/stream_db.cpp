@@ -1,0 +1,71 @@
+#include "graphdb/stream_db.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+StreamDB::StreamDB(const GraphDBConfig& config,
+                   std::unique_ptr<MetadataStore> metadata)
+    : GraphDB(std::move(metadata)),
+      log_(File::open(config.dir / "stream.log", &stats_)) {
+  log_bytes_ = log_.size();
+  write_buffer_.reserve(kWriteBufferEdges);
+}
+
+void StreamDB::store_edges(std::span<const Edge> edges) {
+  for (const auto& e : edges) {
+    write_buffer_.push_back(e);
+    if (write_buffer_.size() >= kWriteBufferEdges) flush();
+  }
+}
+
+void StreamDB::flush() {
+  if (write_buffer_.empty()) return;
+  const auto bytes = std::as_bytes(std::span(write_buffer_));
+  log_.write_at(log_bytes_, bytes);
+  log_bytes_ += bytes.size();
+  write_buffer_.clear();
+}
+
+void StreamDB::scan(const std::function<void(const Edge&)>& visit) {
+  flush();
+  std::vector<std::byte> buffer(kScanBufferBytes);
+  std::uint64_t offset = 0;
+  while (offset < log_bytes_) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buffer.size(), log_bytes_ - offset));
+    log_.read_at(offset, std::span(buffer.data(), n));
+    MSSG_CHECK(n % sizeof(Edge) == 0);
+    const auto* edges = reinterpret_cast<const Edge*>(buffer.data());
+    const std::size_t count = n / sizeof(Edge);
+    for (std::size_t i = 0; i < count; ++i) visit(edges[i]);
+    offset += n;
+  }
+}
+
+void StreamDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  scan([&](const Edge& e) {
+    if (e.src == v) out.push_back(e.dst);
+  });
+}
+
+void StreamDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
+  std::unordered_set<VertexId> sources;
+  scan([&](const Edge& e) { sources.insert(e.src); });
+  for (const VertexId v : sources) {
+    if (!visit(v)) return;
+  }
+}
+
+void StreamDB::get_adjacency_batch(
+    std::span<const VertexId> fringe,
+    std::unordered_map<VertexId, std::vector<VertexId>>& out) {
+  const std::unordered_set<VertexId> wanted(fringe.begin(), fringe.end());
+  scan([&](const Edge& e) {
+    if (wanted.contains(e.src)) out[e.src].push_back(e.dst);
+  });
+}
+
+}  // namespace mssg

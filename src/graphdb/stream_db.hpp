@@ -1,0 +1,59 @@
+// StreamDB — §4.1.5: "a basic streaming database which stores the edges
+// to disk as they are received ... No sorting or clustering of the edges
+// is performed", inspired by Active Disks [4].
+//
+// Ingestion is a buffered append of raw (src, dst) pairs — unrivalled
+// ingest speed in Figure 5.5.  Retrieval must scan the whole log, so
+// "any search algorithm which needs the adjacent vertices to another set
+// of vertices ... must post a request for all of the 'fringe' vertices
+// at once": get_adjacency_batch() is that API, and the BFS analysis
+// detects and uses it.  Single-vertex get_adjacency() works (a full scan
+// per call) to honour the GraphDB contract.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graphdb/graphdb.hpp"
+#include "storage/file.hpp"
+
+namespace mssg {
+
+class StreamDB final : public GraphDB {
+ public:
+  StreamDB(const GraphDBConfig& config,
+           std::unique_ptr<MetadataStore> metadata);
+
+  void store_edges(std::span<const Edge> edges) override;
+  void get_adjacency(VertexId v, std::vector<VertexId>& out) override;
+
+  /// One pass over the edge log, collecting the neighbors of every
+  /// fringe vertex.  Results append into `out[v]` for fringe vertices
+  /// that have at least one local neighbor.
+  void get_adjacency_batch(
+      std::span<const VertexId> fringe,
+      std::unordered_map<VertexId, std::vector<VertexId>>& out);
+
+  /// One full log scan collecting distinct sources.
+  void for_each_vertex(const std::function<bool(VertexId)>& visit) override;
+
+  void flush() override;
+  void finalize_ingest() override { flush(); }
+
+  [[nodiscard]] std::string name() const override { return "StreamDB"; }
+  [[nodiscard]] IoStats io_stats() const override { return stats_; }
+
+ private:
+  static constexpr std::size_t kWriteBufferEdges = 64 * 1024;
+  static constexpr std::size_t kScanBufferBytes = 1u << 20;
+
+  void scan(const std::function<void(const Edge&)>& visit);
+
+  IoStats stats_;
+  File log_;
+  std::uint64_t log_bytes_ = 0;
+  std::vector<Edge> write_buffer_;
+};
+
+}  // namespace mssg

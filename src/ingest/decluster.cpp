@@ -1,0 +1,102 @@
+#include "ingest/decluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+void VertexRoundRobinPartitioner::route(std::span<const Edge> block,
+                                        std::span<Rank> targets) {
+  MSSG_CHECK(targets.size() >= block.size());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    targets[i] = map_->get_or_assign(block[i].src, [this] {
+      return static_cast<Rank>(next_.fetch_add(1, std::memory_order_relaxed) %
+                               backends_);
+    });
+  }
+}
+
+namespace {
+/// Union-find over the vertices of one block (local, dense ids).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+}  // namespace
+
+void BlockClusterPartitioner::route(std::span<const Edge> block,
+                                    std::span<Rank> targets) {
+  MSSG_CHECK(targets.size() >= block.size());
+
+  // Dense-renumber the block's source vertices.
+  std::unordered_map<VertexId, std::size_t> local;
+  local.reserve(block.size() * 2);
+  auto local_id = [&](VertexId v) {
+    auto [it, inserted] = local.try_emplace(v, local.size());
+    return it->second;
+  };
+  for (const auto& e : block) {
+    local_id(e.src);
+    local_id(e.dst);
+  }
+
+  // Group the block by connectivity.
+  UnionFind groups(local.size());
+  for (const auto& e : block) {
+    groups.unite(local_id(e.src), local_id(e.dst));
+  }
+
+  // Pick a target for each group: if any member is already assigned in
+  // the shared map, the group follows it (vertex granularity must be
+  // preserved per-vertex; the group preference just improves locality for
+  // the still-unassigned members).  Fresh groups go to the least-loaded
+  // node.
+  std::unordered_map<std::size_t, Rank> group_target;
+  std::vector<std::pair<VertexId, std::size_t>> by_vertex(local.begin(),
+                                                          local.end());
+  for (const auto& [v, lid] : by_vertex) {
+    if (auto owner = map_->lookup(v)) {
+      group_target.try_emplace(groups.find(lid), *owner);
+    }
+  }
+
+  std::lock_guard lock(load_mutex_);
+  auto least_loaded = [&] {
+    return static_cast<Rank>(
+        std::min_element(load_.begin(), load_.end()) - load_.begin());
+  };
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const VertexId src = block[i].src;
+    const std::size_t root = groups.find(local.at(src));
+    auto group_it = group_target.find(root);
+    const Rank preferred =
+        group_it != group_target.end() ? group_it->second : least_loaded();
+    group_target.try_emplace(root, preferred);
+    // The per-vertex assignment still wins (a vertex may have been
+    // assigned by an earlier block on another front-end).
+    const Rank owner =
+        map_->get_or_assign(src, [preferred] { return preferred; });
+    targets[i] = owner;
+    ++load_[owner];
+  }
+}
+
+}  // namespace mssg

@@ -1,0 +1,144 @@
+// Clustering/declustering policies of the Ingestion service (§3.2).
+//
+// A partitioner maps each edge of an incoming block to a back-end
+// storage node.  "MSSG provides a customizable interface for developing
+// clustering and declustering techniques.  By default, the MSSG framework
+// provides simple declustering techniques such as vertex- and edge-based
+// round-robin declustering."
+//
+// Vertex-granularity policies must route all edges of a vertex to one
+// node, so the vertex→node assignment is shared across front-end
+// ingestion nodes (SharedVertexMap).  The hash-mod policy makes that map
+// globally computable, which is the configuration the thesis' search
+// experiments leverage ("the vertex ownership knowledge was leveraged
+// during the search phase").
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+/// Thread-safe vertex→node assignment shared by all front-end nodes —
+/// the "summary information about the data that has been already
+/// clustered" of §3.2.
+class SharedVertexMap {
+ public:
+  /// Returns the owner of v, assigning `fallback()` on first sight.
+  template <typename F>
+  Rank get_or_assign(VertexId v, F&& fallback) {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = map_.try_emplace(v, Rank{-1});
+    if (inserted) it->second = fallback();
+    return it->second;
+  }
+
+  [[nodiscard]] std::optional<Rank> lookup(VertexId v) const {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(v);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<VertexId, Rank> map_;
+};
+
+/// Assigns each edge of a block to a back-end node.  route() fills
+/// `targets[i]` with the node for `block[i]`; called once per ingested
+/// window, so stateful policies see the stream in block granularity.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual void route(std::span<const Edge> block,
+                     std::span<Rank> targets) = 0;
+
+  /// Whether every rank can compute a vertex's owner locally (enables
+  /// the directed-send BFS; otherwise searches broadcast fringes).
+  [[nodiscard]] virtual bool globally_known_map() const { return false; }
+};
+
+/// Vertex granularity, globally known map: owner(v) = v mod p.  The
+/// default used in the experiments chapter.
+class HashModPartitioner final : public Partitioner {
+ public:
+  explicit HashModPartitioner(int backends) : backends_(backends) {}
+  void route(std::span<const Edge> block, std::span<Rank> targets) override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      targets[i] = static_cast<Rank>(block[i].src % backends_);
+    }
+  }
+  [[nodiscard]] bool globally_known_map() const override { return true; }
+
+ private:
+  int backends_;
+};
+
+/// Vertex granularity: first-seen vertices are assigned round-robin; all
+/// later edges of a vertex follow it (via the shared map).
+class VertexRoundRobinPartitioner final : public Partitioner {
+ public:
+  VertexRoundRobinPartitioner(int backends,
+                              std::shared_ptr<SharedVertexMap> map)
+      : backends_(backends), map_(std::move(map)) {}
+  void route(std::span<const Edge> block, std::span<Rank> targets) override;
+
+ private:
+  int backends_;
+  std::shared_ptr<SharedVertexMap> map_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Edge granularity: edges cycle through the back-ends independent of
+/// their endpoints; a vertex's adjacency list ends up spread over all
+/// nodes, so searches must broadcast their fringes.
+class EdgeRoundRobinPartitioner final : public Partitioner {
+ public:
+  explicit EdgeRoundRobinPartitioner(int backends) : backends_(backends) {}
+  void route(std::span<const Edge> block, std::span<Rank> targets) override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      targets[i] =
+          static_cast<Rank>(next_.fetch_add(1, std::memory_order_relaxed) %
+                            backends_);
+    }
+  }
+
+ private:
+  int backends_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Block-clustered vertex granularity (§3.2's windowed clustering):
+/// within each block, unassigned vertices are grouped by connectivity
+/// (union-find over the block's edges) and each group is placed on the
+/// currently least-loaded back-end, using the shared map + load summary.
+/// Keeps nearby vertices together while balancing node loads.
+class BlockClusterPartitioner final : public Partitioner {
+ public:
+  BlockClusterPartitioner(int backends, std::shared_ptr<SharedVertexMap> map)
+      : backends_(backends),
+        map_(std::move(map)),
+        load_(backends, 0) {}
+  void route(std::span<const Edge> block, std::span<Rank> targets) override;
+
+ private:
+  int backends_;
+  std::shared_ptr<SharedVertexMap> map_;
+  std::mutex load_mutex_;
+  std::vector<std::uint64_t> load_;  ///< edges assigned per back-end
+};
+
+}  // namespace mssg

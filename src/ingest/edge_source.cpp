@@ -1,0 +1,81 @@
+#include "ingest/edge_source.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+AsciiEdgeSource::AsciiEdgeSource(const std::filesystem::path& path)
+    : in_(path), path_(path) {
+  if (!in_) throw StorageError("cannot open edge list: " + path.string());
+}
+
+bool AsciiEdgeSource::next_block(std::size_t max_edges,
+                                 std::vector<Edge>& out) {
+  out.clear();
+  std::string line;
+  while (out.size() < max_edges && std::getline(in_, line)) {
+    ++line_;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const char* begin = line.data();
+    const char* end = line.data() + line.size();
+    Edge e;
+    auto [p1, ec1] = std::from_chars(begin, end, e.src);
+    while (p1 < end && (*p1 == ' ' || *p1 == '\t')) ++p1;
+    auto [p2, ec2] = std::from_chars(p1, end, e.dst);
+    if (ec1 != std::errc() || ec2 != std::errc()) {
+      throw FormatError("bad edge at " + path_.string() + ":" +
+                        std::to_string(line_) + ": '" + line + "'");
+    }
+    out.push_back(e);
+  }
+  return !out.empty();
+}
+
+BinaryEdgeSource::BinaryEdgeSource(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw StorageError("cannot open edge file: " + path.string());
+}
+
+bool BinaryEdgeSource::next_block(std::size_t max_edges,
+                                  std::vector<Edge>& out) {
+  out.resize(max_edges);
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(max_edges * sizeof(Edge)));
+  const auto bytes = static_cast<std::size_t>(in_.gcount());
+  MSSG_CHECK(bytes % sizeof(Edge) == 0);
+  out.resize(bytes / sizeof(Edge));
+  return !out.empty();
+}
+
+void write_ascii_edges(const std::filesystem::path& path,
+                       std::span<const Edge> edges) {
+  std::ofstream out(path);
+  if (!out) throw StorageError("cannot create " + path.string());
+  for (const auto& e : edges) out << e.src << ' ' << e.dst << '\n';
+}
+
+void write_binary_edges(const std::filesystem::path& path,
+                        std::span<const Edge> edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw StorageError("cannot create " + path.string());
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(edges.size() * sizeof(Edge)));
+}
+
+std::vector<std::span<const Edge>> shard_edges(std::span<const Edge> edges,
+                                               int shards) {
+  MSSG_CHECK(shards >= 1);
+  std::vector<std::span<const Edge>> result;
+  result.reserve(shards);
+  const std::size_t n = edges.size();
+  for (int i = 0; i < shards; ++i) {
+    const std::size_t begin = n * i / shards;
+    const std::size_t end = n * (i + 1) / shards;
+    result.push_back(edges.subspan(begin, end - begin));
+  }
+  return result;
+}
+
+}  // namespace mssg

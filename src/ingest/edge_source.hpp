@@ -1,0 +1,78 @@
+// Edge stream sources for the Ingestion service.  The thesis ingests
+// ASCII edge lists ("the output format is binary, while the input data is
+// ASCII"); both formats are supported, plus an in-memory source for
+// benches and tests.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+/// Pull-based edge stream.  next_block fills `out` with up to
+/// `max_edges` edges; returns false at end of stream (out left empty).
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+  virtual bool next_block(std::size_t max_edges, std::vector<Edge>& out) = 0;
+};
+
+/// Serves a slice of an in-memory edge vector.
+class VectorEdgeSource final : public EdgeSource {
+ public:
+  explicit VectorEdgeSource(std::span<const Edge> edges) : edges_(edges) {}
+
+  bool next_block(std::size_t max_edges, std::vector<Edge>& out) override {
+    out.clear();
+    if (pos_ >= edges_.size()) return false;
+    const std::size_t n = std::min(max_edges, edges_.size() - pos_);
+    out.assign(edges_.begin() + pos_, edges_.begin() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const Edge> edges_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses "src dst\n" ASCII lines.  Lines starting with '#' or '%' are
+/// comments.  Throws FormatError on malformed lines.
+class AsciiEdgeSource final : public EdgeSource {
+ public:
+  explicit AsciiEdgeSource(const std::filesystem::path& path);
+  bool next_block(std::size_t max_edges, std::vector<Edge>& out) override;
+
+ private:
+  std::ifstream in_;
+  std::filesystem::path path_;
+  std::size_t line_ = 0;
+};
+
+/// Reads the raw binary format produced by write_binary_edges.
+class BinaryEdgeSource final : public EdgeSource {
+ public:
+  explicit BinaryEdgeSource(const std::filesystem::path& path);
+  bool next_block(std::size_t max_edges, std::vector<Edge>& out) override;
+
+ private:
+  std::ifstream in_;
+};
+
+/// Writers for the two on-disk formats.
+void write_ascii_edges(const std::filesystem::path& path,
+                       std::span<const Edge> edges);
+void write_binary_edges(const std::filesystem::path& path,
+                        std::span<const Edge> edges);
+
+/// Splits a source's id range across `shards` front-end nodes: shard i
+/// serves edges [i*n/shards, (i+1)*n/shards) of `edges`.
+std::vector<std::span<const Edge>> shard_edges(std::span<const Edge> edges,
+                                               int shards);
+
+}  // namespace mssg

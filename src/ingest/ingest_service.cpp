@@ -1,0 +1,141 @@
+#include "ingest/ingest_service.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "runtime/filter.hpp"
+
+namespace mssg {
+
+double IngestReport::imbalance() const {
+  if (per_backend.empty()) return 1.0;
+  const auto [min_it, max_it] =
+      std::minmax_element(per_backend.begin(), per_backend.end());
+  if (*min_it == 0) return static_cast<double>(*max_it);
+  return static_cast<double>(*max_it) / static_cast<double>(*min_it);
+}
+
+namespace {
+
+std::vector<std::byte> pack_edges(std::span<const Edge> edges) {
+  std::vector<std::byte> buffer(edges.size() * sizeof(Edge));
+  if (!buffer.empty()) {
+    std::memcpy(buffer.data(), edges.data(), buffer.size());
+  }
+  return buffer;
+}
+
+std::span<const Edge> unpack_edges(std::span<const std::byte> buffer) {
+  MSSG_CHECK(buffer.size() % sizeof(Edge) == 0);
+  return {reinterpret_cast<const Edge*>(buffer.data()),
+          buffer.size() / sizeof(Edge)};
+}
+
+/// Front-end ingestion node: window the stream, partition, distribute.
+class FrontEndFilter final : public Filter {
+ public:
+  FrontEndFilter(std::vector<std::unique_ptr<EdgeSource>>& sources,
+                 Partitioner& partitioner, const IngestOptions& options)
+      : sources_(sources), partitioner_(partitioner), options_(options) {}
+
+  void run(FilterContext& ctx) override {
+    EdgeSource& source = *sources_[ctx.copy_index()];
+    const auto backends = ctx.output_width("edges");
+
+    std::vector<Edge> window;
+    std::vector<Edge> block;
+    std::vector<Rank> targets;
+    std::vector<std::vector<Edge>> outgoing(backends);
+
+    while (source.next_block(options_.window_edges, window)) {
+      // Build the routed block: undirected inputs contribute both
+      // orientations, each routed by its own source endpoint.
+      block.clear();
+      for (const auto& e : window) {
+        block.push_back(e);
+        if (options_.symmetrize) block.push_back(Edge{e.dst, e.src});
+      }
+      targets.assign(block.size(), 0);
+      partitioner_.route(block, targets);
+
+      for (auto& bucket : outgoing) bucket.clear();
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        MSSG_CHECK(targets[i] >= 0 &&
+                   static_cast<std::size_t>(targets[i]) < backends);
+        outgoing[targets[i]].push_back(block[i]);
+      }
+      for (std::size_t b = 0; b < backends; ++b) {
+        if (outgoing[b].empty()) continue;
+        ctx.output("edges", static_cast<int>(b)).put(pack_edges(outgoing[b]));
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<EdgeSource>>& sources_;
+  Partitioner& partitioner_;
+  const IngestOptions& options_;
+};
+
+/// Back-end storage node: drain edge blocks into the local GraphDB.
+class BackEndFilter final : public Filter {
+ public:
+  BackEndFilter(std::span<GraphDB* const> backends,
+                std::vector<std::uint64_t>& counts)
+      : backends_(backends), counts_(counts) {}
+
+  void run(FilterContext& ctx) override {
+    GraphDB& db = *backends_[ctx.copy_index()];
+    std::uint64_t count = 0;
+    while (auto buffer = ctx.input("edges").get()) {
+      const auto edges = unpack_edges(*buffer);
+      db.store_edges(edges);
+      count += edges.size();
+    }
+    db.finalize_ingest();
+    counts_[ctx.copy_index()] = count;
+  }
+
+ private:
+  std::span<GraphDB* const> backends_;
+  std::vector<std::uint64_t>& counts_;
+};
+
+}  // namespace
+
+IngestReport run_ingestion(std::vector<std::unique_ptr<EdgeSource>> sources,
+                           Partitioner& partitioner,
+                           std::span<GraphDB* const> backends,
+                           const IngestOptions& options) {
+  MSSG_CHECK(!sources.empty());
+  MSSG_CHECK(!backends.empty());
+
+  IngestReport report;
+  report.per_backend.assign(backends.size(), 0);
+
+  FilterGraph graph;
+  graph.add_filter(
+      "frontend",
+      [&] {
+        return std::make_unique<FrontEndFilter>(sources, partitioner, options);
+      },
+      static_cast<int>(sources.size()));
+  graph.add_filter(
+      "backend",
+      [&] {
+        return std::make_unique<BackEndFilter>(backends, report.per_backend);
+      },
+      static_cast<int>(backends.size()));
+  graph.connect("frontend", "edges", "backend", "edges",
+                options.stream_capacity);
+
+  Timer timer;
+  graph.run();
+  report.seconds = timer.seconds();
+  for (const auto n : report.per_backend) report.edges_stored += n;
+  return report;
+}
+
+}  // namespace mssg

@@ -1,0 +1,192 @@
+#include "mssg/mssg.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "graphdb/grdb/grdb.hpp"
+
+namespace mssg {
+
+MssgCluster::MssgCluster(ClusterConfig config)
+    : config_(std::move(config)), world_(config_.backend_nodes) {
+  MSSG_CHECK(config_.frontend_nodes >= 1);
+  MSSG_CHECK(config_.backend_nodes >= 1);
+
+  if (config_.storage_root.empty()) {
+    owned_root_.emplace("mssg-cluster");
+    config_.storage_root = owned_root_->path();
+  }
+
+  vertex_map_ = std::make_shared<SharedVertexMap>();
+  const int b = config_.backend_nodes;
+  switch (config_.decluster) {
+    case DeclusterPolicy::kHashMod:
+      partitioner_ = std::make_unique<HashModPartitioner>(b);
+      break;
+    case DeclusterPolicy::kVertexRoundRobin:
+      partitioner_ =
+          std::make_unique<VertexRoundRobinPartitioner>(b, vertex_map_);
+      break;
+    case DeclusterPolicy::kEdgeRoundRobin:
+      partitioner_ = std::make_unique<EdgeRoundRobinPartitioner>(b);
+      break;
+    case DeclusterPolicy::kBlockCluster:
+      partitioner_ =
+          std::make_unique<BlockClusterPartitioner>(b, vertex_map_);
+      break;
+  }
+
+  dbs_.reserve(b);
+  for (int node = 0; node < b; ++node) {
+    GraphDBConfig db_config = config_.db;
+    db_config.dir = config_.storage_root / ("node" + std::to_string(node));
+    dbs_.push_back(make_graphdb(config_.backend, db_config));
+  }
+}
+
+IngestReport MssgCluster::ingest(std::span<const Edge> edges) {
+  std::vector<std::unique_ptr<EdgeSource>> sources;
+  for (const auto shard : shard_edges(edges, config_.frontend_nodes)) {
+    sources.push_back(std::make_unique<VectorEdgeSource>(shard));
+  }
+  return ingest(std::move(sources));
+}
+
+IngestReport MssgCluster::ingest(
+    std::vector<std::unique_ptr<EdgeSource>> sources) {
+  MSSG_CHECK(static_cast<int>(sources.size()) == config_.frontend_nodes);
+  std::vector<GraphDB*> backends;
+  backends.reserve(dbs_.size());
+  for (const auto& db : dbs_) backends.push_back(db.get());
+  return run_ingestion(std::move(sources), *partitioner_, backends,
+                       config_.ingest);
+}
+
+ClusterQueryResult MssgCluster::bfs(VertexId src, VertexId dst,
+                                    BfsOptions options) {
+  if (!partitioner_->globally_known_map() &&
+      config_.decluster != DeclusterPolicy::kHashMod) {
+    // Vertex map is not globally computable: fall back to fringe
+    // broadcast unless the caller already asked for it.
+    options.map_known = false;
+  }
+
+  ClusterQueryResult result;
+  result.per_node.resize(config_.backend_nodes);
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    const BfsStats stats =
+        parallel_oocbfs(comm, *dbs_[comm.rank()], src, dst, options);
+    std::lock_guard lock(merge_mutex);
+    result.per_node[comm.rank()] = stats;
+    result.distance = stats.distance;  // globally consistent
+    result.levels = std::max(result.levels, stats.levels);
+    result.edges_scanned += stats.edges_scanned;
+    result.vertices_expanded += stats.vertices_expanded;
+    result.fringe_messages += stats.fringe_messages;
+    result.seconds = std::max(result.seconds, stats.seconds);
+  });
+  return result;
+}
+
+std::vector<double> MssgCluster::run_analysis(
+    const std::string& name, const std::vector<std::uint64_t>& params) {
+  std::vector<double> rank0;
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    auto result = queries_.run(name, comm, *dbs_[comm.rank()], params);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(merge_mutex);
+      rank0 = std::move(result);
+    }
+  });
+  return rank0;
+}
+
+KHopStats MssgCluster::khop(VertexId src, Metadata k, BfsOptions options) {
+  if (!partitioner_->globally_known_map() &&
+      config_.decluster != DeclusterPolicy::kHashMod) {
+    options.map_known = false;
+  }
+  KHopStats result;
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    const auto stats =
+        parallel_khop(comm, *dbs_[comm.rank()], src, k, options);
+    std::lock_guard lock(merge_mutex);
+    result.vertices_within = stats.vertices_within;  // globally consistent
+    result.edges_scanned += stats.edges_scanned;
+    result.seconds = std::max(result.seconds, stats.seconds);
+  });
+  return result;
+}
+
+ClusterQueryResult MssgCluster::bidirectional_bfs(VertexId src, VertexId dst,
+                                                  BfsOptions options) {
+  MSSG_CHECK(partitioner_->globally_known_map());
+  ClusterQueryResult result;
+  result.per_node.resize(config_.backend_nodes);
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    const BfsStats stats =
+        bidirectional_oocbfs(comm, *dbs_[comm.rank()], src, dst, options);
+    std::lock_guard lock(merge_mutex);
+    result.per_node[comm.rank()] = stats;
+    result.distance = stats.distance;
+    result.levels = std::max(result.levels, stats.levels);
+    result.edges_scanned += stats.edges_scanned;
+    result.vertices_expanded += stats.vertices_expanded;
+    result.fringe_messages += stats.fringe_messages;
+    result.seconds = std::max(result.seconds, stats.seconds);
+  });
+  return result;
+}
+
+DistributedGraphStats MssgCluster::graph_stats() {
+  DistributedGraphStats result;
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    const auto stats = parallel_graph_stats(comm, *dbs_[comm.rank()]);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(merge_mutex);
+      result = stats;  // globally consistent
+    }
+  });
+  return result;
+}
+
+CcStats MssgCluster::connected_components() {
+  MSSG_CHECK(partitioner_->globally_known_map());
+  CcStats result;
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    const auto stats =
+        parallel_connected_components(comm, *dbs_[comm.rank()]);
+    std::lock_guard lock(merge_mutex);
+    result.components = stats.components;  // globally consistent
+    result.vertices = stats.vertices;
+    result.iterations = std::max(result.iterations, stats.iterations);
+    result.edges_scanned += stats.edges_scanned;
+    result.seconds = std::max(result.seconds, stats.seconds);
+  });
+  return result;
+}
+
+std::uint64_t MssgCluster::defragment_all() {
+  std::uint64_t rewritten = 0;
+  for (auto& db : dbs_) {
+    if (auto* grdb = dynamic_cast<GrDB*>(db.get())) {
+      rewritten += grdb->defragment();
+    }
+  }
+  return rewritten;
+}
+
+IoStats MssgCluster::total_io() const {
+  IoStats total;
+  for (const auto& db : dbs_) total += db->io_stats();
+  return total;
+}
+
+}  // namespace mssg

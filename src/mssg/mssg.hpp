@@ -1,0 +1,120 @@
+// MssgCluster — the framework facade (Figure 3.1).
+//
+// Assembles a simulated MSSG deployment: F front-end ingestion nodes, B
+// back-end storage nodes (each a thread with a private GraphDB in its own
+// directory), the Ingestion service between them, and the Query service
+// running SPMD over the back-ends.  This is the class the examples and
+// benches drive; the individual services remain usable standalone.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "graphdb/graphdb.hpp"
+#include "ingest/decluster.hpp"
+#include "ingest/ingest_service.hpp"
+#include "query/bfs.hpp"
+#include "query/bidirectional_bfs.hpp"
+#include "query/connected_components.hpp"
+#include "query/graph_stats_analysis.hpp"
+#include "query/query_service.hpp"
+#include "runtime/comm.hpp"
+
+namespace mssg {
+
+enum class DeclusterPolicy {
+  kHashMod,           ///< vertex granularity, globally known map (default)
+  kVertexRoundRobin,  ///< vertex granularity, shared first-seen map
+  kEdgeRoundRobin,    ///< edge granularity (searches broadcast)
+  kBlockCluster,      ///< windowed connectivity clustering (§3.2)
+};
+
+struct ClusterConfig {
+  int frontend_nodes = 1;
+  int backend_nodes = 4;
+  Backend backend = Backend::kGrDB;
+  DeclusterPolicy decluster = DeclusterPolicy::kHashMod;
+  /// Storage root; one subdirectory per back-end node.  Empty = fresh
+  /// temp directory (removed with the cluster).
+  std::filesystem::path storage_root;
+  /// Template for per-node GraphDB configs (dir is overridden per node).
+  GraphDBConfig db;
+  IngestOptions ingest;
+};
+
+/// Aggregated result of one distributed query.
+struct ClusterQueryResult {
+  Metadata distance = kUnvisited;
+  std::uint64_t levels = 0;
+  std::uint64_t edges_scanned = 0;     ///< summed over nodes
+  std::uint64_t vertices_expanded = 0;
+  std::uint64_t fringe_messages = 0;
+  double seconds = 0;                  ///< max over nodes (wall time)
+  std::vector<BfsStats> per_node;      ///< rank-indexed raw stats
+};
+
+class MssgCluster {
+ public:
+  explicit MssgCluster(ClusterConfig config);
+
+  MssgCluster(const MssgCluster&) = delete;
+  MssgCluster& operator=(const MssgCluster&) = delete;
+
+  /// Streams an in-memory edge set through the Ingestion service,
+  /// sharding it across the front-end nodes.
+  IngestReport ingest(std::span<const Edge> edges);
+
+  /// Streams arbitrary sources (one per front-end node).
+  IngestReport ingest(std::vector<std::unique_ptr<EdgeSource>> sources);
+
+  /// Runs a distributed BFS over all back-end nodes.
+  ClusterQueryResult bfs(VertexId src, VertexId dst, BfsOptions options = {});
+
+  /// Runs any registered analysis; returns rank 0's result vector.
+  std::vector<double> run_analysis(const std::string& name,
+                                   const std::vector<std::uint64_t>& params);
+
+  /// Counts the distinct vertices within k hops of src.
+  KHopStats khop(VertexId src, Metadata k, BfsOptions options = {});
+
+  /// Bidirectional point-to-point search (meets in the middle; far fewer
+  /// edges scanned than bfs() on long paths).
+  ClusterQueryResult bidirectional_bfs(VertexId src, VertexId dst,
+                                       BfsOptions options = {});
+
+  /// Labels connected components across the cluster (requires the
+  /// default hash-mod declustering).
+  CcStats connected_components();
+
+  /// Global statistics of the stored graph (Table 5.1 columns).
+  DistributedGraphStats graph_stats();
+
+  /// Runs grDB's offline defragmentation on every back-end node (no-op
+  /// for other backends).  Returns total chains rewritten — the "idle
+  /// time" compaction pass of §3.4.1.
+  std::uint64_t defragment_all();
+
+  [[nodiscard]] int backend_nodes() const {
+    return config_.backend_nodes;
+  }
+  [[nodiscard]] GraphDB& node_db(int node) { return *dbs_.at(node); }
+  [[nodiscard]] QueryService& queries() { return queries_; }
+  [[nodiscard]] Partitioner& partitioner() { return *partitioner_; }
+
+  /// Aggregate disk statistics over all back-end nodes.
+  [[nodiscard]] IoStats total_io() const;
+
+ private:
+  ClusterConfig config_;
+  std::optional<TempDir> owned_root_;
+  std::shared_ptr<SharedVertexMap> vertex_map_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<std::unique_ptr<GraphDB>> dbs_;
+  CommWorld world_;
+  QueryService queries_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,118 @@
+#include "ontology/ontology.hpp"
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+TypeId Ontology::add_vertex_type(const std::string& name) {
+  auto it = vertex_by_name_.find(name);
+  if (it != vertex_by_name_.end()) return it->second;
+  vertex_type_names_.push_back(name);
+  const auto id = static_cast<TypeId>(vertex_type_names_.size());
+  vertex_by_name_.emplace(name, id);
+  return id;
+}
+
+TypeId Ontology::add_edge_type(const std::string& name, TypeId src_type,
+                               TypeId dst_type) {
+  if (src_type == kUntyped || src_type > vertex_type_names_.size() ||
+      dst_type == kUntyped || dst_type > vertex_type_names_.size()) {
+    throw OntologyError("edge type '" + name +
+                        "' references unknown vertex types");
+  }
+  // The same relation name may connect several type pairs ("attends"
+  // could link Person->Meeting and Organization->Meeting); each pair is
+  // its own rule, and the name maps to the first.
+  edge_type_names_.push_back(name);
+  edge_rules_.push_back(EdgeRule{src_type, dst_type});
+  const auto id = static_cast<TypeId>(edge_type_names_.size());
+  edge_by_name_.try_emplace(name, id);
+  return id;
+}
+
+std::optional<TypeId> Ontology::vertex_type(const std::string& name) const {
+  auto it = vertex_by_name_.find(name);
+  if (it == vertex_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TypeId> Ontology::edge_type(const std::string& name) const {
+  auto it = edge_by_name_.find(name);
+  if (it == edge_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Ontology::vertex_type_name(TypeId id) const {
+  if (id == kUntyped || id > vertex_type_names_.size()) {
+    throw OntologyError("unknown vertex type id " + std::to_string(id));
+  }
+  return vertex_type_names_[id - 1];
+}
+
+const std::string& Ontology::edge_type_name(TypeId id) const {
+  if (id == kUntyped || id > edge_type_names_.size()) {
+    throw OntologyError("unknown edge type id " + std::to_string(id));
+  }
+  return edge_type_names_[id - 1];
+}
+
+bool Ontology::allows(TypeId src_type, TypeId edge_type,
+                      TypeId dst_type) const {
+  if (edge_type == kUntyped || edge_type > edge_rules_.size()) return false;
+  const auto& rule = edge_rules_[edge_type - 1];
+  return rule.src_type == src_type && rule.dst_type == dst_type;
+}
+
+void Ontology::validate(const TypedEdge& edge) const {
+  if (!allows(edge.src_type, edge.edge_type, edge.dst_type)) {
+    const auto describe = [this](TypeId t, bool vertex) -> std::string {
+      if (t == kUntyped) return "<untyped>";
+      if (vertex) {
+        return t <= vertex_type_names_.size() ? vertex_type_names_[t - 1]
+                                              : "<bad id>";
+      }
+      return t <= edge_type_names_.size() ? edge_type_names_[t - 1]
+                                          : "<bad id>";
+    };
+    throw OntologyError("ontology forbids " + describe(edge.src_type, true) +
+                        " --" + describe(edge.edge_type, false) + "--> " +
+                        describe(edge.dst_type, true));
+  }
+}
+
+std::vector<TypedEdge> Ontology::to_edges() const {
+  std::vector<TypedEdge> edges;
+  edges.reserve(edge_rules_.size());
+  for (std::size_t i = 0; i < edge_rules_.size(); ++i) {
+    TypedEdge e;
+    e.edge = Edge{edge_rules_[i].src_type, edge_rules_[i].dst_type};
+    e.src_type = edge_rules_[i].src_type;
+    e.dst_type = edge_rules_[i].dst_type;
+    e.edge_type = static_cast<TypeId>(i + 1);
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+void VertexTypeRegistry::bind(VertexId v, TypeId type) {
+  auto [it, inserted] = types_.try_emplace(v, type);
+  if (!inserted && it->second != type) {
+    throw OntologyError("vertex " + std::to_string(v) +
+                        " re-typed: " + std::to_string(it->second) + " vs " +
+                        std::to_string(type));
+  }
+}
+
+TypeId VertexTypeRegistry::type_of(VertexId v) const {
+  auto it = types_.find(v);
+  return it == types_.end() ? kUntyped : it->second;
+}
+
+Edge TypedEdgeValidator::accept(const TypedEdge& edge) {
+  ontology_.validate(edge);
+  registry_.bind(edge.edge.src, edge.src_type);
+  registry_.bind(edge.edge.dst, edge.dst_type);
+  return edge.edge;
+}
+
+}  // namespace mssg

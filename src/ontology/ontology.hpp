@@ -1,0 +1,105 @@
+// Semantic-graph ontology (chapter 1, Figure 1.1).
+//
+// An ontology is a typed graph over *vertex types* and *edge types* that
+// acts as the blueprint for instance graphs: an instance edge is legal
+// only if the ontology connects its endpoint types with that edge type
+// ("'Date' vertices are only connected to 'Meeting' vertices and 'Travel'
+// vertices").  The ontology is itself a semantic graph and can be
+// exported as one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+class Ontology {
+ public:
+  /// Registers a vertex type; returns its id (stable, starting at 1 —
+  /// kUntyped = 0 is reserved).  Re-registering a name returns the
+  /// existing id.
+  TypeId add_vertex_type(const std::string& name);
+
+  /// Registers an edge type connecting two vertex types (directed:
+  /// src_type --name--> dst_type).  For symmetric relations register both
+  /// directions.
+  TypeId add_edge_type(const std::string& name, TypeId src_type,
+                       TypeId dst_type);
+
+  [[nodiscard]] std::optional<TypeId> vertex_type(const std::string& name)
+      const;
+  [[nodiscard]] std::optional<TypeId> edge_type(const std::string& name) const;
+  [[nodiscard]] const std::string& vertex_type_name(TypeId id) const;
+  [[nodiscard]] const std::string& edge_type_name(TypeId id) const;
+
+  /// Does the ontology permit src_type --edge_type--> dst_type?
+  [[nodiscard]] bool allows(TypeId src_type, TypeId edge_type,
+                            TypeId dst_type) const;
+
+  /// Throws OntologyError when the typed edge violates the schema.
+  void validate(const TypedEdge& edge) const;
+
+  [[nodiscard]] std::size_t vertex_type_count() const {
+    return vertex_type_names_.size();
+  }
+  [[nodiscard]] std::size_t edge_type_count() const {
+    return edge_type_names_.size();
+  }
+
+  /// The ontology as a semantic graph: one vertex per vertex type (GID =
+  /// TypeId), one edge per allowed connection.
+  [[nodiscard]] std::vector<TypedEdge> to_edges() const;
+
+ private:
+  struct EdgeRule {
+    TypeId src_type;
+    TypeId dst_type;
+  };
+
+  std::vector<std::string> vertex_type_names_;  // index = TypeId - 1
+  std::vector<std::string> edge_type_names_;
+  std::vector<EdgeRule> edge_rules_;  // index = edge TypeId - 1
+  std::unordered_map<std::string, TypeId> vertex_by_name_;
+  std::unordered_map<std::string, TypeId> edge_by_name_;
+};
+
+/// Assigns and checks instance-vertex types during typed ingestion: a
+/// vertex keeps the type of its first appearance; conflicting re-typing
+/// throws OntologyError.
+class VertexTypeRegistry {
+ public:
+  /// Records (or confirms) a vertex's type.
+  void bind(VertexId v, TypeId type);
+  [[nodiscard]] TypeId type_of(VertexId v) const;  // kUntyped if unknown
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+
+ private:
+  std::unordered_map<VertexId, TypeId> types_;
+};
+
+/// Validates a typed edge stream against an ontology, binding vertex
+/// types along the way, and yields the untyped edges for ingestion.
+class TypedEdgeValidator {
+ public:
+  explicit TypedEdgeValidator(const Ontology& ontology)
+      : ontology_(ontology) {}
+
+  /// Validates and strips types.  Throws OntologyError on any schema or
+  /// type-conflict violation.
+  Edge accept(const TypedEdge& edge);
+
+  [[nodiscard]] const VertexTypeRegistry& registry() const {
+    return registry_;
+  }
+
+ private:
+  const Ontology& ontology_;
+  VertexTypeRegistry registry_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,313 @@
+#include "query/bfs.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "graphdb/stream_db.hpp"
+
+namespace mssg {
+
+namespace {
+
+constexpr int kFringeTag = 100;    // one message per peer per level (Alg 1)
+constexpr int kChunkTag = 101;     // eager chunks (Alg 2)
+constexpr int kLevelEndTag = 102;  // per-level chunk-stream terminator
+
+std::vector<std::byte> pack_vertices(std::span<const VertexId> vertices) {
+  std::vector<std::byte> buffer(vertices.size() * sizeof(VertexId));
+  if (!buffer.empty()) {
+    std::memcpy(buffer.data(), vertices.data(), buffer.size());
+  }
+  return buffer;
+}
+
+std::span<const VertexId> unpack_vertices(std::span<const std::byte> buffer) {
+  MSSG_CHECK(buffer.size() % sizeof(VertexId) == 0);
+  return {reinterpret_cast<const VertexId*>(buffer.data()),
+          buffer.size() / sizeof(VertexId)};
+}
+
+/// Shared per-query state and helpers for both algorithms.
+class BfsRun {
+ public:
+  BfsRun(Communicator& comm, GraphDB& db, VertexId src, VertexId dst,
+         const BfsOptions& options)
+      : comm_(comm),
+        db_(db),
+        src_(src),
+        dst_(dst),
+        options_(options),
+        stream_db_(dynamic_cast<StreamDB*>(&db)) {}
+
+  BfsStats execute();
+
+ private:
+  [[nodiscard]] Rank owner(VertexId v) const {
+    return static_cast<Rank>(v % comm_.size());
+  }
+
+  /// Expands the whole fringe against local storage, invoking
+  /// `discover(u)` for every adjacency entry.  Uses StreamDB's batch scan
+  /// when available (required: per-vertex lookups would rescan the log).
+  template <typename Discover>
+  void expand_fringe(const std::vector<VertexId>& fringe, Discover&& discover);
+
+  /// Handles one discovered vertex for Algorithm 1; returns buckets via
+  /// members.  Returns true when the destination was found.
+  bool discover_plain(VertexId u, Metadata next_level);
+  bool discover_pipelined(VertexId u, Metadata next_level);
+
+  void poll_chunks(Metadata next_level);
+  void merge_candidate(VertexId u, Metadata next_level);
+
+  Communicator& comm_;
+  GraphDB& db_;
+  VertexId src_;
+  VertexId dst_;
+  const BfsOptions& options_;
+  StreamDB* stream_db_;
+
+  BfsStats stats_;
+  bool found_ = false;
+  std::vector<VertexId> next_fringe_;
+  std::vector<std::vector<VertexId>> buckets_;  // per destination rank
+};
+
+template <typename Discover>
+void BfsRun::expand_fringe(const std::vector<VertexId>& fringe,
+                           Discover&& discover) {
+  stats_.vertices_expanded += fringe.size();
+  if (stream_db_ != nullptr) {
+    // "any search algorithm which needs the adjacent vertices to another
+    // set of vertices ... must post a request for all of the 'fringe'
+    // vertices at once" (§4.1.5).
+    std::unordered_map<VertexId, std::vector<VertexId>> batch;
+    stream_db_->get_adjacency_batch(fringe, batch);
+    for (const auto& [v, neighbors] : batch) {
+      for (const VertexId u : neighbors) {
+        ++stats_.edges_scanned;
+        if (discover(u)) return;
+      }
+    }
+    return;
+  }
+  std::vector<VertexId> neighbors;
+  for (const VertexId v : fringe) {
+    neighbors.clear();
+    db_.get_adjacency(v, neighbors);
+    for (const VertexId u : neighbors) {
+      ++stats_.edges_scanned;
+      if (discover(u)) return;
+    }
+  }
+}
+
+bool BfsRun::discover_plain(VertexId u, Metadata next_level) {
+  if (u == dst_) {
+    found_ = true;
+    return true;  // stop expanding; level-end collective spreads the news
+  }
+  if (db_.get_metadata(u) != kUnvisited) return false;
+  db_.set_metadata(u, next_level);
+  if (!options_.map_known) {
+    next_fringe_.push_back(u);  // everyone tracks the full frontier
+    ++stats_.discovered_owned;
+  } else if (owner(u) == comm_.rank()) {
+    next_fringe_.push_back(u);
+    ++stats_.discovered_owned;
+  } else {
+    buckets_[owner(u)].push_back(u);
+  }
+  return false;
+}
+
+bool BfsRun::discover_pipelined(VertexId u, Metadata next_level) {
+  if (u == dst_) {
+    found_ = true;
+    return true;
+  }
+  if (db_.get_metadata(u) != kUnvisited) return false;
+  db_.set_metadata(u, next_level);
+  if (!options_.map_known) {
+    next_fringe_.push_back(u);
+    ++stats_.discovered_owned;
+    // The broadcast queue is bucket 0 in Algorithm 2's notation
+    // ("N_0 will be the broadcast queue").
+    buckets_[0].push_back(u);
+    if (buckets_[0].size() >= options_.pipeline_threshold) {
+      comm_.broadcast(kChunkTag, pack_vertices(buckets_[0]));
+      stats_.fringe_messages += comm_.size() - 1;
+      buckets_[0].clear();
+    }
+  } else {
+    const Rank q = owner(u);
+    if (q == comm_.rank()) {
+      next_fringe_.push_back(u);
+      ++stats_.discovered_owned;
+    } else {
+      buckets_[q].push_back(u);
+      if (buckets_[q].size() >= options_.pipeline_threshold) {
+        comm_.send(q, kChunkTag, pack_vertices(buckets_[q]));
+        ++stats_.fringe_messages;
+        buckets_[q].clear();
+      }
+    }
+  }
+  // Overlap: service incoming chunks while expansion continues.
+  poll_chunks(next_level);
+  return false;
+}
+
+void BfsRun::merge_candidate(VertexId u, Metadata next_level) {
+  if (db_.get_metadata(u) != kUnvisited) return;
+  db_.set_metadata(u, next_level);
+  next_fringe_.push_back(u);
+  // Received vertices are owned by this rank (directed sends) or tracked
+  // by every rank (broadcast); either way they count here.
+  ++stats_.discovered_owned;
+}
+
+void BfsRun::poll_chunks(Metadata next_level) {
+  while (auto msg = comm_.try_recv(kChunkTag)) {
+    for (const VertexId u : unpack_vertices(msg->payload)) {
+      merge_candidate(u, next_level);
+    }
+  }
+}
+
+BfsStats BfsRun::execute() {
+  Timer timer;
+  const int p = comm_.size();
+  db_.clear_metadata(kUnvisited);
+  buckets_.assign(p, {});
+
+  if (src_ == dst_) {
+    stats_.distance = 0;
+    stats_.seconds = timer.seconds();
+    comm_.barrier();
+    return stats_;
+  }
+
+  db_.set_metadata(src_, 0);
+  std::vector<VertexId> fringe;
+  if (!options_.map_known || owner(src_) == comm_.rank()) {
+    fringe.push_back(src_);
+  }
+
+  for (Metadata levcnt = 1; levcnt <= options_.max_levels; ++levcnt) {
+    next_fringe_.clear();
+    for (auto& bucket : buckets_) bucket.clear();
+
+    if (options_.prefetch) db_.prefetch(fringe);
+
+    if (options_.pipelined) {
+      expand_fringe(fringe,
+                    [&](VertexId u) { return discover_pipelined(u, levcnt); });
+
+      // Flush residual buckets, then terminate this level's chunk stream.
+      if (!options_.map_known) {
+        if (!buckets_[0].empty()) {
+          comm_.broadcast(kChunkTag, pack_vertices(buckets_[0]));
+          stats_.fringe_messages += p - 1;
+        }
+      } else {
+        for (Rank q = 0; q < p; ++q) {
+          if (q == comm_.rank() || buckets_[q].empty()) continue;
+          comm_.send(q, kChunkTag, pack_vertices(buckets_[q]));
+          ++stats_.fringe_messages;
+        }
+      }
+      for (Rank q = 0; q < p; ++q) {
+        if (q != comm_.rank()) comm_.send(q, kLevelEndTag, {});
+      }
+      // Drain chunks until every peer has ended its level.
+      for (int ends = 0; ends < p - 1;) {
+        const Message msg = comm_.recv();
+        if (msg.tag == kLevelEndTag) {
+          ++ends;
+        } else {
+          MSSG_CHECK(msg.tag == kChunkTag);
+          for (const VertexId u : unpack_vertices(msg.payload)) {
+            merge_candidate(u, levcnt);
+          }
+        }
+      }
+    } else {
+      expand_fringe(fringe,
+                    [&](VertexId u) { return discover_plain(u, levcnt); });
+
+      // Bulk exchange: exactly one fringe message to every peer.
+      if (!options_.map_known) {
+        // next_fringe_ currently holds only the locally discovered part;
+        // broadcast it and merge everyone else's.
+        comm_.broadcast(kFringeTag, pack_vertices(next_fringe_));
+        stats_.fringe_messages += p - 1;
+      } else {
+        for (Rank q = 0; q < p; ++q) {
+          if (q == comm_.rank()) continue;
+          comm_.send(q, kFringeTag, pack_vertices(buckets_[q]));
+          ++stats_.fringe_messages;
+        }
+      }
+      for (int received = 0; received < p - 1; ++received) {
+        const Message msg = comm_.recv(kFringeTag);
+        // Directed sends: we own every received u.  Broadcast mode:
+        // everyone merges everyone's discoveries.  Same merge either way.
+        for (const VertexId u : unpack_vertices(msg.payload)) {
+          merge_candidate(u, levcnt);
+        }
+      }
+    }
+
+    ++stats_.levels;
+
+    // Level-synchronous termination: anyone found the target?
+    if (comm_.allreduce_or(found_)) {
+      stats_.distance = levcnt;
+      break;
+    }
+    // Global frontier empty => unreachable.
+    if (comm_.allreduce_sum(next_fringe_.size()) == 0) break;
+    fringe.swap(next_fringe_);
+  }
+
+  comm_.barrier();
+  stats_.seconds = timer.seconds();
+  return stats_;
+}
+
+}  // namespace
+
+BfsStats parallel_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
+                         VertexId dst, const BfsOptions& options) {
+  BfsRun run(comm, db, src, dst, options);
+  return run.execute();
+}
+
+KHopStats parallel_khop(Communicator& comm, GraphDB& db, VertexId src,
+                        Metadata k, BfsOptions options) {
+  MSSG_CHECK(k >= 0);
+  Timer timer;
+  options.max_levels = k;
+  // kInvalidVertex is never a neighbor, so the search runs the full k
+  // levels (or until the frontier empties).
+  BfsRun run(comm, db, src, kInvalidVertex, options);
+  const BfsStats stats = run.execute();
+
+  KHopStats result;
+  result.edges_scanned = stats.edges_scanned;
+  if (options.map_known) {
+    // Owned counts are disjoint across ranks.
+    result.vertices_within = comm.allreduce_sum(stats.discovered_owned);
+  } else {
+    // Every rank tracked the full frontier; counts agree.
+    result.vertices_within =
+        comm.allreduce_max(stats.discovered_owned);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mssg

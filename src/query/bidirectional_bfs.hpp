@@ -1,0 +1,33 @@
+// Bidirectional parallel out-of-core BFS.
+//
+// The thesis observes that "queries which analyze long paths often must
+// access a significant portion of the graph data, sometimes over 80% of
+// the total graph's edges".  For point-to-point relationship queries a
+// bidirectional search avoids exactly that blow-up: frontiers grow from
+// both endpoints and the search stops when they meet, touching
+// O(b^(d/2)) vertices instead of O(b^d).  This is the natural next
+// optimization for the framework's relationship analysis and an ablation
+// against Algorithm 1 (bench_ablation_bidir).
+//
+// Level-synchronous like Algorithm 1: all ranks agree each round (via
+// collectives) which side to advance — the one with the smaller global
+// frontier — then expand it exactly as the unidirectional search does.
+// When a vertex is reached from both sides, the meeting distance is
+// min-reduced at the level end; finishing the level before stopping
+// keeps the result exact for unweighted graphs.
+//
+// Requires vertex-granularity storage with the globally known owner map
+// and an undirected (symmetrized) graph, the experiments' configuration.
+#pragma once
+
+#include "query/bfs.hpp"
+
+namespace mssg {
+
+/// Collective across the communicator's ranks.  Returns the same shape of
+/// stats as the unidirectional search; `edges_scanned` is where the two
+/// algorithms differ.
+BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
+                              VertexId dst, const BfsOptions& options = {});
+
+}  // namespace mssg

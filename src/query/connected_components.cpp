@@ -1,0 +1,126 @@
+#include "query/connected_components.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mssg {
+
+namespace {
+
+constexpr int kLabelTag = 110;
+
+struct LabelUpdate {
+  VertexId vertex;
+  VertexId label;
+};
+
+std::vector<std::byte> pack_updates(std::span<const LabelUpdate> updates) {
+  std::vector<std::byte> buffer(updates.size() * sizeof(LabelUpdate));
+  if (!buffer.empty()) {
+    std::memcpy(buffer.data(), updates.data(), buffer.size());
+  }
+  return buffer;
+}
+
+std::span<const LabelUpdate> unpack_updates(
+    std::span<const std::byte> buffer) {
+  MSSG_CHECK(buffer.size() % sizeof(LabelUpdate) == 0);
+  return {reinterpret_cast<const LabelUpdate*>(buffer.data()),
+          buffer.size() / sizeof(LabelUpdate)};
+}
+
+}  // namespace
+
+CcStats parallel_connected_components(Communicator& comm, GraphDB& db) {
+  Timer timer;
+  const int p = comm.size();
+  const auto owner = [p](VertexId v) { return static_cast<Rank>(v % p); };
+
+  // Labels for the vertices this rank owns.  Under vertex-granularity
+  // hash-mod declustering every locally stored vertex is owned here.
+  std::unordered_map<VertexId, VertexId> label;
+  std::vector<VertexId> frontier;
+  db.for_each_vertex([&](VertexId v) {
+    label.emplace(v, v);
+    frontier.push_back(v);
+    return true;
+  });
+
+  CcStats stats;
+  stats.vertices = comm.allreduce_sum(label.size());
+
+  std::vector<std::vector<LabelUpdate>> buckets(p);
+  std::vector<VertexId> next_frontier;
+  std::vector<VertexId> neighbors;
+
+  // Relaxes u to `candidate`; returns true when the label shrank.  A
+  // neighbor-of-a-neighbor we have never stored still gets a label entry
+  // (degree-0 locally, but it is owned here and counted by its owner).
+  const auto relax = [&](VertexId u, VertexId candidate) {
+    auto [it, inserted] = label.try_emplace(u, std::min(u, candidate));
+    if (inserted) return true;
+    if (candidate < it->second) {
+      it->second = candidate;
+      return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    for (auto& bucket : buckets) bucket.clear();
+    next_frontier.clear();
+
+    for (const VertexId v : frontier) {
+      const VertexId current = label.at(v);
+      neighbors.clear();
+      db.get_adjacency(v, neighbors);
+      stats.edges_scanned += neighbors.size();
+      for (const VertexId u : neighbors) {
+        if (owner(u) == comm.rank()) {
+          if (relax(u, current)) next_frontier.push_back(u);
+        } else {
+          buckets[owner(u)].push_back(LabelUpdate{u, current});
+        }
+      }
+    }
+
+    // One message per peer per round (empty allowed: receivers expect
+    // exactly p-1).
+    for (Rank q = 0; q < p; ++q) {
+      if (q == comm.rank()) continue;
+      comm.send(q, kLabelTag, pack_updates(buckets[q]));
+    }
+    for (int received = 0; received < p - 1; ++received) {
+      const Message msg = comm.recv(kLabelTag);
+      for (const auto& update : unpack_updates(msg.payload)) {
+        if (relax(update.vertex, update.label)) {
+          next_frontier.push_back(update.vertex);
+        }
+      }
+    }
+
+    ++stats.iterations;
+    // Deduplicate: a vertex may have been relaxed several times.
+    std::sort(next_frontier.begin(), next_frontier.end());
+    next_frontier.erase(
+        std::unique(next_frontier.begin(), next_frontier.end()),
+        next_frontier.end());
+
+    if (comm.allreduce_sum(next_frontier.size()) == 0) break;
+    frontier.swap(next_frontier);
+  }
+
+  // A component is counted at the owner of its minimum-id vertex.
+  std::uint64_t local_roots = 0;
+  for (const auto& [v, l] : label) {
+    if (l == v) ++local_roots;
+  }
+  stats.components = comm.allreduce_sum(local_roots);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mssg

@@ -1,0 +1,39 @@
+#include "query/graph_stats_analysis.hpp"
+
+namespace mssg {
+
+DistributedGraphStats parallel_graph_stats(Communicator& comm, GraphDB& db) {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t min_degree = ~std::uint64_t{0};
+  std::uint64_t max_degree = 0;
+
+  std::vector<VertexId> neighbors;
+  db.for_each_vertex([&](VertexId v) {
+    neighbors.clear();
+    db.get_adjacency(v, neighbors);
+    if (neighbors.empty()) return true;
+    ++vertices;
+    edges += neighbors.size();
+    min_degree = std::min(min_degree, static_cast<std::uint64_t>(
+                                          neighbors.size()));
+    max_degree = std::max(max_degree, static_cast<std::uint64_t>(
+                                          neighbors.size()));
+    return true;
+  });
+
+  DistributedGraphStats stats;
+  stats.vertices = comm.allreduce_sum(vertices);
+  stats.directed_edges = comm.allreduce_sum(edges);
+  stats.min_degree = comm.allreduce_min(min_degree);
+  stats.max_degree = comm.allreduce_max(max_degree);
+  if (stats.vertices > 0) {
+    stats.avg_degree = static_cast<double>(stats.directed_edges) /
+                       static_cast<double>(stats.vertices);
+  } else {
+    stats.min_degree = 0;
+  }
+  return stats;
+}
+
+}  // namespace mssg

@@ -1,0 +1,29 @@
+// Distributed graph statistics — the Table 5.1 columns computed from the
+// stored graph itself (not the generator): each back-end node scans its
+// local vertex set and degree counts, and the cluster combines them with
+// collectives.  Doubles as a consistency check that ingestion stored
+// exactly what the generator produced.
+#pragma once
+
+#include <cstdint>
+
+#include "graphdb/graphdb.hpp"
+#include "runtime/comm.hpp"
+
+namespace mssg {
+
+struct DistributedGraphStats {
+  std::uint64_t vertices = 0;        ///< vertices with >= 1 out-edge
+  std::uint64_t directed_edges = 0;  ///< adjacency entries stored
+  std::uint64_t min_degree = 0;
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0;             ///< directed_edges / vertices
+
+  friend constexpr bool operator==(const DistributedGraphStats&,
+                                   const DistributedGraphStats&) = default;
+};
+
+/// Collective; all ranks receive the same global result.
+DistributedGraphStats parallel_graph_stats(Communicator& comm, GraphDB& db);
+
+}  // namespace mssg

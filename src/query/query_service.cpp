@@ -1,0 +1,101 @@
+#include "query/query_service.hpp"
+
+#include "query/bidirectional_bfs.hpp"
+#include "query/connected_components.hpp"
+#include "query/graph_stats_analysis.hpp"
+
+namespace mssg {
+
+namespace {
+std::vector<double> bfs_analysis(Communicator& comm, GraphDB& db,
+                                 const std::vector<std::uint64_t>& params,
+                                 bool pipelined) {
+  MSSG_CHECK(params.size() >= 2);
+  BfsOptions options;
+  options.pipelined = pipelined;
+  if (params.size() >= 3) options.map_known = params[2] != 0;
+  const BfsStats stats =
+      parallel_oocbfs(comm, db, params[0], params[1], options);
+  return {static_cast<double>(stats.distance),
+          static_cast<double>(stats.edges_scanned),
+          static_cast<double>(stats.vertices_expanded), stats.seconds};
+}
+}  // namespace
+
+QueryService::QueryService() {
+  register_analysis("bfs", [](Communicator& comm, GraphDB& db,
+                              const std::vector<std::uint64_t>& params) {
+    return bfs_analysis(comm, db, params, /*pipelined=*/false);
+  });
+  register_analysis("pipelined-bfs",
+                    [](Communicator& comm, GraphDB& db,
+                       const std::vector<std::uint64_t>& params) {
+                      return bfs_analysis(comm, db, params, /*pipelined=*/true);
+                    });
+  // params: {source, k [, map_known]} -> {vertices_within, edges_scanned,
+  // seconds}
+  register_analysis("khop", [](Communicator& comm, GraphDB& db,
+                               const std::vector<std::uint64_t>& params) {
+    MSSG_CHECK(params.size() >= 2);
+    BfsOptions options;
+    if (params.size() >= 3) options.map_known = params[2] != 0;
+    const KHopStats stats = parallel_khop(
+        comm, db, params[0], static_cast<Metadata>(params[1]), options);
+    return std::vector<double>{static_cast<double>(stats.vertices_within),
+                               static_cast<double>(stats.edges_scanned),
+                               stats.seconds};
+  });
+  // params: {source, dest} -> same layout as "bfs"
+  register_analysis("bidir-bfs", [](Communicator& comm, GraphDB& db,
+                                    const std::vector<std::uint64_t>& params) {
+    MSSG_CHECK(params.size() >= 2);
+    const BfsStats stats =
+        bidirectional_oocbfs(comm, db, params[0], params[1]);
+    return std::vector<double>{static_cast<double>(stats.distance),
+                               static_cast<double>(stats.edges_scanned),
+                               static_cast<double>(stats.vertices_expanded),
+                               stats.seconds};
+  });
+  // params: none -> {vertices, directed_edges, min_deg, max_deg, avg_deg}
+  register_analysis("stats", [](Communicator& comm, GraphDB& db,
+                                const std::vector<std::uint64_t>&) {
+    const DistributedGraphStats stats = parallel_graph_stats(comm, db);
+    return std::vector<double>{static_cast<double>(stats.vertices),
+                               static_cast<double>(stats.directed_edges),
+                               static_cast<double>(stats.min_degree),
+                               static_cast<double>(stats.max_degree),
+                               stats.avg_degree};
+  });
+  // params: none -> {components, vertices, iterations, seconds}
+  register_analysis("cc", [](Communicator& comm, GraphDB& db,
+                             const std::vector<std::uint64_t>&) {
+    const CcStats stats = parallel_connected_components(comm, db);
+    return std::vector<double>{static_cast<double>(stats.components),
+                               static_cast<double>(stats.vertices),
+                               static_cast<double>(stats.iterations),
+                               stats.seconds};
+  });
+}
+
+void QueryService::register_analysis(const std::string& name, AnalysisFn fn) {
+  analyses_[name] = std::move(fn);
+}
+
+std::vector<std::string> QueryService::names() const {
+  std::vector<std::string> result;
+  result.reserve(analyses_.size());
+  for (const auto& [name, fn] : analyses_) result.push_back(name);
+  return result;
+}
+
+std::vector<double> QueryService::run(
+    const std::string& name, Communicator& comm, GraphDB& db,
+    const std::vector<std::uint64_t>& params) const {
+  auto it = analyses_.find(name);
+  if (it == analyses_.end()) {
+    throw UsageError("unknown analysis: " + name);
+  }
+  return it->second(comm, db, params);
+}
+
+}  // namespace mssg

@@ -1,0 +1,48 @@
+// The Query service (§3.3): a registry of data-analysis techniques.
+// "All implemented data analysis techniques are registered with the
+// system and can be queried by the user."  An analysis runs SPMD on
+// every back-end node against the local GraphDB, communicating through
+// the node's Communicator.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "graphdb/graphdb.hpp"
+#include "query/bfs.hpp"
+#include "runtime/comm.hpp"
+
+namespace mssg {
+
+/// Generic analysis signature: (comm, local db, parameters) -> per-rank
+/// result encoded as doubles (analyses define their own layout).
+using AnalysisFn = std::function<std::vector<double>(
+    Communicator&, GraphDB&, const std::vector<std::uint64_t>& params)>;
+
+class QueryService {
+ public:
+  /// Registers the built-in analyses (bfs, pipelined-bfs).
+  QueryService();
+
+  void register_analysis(const std::string& name, AnalysisFn fn);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return analyses_.contains(name);
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Runs a registered analysis on this rank.  Collective across the
+  /// communicator's ranks.
+  std::vector<double> run(const std::string& name, Communicator& comm,
+                          GraphDB& db,
+                          const std::vector<std::uint64_t>& params) const;
+
+ private:
+  std::map<std::string, AnalysisFn> analyses_;
+};
+
+}  // namespace mssg

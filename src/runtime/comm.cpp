@@ -1,0 +1,127 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace mssg {
+
+CommWorld::CommWorld(int size) : size_(size) {
+  MSSG_CHECK(size >= 1);
+  mailboxes_.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  reduce_slots_.resize(size);
+  gather_slots_.resize(size);
+}
+
+Communicator CommWorld::comm(Rank rank) {
+  MSSG_CHECK(rank >= 0 && rank < size_);
+  return Communicator(this, rank);
+}
+
+std::uint64_t CommWorld::messages_sent() const { return messages_sent_; }
+std::uint64_t CommWorld::bytes_sent() const { return bytes_sent_; }
+
+void CommWorld::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_generation_ != my_generation; });
+}
+
+void Communicator::send(Rank dest, int tag,
+                        std::vector<std::byte> payload) const {
+  MSSG_CHECK(dest >= 0 && dest < size());
+  {
+    std::lock_guard lock(world_->traffic_mutex_);
+    ++world_->messages_sent_;
+    world_->bytes_sent_ += payload.size();
+  }
+  world_->mailboxes_[dest]->push(Message{tag, rank_, std::move(payload)});
+}
+
+void Communicator::broadcast(int tag,
+                             const std::vector<std::byte>& payload) const {
+  for (Rank r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    send(r, tag, payload);
+  }
+}
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t value) const {
+  world_->reduce_slots_[rank_] = value;
+  barrier();
+  std::uint64_t total = 0;
+  for (int r = 0; r < size(); ++r) total += world_->reduce_slots_[r];
+  barrier();
+  return total;
+}
+
+std::uint64_t Communicator::allreduce_max(std::uint64_t value) const {
+  world_->reduce_slots_[rank_] = value;
+  barrier();
+  std::uint64_t best = 0;
+  for (int r = 0; r < size(); ++r) {
+    best = std::max(best, world_->reduce_slots_[r]);
+  }
+  barrier();
+  return best;
+}
+
+std::uint64_t Communicator::allreduce_min(std::uint64_t value) const {
+  world_->reduce_slots_[rank_] = value;
+  barrier();
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int r = 0; r < size(); ++r) {
+    best = std::min(best, world_->reduce_slots_[r]);
+  }
+  barrier();
+  return best;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather(
+    std::vector<std::byte> contribution) const {
+  world_->gather_slots_[rank_] = std::move(contribution);
+  barrier();
+  std::vector<std::vector<std::byte>> all = world_->gather_slots_;
+  barrier();
+  return all;
+}
+
+void run_cluster(CommWorld& world,
+                 const std::function<void(Communicator&)>& body) {
+  const int size = world.size();
+  std::vector<std::thread> threads;
+  threads.reserve(size);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (Rank r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &error_mutex, &first_error, r] {
+      try {
+        Communicator comm = world.comm(r);
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_cluster(int size, const std::function<void(Communicator&)>& body) {
+  CommWorld world(size);
+  run_cluster(world, body);
+}
+
+}  // namespace mssg

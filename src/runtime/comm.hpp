@@ -1,0 +1,125 @@
+// MPI-flavoured communicator over in-process mailboxes.
+//
+// The thesis evaluates MSSG on a 64-node cluster with DataCutter/MPI as
+// transport.  No MPI installation is assumed here: CommWorld provides p
+// ranks (threads) with send/recv/probe plus the collectives the
+// framework needs (barrier, broadcast, allreduce, allgather).  Message
+// counts and synchronization structure are identical to the MPI runs;
+// only the wire is simulated.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace mssg {
+
+class Communicator;
+
+/// Shared state for a group of ranks.  Create once, then hand each rank a
+/// Communicator via comm(rank).
+class CommWorld {
+ public:
+  explicit CommWorld(int size);
+
+  CommWorld(const CommWorld&) = delete;
+  CommWorld& operator=(const CommWorld&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Communicator comm(Rank rank);
+
+  /// Total messages pushed since construction (for experiment reporting).
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
+
+ private:
+  friend class Communicator;
+
+  void barrier_wait();
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Central barrier (sense-reversing via generation counter).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Scratch for allreduce/allgather: one slot per rank.
+  std::vector<std::uint64_t> reduce_slots_;
+  std::vector<std::vector<std::byte>> gather_slots_;
+
+  // Traffic counters.
+  std::mutex traffic_mutex_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// A rank's endpoint.  Cheap to copy; all state lives in the CommWorld.
+class Communicator {
+ public:
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const { return world_->size(); }
+
+  /// Non-blocking (infinitely buffered) point-to-point send.
+  void send(Rank dest, int tag, std::vector<std::byte> payload) const;
+
+  /// Sends the same payload to every other rank (self excluded).
+  void broadcast(int tag, const std::vector<std::byte>& payload) const;
+
+  /// Blocking selective receive.
+  [[nodiscard]] Message recv(int tag = kAnyTag, Rank source = kAnyRank) const {
+    return world_->mailboxes_[rank_]->recv(tag, source);
+  }
+
+  [[nodiscard]] std::optional<Message> try_recv(int tag = kAnyTag,
+                                                Rank source = kAnyRank) const {
+    return world_->mailboxes_[rank_]->try_recv(tag, source);
+  }
+
+  [[nodiscard]] bool probe(int tag = kAnyTag, Rank source = kAnyRank) const {
+    return world_->mailboxes_[rank_]->probe(tag, source);
+  }
+
+  /// Collective: all ranks must call.
+  void barrier() const { world_->barrier_wait(); }
+
+  /// Collective sum / max / min / logical-or over one value per rank.
+  [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t allreduce_max(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t allreduce_min(std::uint64_t value) const;
+  [[nodiscard]] bool allreduce_or(bool value) const {
+    return allreduce_max(value ? 1 : 0) != 0;
+  }
+
+  /// Collective: every rank contributes a byte buffer, all ranks receive
+  /// all buffers (indexed by rank).
+  [[nodiscard]] std::vector<std::vector<std::byte>> allgather(
+      std::vector<std::byte> contribution) const;
+
+ private:
+  friend class CommWorld;
+  Communicator(CommWorld* world, Rank rank) : world_(world), rank_(rank) {}
+
+  CommWorld* world_;
+  Rank rank_;
+};
+
+/// Runs `body(comm)` on `size` threads, one per rank, propagating the
+/// first exception thrown by any rank.  This is the simulated cluster
+/// job launcher (mpirun analogue).
+void run_cluster(int size, const std::function<void(Communicator&)>& body);
+
+/// Variant reusing an existing world (so traffic counters accumulate).
+void run_cluster(CommWorld& world,
+                 const std::function<void(Communicator&)>& body);
+
+}  // namespace mssg

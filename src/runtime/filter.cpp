@@ -1,0 +1,119 @@
+#include "runtime/filter.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mssg {
+
+// Wiring model: for a connection P(out) -> C(in), one DataStream is
+// created per *consumer copy*.  Every producer copy sees all of those
+// streams on its output port (output(port, i) addresses consumer copy i),
+// which lets a distributing filter route buffers to a specific consumer —
+// exactly how the Ingestion service sends partitioned edge blocks to
+// chosen back-end GraphDB writers.  Each consumer copy reads a single
+// merged stream on its input port, fed by all producer copies.  A stream
+// closes when every producer copy of the connection has returned.
+
+void FilterGraph::add_filter(const std::string& name, Factory factory,
+                             int copies) {
+  MSSG_CHECK(copies >= 1);
+  MSSG_CHECK(!nodes_.contains(name));
+  nodes_.emplace(name, Node{std::move(factory), copies});
+}
+
+void FilterGraph::connect(const std::string& producer,
+                          const std::string& out_port,
+                          const std::string& consumer,
+                          const std::string& in_port,
+                          std::size_t stream_capacity) {
+  MSSG_CHECK(nodes_.contains(producer));
+  MSSG_CHECK(nodes_.contains(consumer));
+  connections_.push_back(
+      Connection{producer, out_port, consumer, in_port, stream_capacity});
+}
+
+void FilterGraph::run() {
+  struct StreamGroup {
+    std::vector<std::unique_ptr<DataStream>> streams;  // one per consumer copy
+    std::shared_ptr<std::atomic<int>> producers_left;
+  };
+  std::vector<StreamGroup> groups;
+  groups.reserve(connections_.size());
+  for (const auto& conn : connections_) {
+    StreamGroup group;
+    const int consumer_copies = nodes_.at(conn.consumer).copies;
+    for (int i = 0; i < consumer_copies; ++i) {
+      group.streams.push_back(std::make_unique<DataStream>(conn.capacity));
+    }
+    group.producers_left = std::make_shared<std::atomic<int>>(
+        nodes_.at(conn.producer).copies);
+    groups.push_back(std::move(group));
+  }
+
+  struct Instance {
+    std::unique_ptr<Filter> filter;
+    FilterContext ctx;
+    // Streams this instance produces into, with their group refcounts, so
+    // the runner can close them when the last producer copy finishes.
+    std::vector<std::pair<std::shared_ptr<std::atomic<int>>,
+                          std::vector<DataStream*>>> produced;
+  };
+  std::vector<Instance> instances;
+
+  for (const auto& [name, node] : nodes_) {
+    for (int copy = 0; copy < node.copies; ++copy) {
+      std::map<std::string, std::vector<DataStream*>> inputs;
+      std::map<std::string, std::vector<DataStream*>> outputs;
+      std::vector<std::pair<std::shared_ptr<std::atomic<int>>,
+                            std::vector<DataStream*>>> produced;
+      for (std::size_t c = 0; c < connections_.size(); ++c) {
+        const auto& conn = connections_[c];
+        auto& group = groups[c];
+        if (conn.consumer == name) {
+          inputs[conn.in_port].push_back(group.streams[copy].get());
+        }
+        if (conn.producer == name) {
+          std::vector<DataStream*> endpoints;
+          endpoints.reserve(group.streams.size());
+          for (auto& s : group.streams) endpoints.push_back(s.get());
+          outputs[conn.out_port] = endpoints;
+          produced.emplace_back(group.producers_left, std::move(endpoints));
+        }
+      }
+      instances.push_back(Instance{
+          node.factory(),
+          FilterContext(copy, node.copies, std::move(inputs),
+                        std::move(outputs)),
+          std::move(produced)});
+    }
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(instances.size());
+  for (auto& instance : instances) {
+    threads.emplace_back([&instance, &error_mutex, &first_error] {
+      try {
+        instance.filter->run(instance.ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Close produced streams once the last producer copy is done —
+      // also on error, so consumers drain and terminate instead of
+      // blocking forever.
+      for (auto& [refcount, endpoints] : instance.produced) {
+        if (refcount->fetch_sub(1) == 1) {
+          for (auto* stream : endpoints) stream->close();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mssg

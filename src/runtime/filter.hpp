@@ -1,0 +1,123 @@
+// DataCutter stand-in: filters connected by logical streams.
+//
+// DataCutter implements "application processing structure ... as a set of
+// components, referred to as filters, that exchange data through logical
+// streams" (§3.1).  FilterGraph wires filter instances (possibly several
+// transparent copies of one filter) to named streams and runs each
+// instance on its own thread — the placement step of DataCutter's
+// filtering service, with threads standing in for cluster hosts.
+//
+// A filter reads buffers from its input streams and writes buffers to its
+// output streams only; when every producer of a stream finishes, the
+// stream closes and consumers see end-of-stream.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/stream.hpp"
+
+namespace mssg {
+
+/// Execution context handed to a running filter instance.
+class FilterContext {
+ public:
+  FilterContext(int copy_index, int copies,
+                std::map<std::string, std::vector<DataStream*>> inputs,
+                std::map<std::string, std::vector<DataStream*>> outputs)
+      : copy_index_(copy_index),
+        copies_(copies),
+        inputs_(std::move(inputs)),
+        outputs_(std::move(outputs)) {}
+
+  /// Index of this transparent copy (0-based) and total copy count.
+  [[nodiscard]] int copy_index() const { return copy_index_; }
+  [[nodiscard]] int copies() const { return copies_; }
+
+  /// Input endpoints bound to a named port (one per producer copy; the
+  /// runtime merges them — reading drains them round-robin-ish via any).
+  [[nodiscard]] DataStream& input(const std::string& port, int i = 0) const {
+    return *endpoint(inputs_, port, i);
+  }
+  [[nodiscard]] std::size_t input_width(const std::string& port) const {
+    auto it = inputs_.find(port);
+    return it == inputs_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] DataStream& output(const std::string& port, int i = 0) const {
+    return *endpoint(outputs_, port, i);
+  }
+  [[nodiscard]] std::size_t output_width(const std::string& port) const {
+    auto it = outputs_.find(port);
+    return it == outputs_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  static DataStream* endpoint(
+      const std::map<std::string, std::vector<DataStream*>>& table,
+      const std::string& port, int i) {
+    auto it = table.find(port);
+    if (it == table.end() || i < 0 ||
+        static_cast<std::size_t>(i) >= it->second.size()) {
+      throw UsageError("filter port not connected: " + port + "[" +
+                       std::to_string(i) + "]");
+    }
+    return it->second[i];
+  }
+
+  int copy_index_;
+  int copies_;
+  std::map<std::string, std::vector<DataStream*>> inputs_;
+  std::map<std::string, std::vector<DataStream*>> outputs_;
+};
+
+/// Base class for user filters.  run() is called once per instance; the
+/// filter must drain its inputs and close nothing — the graph closes
+/// output streams when all producer copies return.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  virtual void run(FilterContext& ctx) = 0;
+};
+
+/// Declarative filter graph: add filters (with a copy count), connect
+/// output ports to input ports, then execute.
+class FilterGraph {
+ public:
+  using Factory = std::function<std::unique_ptr<Filter>()>;
+
+  /// Registers a filter; `copies` transparent copies run concurrently.
+  void add_filter(const std::string& name, Factory factory, int copies = 1);
+
+  /// Connects `producer`'s output port to `consumer`'s input port.
+  /// Every producer copy gets a dedicated stream to every consumer copy
+  /// is *not* the model; instead each producer copy owns one stream per
+  /// port and consumer copies share them by index modulo — see
+  /// connect() docs in filter.cpp for the exact wiring.
+  void connect(const std::string& producer, const std::string& out_port,
+               const std::string& consumer, const std::string& in_port,
+               std::size_t stream_capacity = 64);
+
+  /// Instantiates all filter copies, wires streams, runs every instance
+  /// on its own thread, joins, and propagates the first error.
+  void run();
+
+ private:
+  struct Node {
+    Factory factory;
+    int copies = 1;
+  };
+  struct Connection {
+    std::string producer, out_port, consumer, in_port;
+    std::size_t capacity;
+  };
+
+  std::map<std::string, Node> nodes_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,78 @@
+// Per-rank mailbox: a thread-safe queue with MPI-style selective receive
+// (match on tag and/or source).  Senders never block — the simulated
+// interconnect is infinitely buffered, which matches the non-blocking
+// DataCutter stream sends the pipelined BFS relies on ("sending a small
+// message ... is a non-blocking operation").
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/message.hpp"
+
+namespace mssg {
+
+class Mailbox {
+ public:
+  void push(Message msg) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a matching message arrives.
+  Message recv(int tag = kAnyTag, Rank source = kAnyRank) {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      if (auto msg = take_matching(tag, source)) return std::move(*msg);
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int tag = kAnyTag, Rank source = kAnyRank) {
+    std::lock_guard lock(mutex_);
+    return take_matching(tag, source);
+  }
+
+  /// True if a matching message is waiting (MPI_Iprobe analogue).
+  [[nodiscard]] bool probe(int tag = kAnyTag, Rank source = kAnyRank) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& msg : queue_) {
+      if (matches(msg, tag, source)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  static bool matches(const Message& msg, int tag, Rank source) {
+    return (tag == kAnyTag || msg.tag == tag) &&
+           (source == kAnyRank || msg.source == source);
+  }
+
+  std::optional<Message> take_matching(int tag, Rank source) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, tag, source)) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,23 @@
+// Message envelope for the simulated cluster.  Mirrors the MPI model the
+// thesis' prototype used underneath DataCutter: a tagged byte payload
+// with a source rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mssg {
+
+/// Matches any tag / any source in recv calls.
+inline constexpr int kAnyTag = -1;
+inline constexpr Rank kAnyRank = -1;
+
+struct Message {
+  int tag = 0;
+  Rank source = -1;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace mssg

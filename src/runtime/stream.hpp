@@ -1,0 +1,71 @@
+// DataCutter-style logical stream: a bounded, unidirectional queue of
+// data buffers between a producer filter and a consumer filter.  The
+// bound provides back-pressure so a fast producer (e.g. an edge reader)
+// cannot outrun a slow consumer (e.g. a MySQL-backed writer) without
+// blocking — the behaviour the thesis' ingestion experiments depend on.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace mssg {
+
+class DataStream {
+ public:
+  explicit DataStream(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  DataStream(const DataStream&) = delete;
+  DataStream& operator=(const DataStream&) = delete;
+
+  /// Blocks while the stream is full.  Buffers pushed after close() are
+  /// dropped (the consumer has finished).
+  void put(std::vector<std::byte> buffer) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    queue_.push_back(std::move(buffer));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until a buffer is available; returns nullopt at end-of-stream
+  /// (closed and drained).
+  std::optional<std::vector<std::byte>> get() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    std::vector<std::byte> buffer = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return buffer;
+  }
+
+  /// Producer signals end-of-stream.  Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::vector<std::byte>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace mssg

@@ -1,0 +1,133 @@
+#include "storage/block_cache.hpp"
+
+#include <utility>
+
+namespace mssg {
+
+BlockHandle::BlockHandle(BlockHandle&& other) noexcept
+    : cache_(std::exchange(other.cache_, nullptr)),
+      entry_(std::exchange(other.entry_, nullptr)) {}
+
+BlockHandle& BlockHandle::operator=(BlockHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    cache_ = std::exchange(other.cache_, nullptr);
+    entry_ = std::exchange(other.entry_, nullptr);
+  }
+  return *this;
+}
+
+BlockHandle::~BlockHandle() { release(); }
+
+void BlockHandle::release() {
+  if (entry_ != nullptr) {
+    cache_->unpin(entry_);
+    entry_ = nullptr;
+    cache_ = nullptr;
+  }
+}
+
+BlockCache::~BlockCache() {
+  // Callers should flush() explicitly; this is a last-resort write-back so
+  // data is never silently lost.  Pinned entries at destruction indicate a
+  // bug, but we still persist their contents.
+  for (auto& [key, entry] : map_) write_back(*entry);
+}
+
+std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
+                                         Writer writer) {
+  MSSG_CHECK(block_size > 0);
+  MSSG_CHECK(stores_.size() < (1u << 15));
+  stores_.push_back(Store{block_size, std::move(reader), std::move(writer)});
+  return static_cast<std::uint16_t>(stores_.size() - 1);
+}
+
+BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
+  MSSG_CHECK(store < stores_.size());
+  MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(store) << kStoreShift) | block;
+
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    detail::CacheEntry& entry = *it->second;
+    if (stats_ != nullptr) ++stats_->cache_hits;
+    if (entry.resident && entry.pins == 0) {
+      // Remove from the LRU while pinned.
+      lru_.erase(entry.lru_pos);
+      entry.resident = false;
+      resident_bytes_ -= entry.data.size();
+    }
+    ++entry.pins;
+    return BlockHandle(this, &entry);
+  }
+
+  if (stats_ != nullptr) ++stats_->cache_misses;
+  auto entry = std::make_unique<detail::CacheEntry>();
+  entry->key = key;
+  entry->data.resize(stores_[store].block_size);
+  stores_[store].reader(block, entry->data);
+  entry->pins = 1;
+  detail::CacheEntry* raw = entry.get();
+  map_.emplace(key, std::move(entry));
+  return BlockHandle(this, raw);
+}
+
+void BlockCache::unpin(detail::CacheEntry* entry) {
+  MSSG_CHECK(entry->pins > 0);
+  if (--entry->pins > 0) return;
+
+  if (capacity_bytes_ == 0) {
+    // Cache disabled: write through and drop immediately.
+    write_back(*entry);
+    map_.erase(entry->key);
+    return;
+  }
+
+  lru_.push_front(entry->key);
+  entry->lru_pos = lru_.begin();
+  entry->resident = true;
+  resident_bytes_ += entry->data.size();
+  evict_to_capacity();
+}
+
+void BlockCache::write_back(detail::CacheEntry& entry) {
+  if (!entry.dirty) return;
+  const auto store = static_cast<std::uint16_t>(entry.key >> kStoreShift);
+  const std::uint64_t block =
+      entry.key & ((std::uint64_t{1} << kStoreShift) - 1);
+  stores_[store].writer(block, entry.data);
+  entry.dirty = false;
+}
+
+void BlockCache::evict_to_capacity() {
+  while (resident_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const std::uint64_t victim_key = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim_key);
+    MSSG_CHECK(it != map_.end());
+    detail::CacheEntry& victim = *it->second;
+    MSSG_CHECK(victim.pins == 0);
+    write_back(victim);
+    resident_bytes_ -= victim.data.size();
+    if (stats_ != nullptr) ++stats_->cache_evictions;
+    map_.erase(it);
+  }
+}
+
+void BlockCache::flush() {
+  for (auto& [key, entry] : map_) write_back(*entry);
+}
+
+void BlockCache::drop_clean() {
+  flush();
+  for (auto lru_it = lru_.begin(); lru_it != lru_.end();) {
+    auto map_it = map_.find(*lru_it);
+    MSSG_CHECK(map_it != map_.end());
+    resident_bytes_ -= map_it->second->data.size();
+    map_.erase(map_it);
+    lru_it = lru_.erase(lru_it);
+  }
+}
+
+}  // namespace mssg

@@ -1,0 +1,132 @@
+// LRU block cache — the thesis' "block cache component" of grDB, also
+// reused as the page cache of the KVStore (BerkeleyDB stand-in).
+//
+// The cache sits above one or more *stores* (registered read/write
+// callbacks with a fixed block size).  Callers pin blocks through
+// BlockHandle; pinned blocks are never evicted.  Dirty blocks are
+// written back on eviction and on flush().  A capacity of zero gives the
+// "cache disabled" configuration of Figure 5.2: every access misses and
+// every dirty unpin writes through.
+//
+// Single-threaded by design: each simulated cluster node owns its own
+// GraphDB instance and cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "storage/io_stats.hpp"
+
+namespace mssg {
+
+class BlockCache;
+
+namespace detail {
+struct CacheEntry {
+  std::uint64_t key = 0;          // (store << 48) | block
+  std::vector<std::byte> data;
+  bool dirty = false;
+  int pins = 0;
+  std::list<std::uint64_t>::iterator lru_pos;  // valid iff resident
+  bool resident = false;
+};
+}  // namespace detail
+
+/// Pins a cached block for the lifetime of the handle.  Writable access
+/// marks the block dirty.
+class BlockHandle {
+ public:
+  BlockHandle() = default;
+  BlockHandle(const BlockHandle&) = delete;
+  BlockHandle& operator=(const BlockHandle&) = delete;
+  BlockHandle(BlockHandle&& other) noexcept;
+  BlockHandle& operator=(BlockHandle&& other) noexcept;
+  ~BlockHandle();
+
+  [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+
+  /// Read-only view of the block contents.
+  [[nodiscard]] std::span<const std::byte> data() const {
+    MSSG_CHECK(valid());
+    return entry_->data;
+  }
+
+  /// Mutable view; marks the block dirty.
+  [[nodiscard]] std::span<std::byte> mutable_data() {
+    MSSG_CHECK(valid());
+    entry_->dirty = true;
+    return entry_->data;
+  }
+
+ private:
+  friend class BlockCache;
+  BlockHandle(BlockCache* cache, detail::CacheEntry* entry)
+      : cache_(cache), entry_(entry) {}
+
+  void release();
+
+  BlockCache* cache_ = nullptr;
+  detail::CacheEntry* entry_ = nullptr;
+};
+
+class BlockCache {
+ public:
+  using Reader = std::function<void(std::uint64_t block, std::span<std::byte>)>;
+  using Writer =
+      std::function<void(std::uint64_t block, std::span<const std::byte>)>;
+
+  /// `capacity_bytes` bounds the total size of unpinned resident blocks;
+  /// zero disables caching (write-through / read-through).
+  explicit BlockCache(std::size_t capacity_bytes, IoStats* stats = nullptr)
+      : capacity_bytes_(capacity_bytes), stats_(stats) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+  ~BlockCache();
+
+  /// Registers a backing store.  Returns the store id used in get().
+  std::uint16_t register_store(std::size_t block_size, Reader reader,
+                               Writer writer);
+
+  /// Fetches a block, loading it from the store on a miss.
+  BlockHandle get(std::uint16_t store, std::uint64_t block);
+
+  /// Writes back all dirty blocks (keeps them resident).
+  void flush();
+
+  /// Writes back and drops every unpinned block.
+  void drop_clean();
+
+  [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  friend class BlockHandle;
+
+  struct Store {
+    std::size_t block_size = 0;
+    Reader reader;
+    Writer writer;
+  };
+
+  static constexpr int kStoreShift = 48;
+
+  void unpin(detail::CacheEntry* entry);
+  void write_back(detail::CacheEntry& entry);
+  void evict_to_capacity();
+
+  std::size_t capacity_bytes_;
+  IoStats* stats_;
+  std::vector<Store> stores_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<detail::CacheEntry>> map_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::size_t resident_bytes_ = 0;
+};
+
+}  // namespace mssg

@@ -1,0 +1,626 @@
+#include "storage/btree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+
+enum PageType : std::uint8_t { kLeaf = 1, kInternal = 2, kOverflow = 3 };
+
+constexpr std::size_t kLeafHeader = 16;
+constexpr std::size_t kLeafSlotSize = 16;
+constexpr std::size_t kInternalHeader = 16;  // 8 header + child0
+constexpr std::size_t kInternalEntrySize = 20;
+constexpr std::size_t kOverflowHeader = 16;
+constexpr std::uint16_t kOverflowCellLen = 0xFFFF;
+constexpr std::size_t kOverflowCellSize = 16;
+
+template <typename T>
+T load(std::span<const std::byte> page, std::size_t off) {
+  T v;
+  std::memcpy(&v, page.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void store(std::span<std::byte> page, std::size_t off, T v) {
+  std::memcpy(page.data() + off, &v, sizeof(T));
+}
+
+// ---- Leaf accessors ------------------------------------------------------
+
+std::uint16_t leaf_count(std::span<const std::byte> p) {
+  return load<std::uint16_t>(p, 2);
+}
+void set_leaf_count(std::span<std::byte> p, std::uint16_t n) {
+  store<std::uint16_t>(p, 2, n);
+}
+std::uint16_t leaf_heap_start(std::span<const std::byte> p) {
+  return load<std::uint16_t>(p, 4);
+}
+void set_leaf_heap_start(std::span<std::byte> p, std::uint16_t off) {
+  store<std::uint16_t>(p, 4, off);
+}
+PageId leaf_next(std::span<const std::byte> p) { return load<PageId>(p, 8); }
+void set_leaf_next(std::span<std::byte> p, PageId next) {
+  store<PageId>(p, 8, next);
+}
+
+struct LeafSlot {
+  BTreeKey key;
+  std::uint16_t cell_off;
+  std::uint16_t cell_len;
+};
+
+LeafSlot leaf_slot(std::span<const std::byte> p, std::size_t i) {
+  const std::size_t base = kLeafHeader + i * kLeafSlotSize;
+  LeafSlot s;
+  s.key.primary = load<std::uint64_t>(p, base);
+  s.key.secondary = load<std::uint32_t>(p, base + 8);
+  s.cell_off = load<std::uint16_t>(p, base + 12);
+  s.cell_len = load<std::uint16_t>(p, base + 14);
+  return s;
+}
+
+void set_leaf_slot(std::span<std::byte> p, std::size_t i, const LeafSlot& s) {
+  const std::size_t base = kLeafHeader + i * kLeafSlotSize;
+  store<std::uint64_t>(p, base, s.key.primary);
+  store<std::uint32_t>(p, base + 8, s.key.secondary);
+  store<std::uint16_t>(p, base + 12, s.cell_off);
+  store<std::uint16_t>(p, base + 14, s.cell_len);
+}
+
+void init_leaf(std::span<std::byte> p) {
+  std::memset(p.data(), 0, p.size());
+  store<std::uint8_t>(p, 0, kLeaf);
+  set_leaf_count(p, 0);
+  set_leaf_heap_start(p, static_cast<std::uint16_t>(p.size()));
+  set_leaf_next(p, kInvalidPage);
+}
+
+/// Index of the first slot with key >= `key`.
+std::size_t leaf_lower_bound(std::span<const std::byte> p,
+                             const BTreeKey& key) {
+  std::size_t lo = 0, hi = leaf_count(p);
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (leaf_slot(p, mid).key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t leaf_free_space(std::span<const std::byte> p) {
+  return leaf_heap_start(p) -
+         (kLeafHeader + leaf_count(p) * kLeafSlotSize);
+}
+
+/// Bytes of heap actually referenced by live slots.
+std::size_t leaf_live_heap(std::span<const std::byte> p) {
+  std::size_t total = 0;
+  const std::size_t n = leaf_count(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = leaf_slot(p, i);
+    total += (s.cell_len == kOverflowCellLen) ? kOverflowCellSize : s.cell_len;
+  }
+  return total;
+}
+
+/// Rewrites the heap so that it contains only live cells, maximizing
+/// contiguous free space.  Needed after deletions/replacements leave
+/// garbage between cells.
+void leaf_compact(std::span<std::byte> p) {
+  const std::size_t n = leaf_count(p);
+  std::vector<std::byte> scratch(p.size());
+  std::size_t heap = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = leaf_slot(p, i);
+    const std::size_t len =
+        (s.cell_len == kOverflowCellLen) ? kOverflowCellSize : s.cell_len;
+    heap -= len;
+    std::memcpy(scratch.data() + heap, p.data() + s.cell_off, len);
+    s.cell_off = static_cast<std::uint16_t>(heap);
+    set_leaf_slot(p, i, s);
+  }
+  std::memcpy(p.data() + heap, scratch.data() + heap, p.size() - heap);
+  set_leaf_heap_start(p, static_cast<std::uint16_t>(heap));
+}
+
+/// Writes a heap cell (assumes space is available) and returns its offset.
+std::uint16_t leaf_write_cell(std::span<std::byte> p,
+                              std::span<const std::byte> cell) {
+  const std::size_t heap = leaf_heap_start(p) - cell.size();
+  if (!cell.empty()) std::memcpy(p.data() + heap, cell.data(), cell.size());
+  set_leaf_heap_start(p, static_cast<std::uint16_t>(heap));
+  return static_cast<std::uint16_t>(heap);
+}
+
+void leaf_remove_slot(std::span<std::byte> p, std::size_t i) {
+  const std::size_t n = leaf_count(p);
+  for (std::size_t j = i; j + 1 < n; ++j) {
+    set_leaf_slot(p, j, leaf_slot(p, j + 1));
+  }
+  set_leaf_count(p, static_cast<std::uint16_t>(n - 1));
+}
+
+void leaf_insert_slot(std::span<std::byte> p, std::size_t i,
+                      const LeafSlot& slot) {
+  const std::size_t n = leaf_count(p);
+  for (std::size_t j = n; j > i; --j) {
+    set_leaf_slot(p, j, leaf_slot(p, j - 1));
+  }
+  set_leaf_slot(p, i, slot);
+  set_leaf_count(p, static_cast<std::uint16_t>(n + 1));
+}
+
+// ---- Internal accessors --------------------------------------------------
+
+std::uint16_t internal_count(std::span<const std::byte> p) {
+  return load<std::uint16_t>(p, 2);
+}
+void set_internal_count(std::span<std::byte> p, std::uint16_t n) {
+  store<std::uint16_t>(p, 2, n);
+}
+PageId internal_child0(std::span<const std::byte> p) {
+  return load<PageId>(p, 8);
+}
+void set_internal_child0(std::span<std::byte> p, PageId child) {
+  store<PageId>(p, 8, child);
+}
+
+struct InternalEntry {
+  BTreeKey key;
+  PageId child;
+};
+
+InternalEntry internal_entry(std::span<const std::byte> p, std::size_t i) {
+  const std::size_t base = kInternalHeader + i * kInternalEntrySize;
+  InternalEntry e;
+  e.key.primary = load<std::uint64_t>(p, base);
+  e.key.secondary = load<std::uint32_t>(p, base + 8);
+  e.child = load<PageId>(p, base + 12);
+  return e;
+}
+
+void set_internal_entry(std::span<std::byte> p, std::size_t i,
+                        const InternalEntry& e) {
+  const std::size_t base = kInternalHeader + i * kInternalEntrySize;
+  store<std::uint64_t>(p, base, e.key.primary);
+  store<std::uint32_t>(p, base + 8, e.key.secondary);
+  store<PageId>(p, base + 12, e.child);
+}
+
+void init_internal(std::span<std::byte> p, PageId child0) {
+  std::memset(p.data(), 0, p.size());
+  store<std::uint8_t>(p, 0, kInternal);
+  set_internal_count(p, 0);
+  set_internal_child0(p, child0);
+}
+
+std::size_t internal_capacity(std::size_t page_size) {
+  // One slot is held back so a split can stage count+1 entries in place
+  // without running past the page end.
+  return (page_size - kInternalHeader) / kInternalEntrySize - 1;
+}
+
+/// Child index to descend into for `key`: number of separators <= key.
+std::size_t internal_descend_index(std::span<const std::byte> p,
+                                   const BTreeKey& key) {
+  std::size_t lo = 0, hi = internal_count(p);
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (internal_entry(p, mid).key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PageId internal_child(std::span<const std::byte> p, std::size_t i) {
+  return i == 0 ? internal_child0(p) : internal_entry(p, i - 1).child;
+}
+
+std::uint8_t page_type(std::span<const std::byte> p) {
+  return load<std::uint8_t>(p, 0);
+}
+
+}  // namespace
+
+// ---- BTree ---------------------------------------------------------------
+
+BTree::BTree(Pager& pager, int meta_base)
+    : pager_(pager), meta_base_(meta_base) {
+  MSSG_CHECK(meta_base >= 0 && meta_base + 1 < Pager::kMetaSlots);
+}
+
+std::size_t BTree::inline_max() const {
+  // A leaf must hold at least 4 maximal entries so splits always succeed.
+  return std::min<std::size_t>(
+      1024, (pager_.page_size() - kLeafHeader) / 4 - kLeafSlotSize);
+}
+
+void BTree::bump_size(std::int64_t delta) {
+  pager_.set_meta(meta_base_ + 1,
+                  pager_.meta(meta_base_ + 1) + static_cast<std::uint64_t>(delta));
+}
+
+std::uint64_t BTree::size() const { return pager_.meta(meta_base_ + 1); }
+
+int BTree::height() const {
+  PageId page = root();
+  if (page == kInvalidPage) return 0;
+  int h = 1;
+  while (true) {
+    auto handle = pager_.pin(page);
+    if (page_type(handle.data()) == kLeaf) return h;
+    page = internal_child0(handle.data());
+    ++h;
+  }
+}
+
+PageId BTree::find_leaf(const BTreeKey& key) const {
+  PageId page = root();
+  MSSG_CHECK(page != kInvalidPage);
+  while (true) {
+    auto handle = pager_.pin(page);
+    auto data = handle.data();
+    const auto type = page_type(data);
+    if (type == kLeaf) return page;
+    if (type != kInternal) {
+      throw StorageError("btree: corrupt page type " + std::to_string(type) +
+                         " on descent (page " + std::to_string(page) + ")");
+    }
+    page = internal_child(data, internal_descend_index(data, key));
+  }
+}
+
+// ---- Overflow chains -----------------------------------------------------
+
+PageId BTree::write_overflow(std::span<const std::byte> value) {
+  const std::size_t capacity = pager_.page_size() - kOverflowHeader;
+  PageId head = kInvalidPage;
+  PageId prev = kInvalidPage;
+  std::size_t pos = 0;
+  while (pos < value.size() || head == kInvalidPage) {
+    const PageId page = pager_.allocate();
+    if (head == kInvalidPage) head = page;
+    if (prev != kInvalidPage) {
+      auto prev_handle = pager_.pin(prev);
+      store<PageId>(prev_handle.mutable_data(), 8, page);
+    }
+    const std::size_t n = std::min(capacity, value.size() - pos);
+    auto handle = pager_.pin(page);
+    auto data = handle.mutable_data();
+    store<std::uint8_t>(data, 0, kOverflow);
+    store<std::uint32_t>(data, 4, static_cast<std::uint32_t>(n));
+    store<PageId>(data, 8, kInvalidPage);
+    std::memcpy(data.data() + kOverflowHeader, value.data() + pos, n);
+    pos += n;
+    prev = page;
+    if (pos >= value.size()) break;
+  }
+  return head;
+}
+
+void BTree::free_overflow(PageId head) {
+  while (head != kInvalidPage) {
+    PageId next;
+    {
+      auto handle = pager_.pin(head);
+      next = load<PageId>(handle.data(), 8);
+    }
+    pager_.free_page(head);
+    head = next;
+  }
+}
+
+std::vector<std::byte> BTree::read_overflow(PageId head,
+                                            std::uint64_t len) const {
+  std::vector<std::byte> value(len);
+  std::size_t pos = 0;
+  PageId page = head;
+  while (pos < len) {
+    MSSG_CHECK(page != kInvalidPage);
+    auto handle = pager_.pin(page);
+    auto data = handle.data();
+    if (page_type(data) != kOverflow) {
+      throw StorageError("btree: overflow chain points at non-overflow page");
+    }
+    const auto used = load<std::uint32_t>(data, 4);
+    MSSG_CHECK(pos + used <= len);
+    std::memcpy(value.data() + pos, data.data() + kOverflowHeader, used);
+    pos += used;
+    page = load<PageId>(data, 8);
+  }
+  return value;
+}
+
+// ---- Lookup --------------------------------------------------------------
+
+std::optional<std::vector<std::byte>> BTree::get(const BTreeKey& key) const {
+  if (root() == kInvalidPage) return std::nullopt;
+  const PageId leaf = find_leaf(key);
+  auto handle = pager_.pin(leaf);
+  auto data = handle.data();
+  const std::size_t i = leaf_lower_bound(data, key);
+  if (i >= leaf_count(data)) return std::nullopt;
+  const auto slot = leaf_slot(data, i);
+  if (slot.key != key) return std::nullopt;
+  if (slot.cell_len == kOverflowCellLen) {
+    const auto total_len = load<std::uint64_t>(data, slot.cell_off);
+    const auto head = load<PageId>(data, slot.cell_off + 8);
+    return read_overflow(head, total_len);
+  }
+  std::vector<std::byte> value(slot.cell_len);
+  std::memcpy(value.data(), data.data() + slot.cell_off, slot.cell_len);
+  return value;
+}
+
+bool BTree::contains(const BTreeKey& key) const {
+  if (root() == kInvalidPage) return false;
+  const PageId leaf = find_leaf(key);
+  auto handle = pager_.pin(leaf);
+  auto data = handle.data();
+  const std::size_t i = leaf_lower_bound(data, key);
+  return i < leaf_count(data) && leaf_slot(data, i).key == key;
+}
+
+// ---- Insert --------------------------------------------------------------
+
+bool BTree::put(const BTreeKey& key, std::span<const std::byte> value) {
+  if (root() == kInvalidPage) {
+    const PageId leaf = pager_.allocate();
+    auto handle = pager_.pin(leaf);
+    init_leaf(handle.mutable_data());
+    set_root(leaf);
+  }
+  bool replaced = false;
+  auto split = insert_recursive(root(), key, value, replaced);
+  if (split) {
+    const PageId new_root = pager_.allocate();
+    auto handle = pager_.pin(new_root);
+    auto data = handle.mutable_data();
+    init_internal(data, root());
+    set_internal_entry(data, 0, {split->separator, split->right_page});
+    set_internal_count(data, 1);
+    set_root(new_root);
+  }
+  if (!replaced) bump_size(1);
+  return replaced;
+}
+
+std::optional<BTree::SplitResult> BTree::insert_recursive(
+    PageId page, const BTreeKey& key, std::span<const std::byte> value,
+    bool& replaced) {
+  std::uint8_t type;
+  std::size_t child_index = 0;
+  PageId child = kInvalidPage;
+  {
+    auto handle = pager_.pin(page);
+    auto data = handle.data();
+    type = page_type(data);
+    if (type == kLeaf) {
+      // Handled below without the pin held (leaf_insert re-pins), so the
+      // split path can pin two leaves without this extra pin.
+    } else {
+      child_index = internal_descend_index(data, key);
+      child = internal_child(data, child_index);
+    }
+  }
+  if (type == kLeaf) return leaf_insert(page, key, value, replaced);
+
+  auto child_split = insert_recursive(child, key, value, replaced);
+  if (!child_split) return std::nullopt;
+
+  auto handle = pager_.pin(page);
+  auto data = handle.mutable_data();
+  const std::size_t n = internal_count(data);
+  const std::size_t capacity = internal_capacity(pager_.page_size());
+
+  // Shift entries right and place the new separator at child_index.
+  for (std::size_t j = n; j > child_index; --j) {
+    set_internal_entry(data, j, internal_entry(data, j - 1));
+  }
+  set_internal_entry(data, child_index,
+                     {child_split->separator, child_split->right_page});
+  set_internal_count(data, static_cast<std::uint16_t>(n + 1));
+
+  if (n + 1 <= capacity) return std::nullopt;
+
+  // Split the internal node: median separator moves up.
+  const std::size_t total = n + 1;
+  const std::size_t mid = total / 2;
+  const InternalEntry median = internal_entry(data, mid);
+
+  const PageId right_page = pager_.allocate();
+  auto right_handle = pager_.pin(right_page);
+  auto right = right_handle.mutable_data();
+  init_internal(right, median.child);
+  std::uint16_t right_count = 0;
+  for (std::size_t j = mid + 1; j < total; ++j) {
+    set_internal_entry(right, right_count++, internal_entry(data, j));
+  }
+  set_internal_count(right, right_count);
+  set_internal_count(data, static_cast<std::uint16_t>(mid));
+
+  return SplitResult{median.key, right_page};
+}
+
+std::optional<BTree::SplitResult> BTree::leaf_insert(
+    PageId page, const BTreeKey& key, std::span<const std::byte> value,
+    bool& replaced) {
+  auto handle = pager_.pin(page);
+  auto data = handle.mutable_data();
+
+  std::size_t i = leaf_lower_bound(data, key);
+  if (i < leaf_count(data) && leaf_slot(data, i).key == key) {
+    // Replace: drop the old entry (freeing any overflow chain), then fall
+    // through to a plain insert.
+    const auto old = leaf_slot(data, i);
+    if (old.cell_len == kOverflowCellLen) {
+      const auto head = load<PageId>(data, old.cell_off + 8);
+      free_overflow(head);
+    }
+    leaf_remove_slot(data, i);
+    replaced = true;
+  }
+
+  // Build the cell: inline if small, otherwise an overflow pointer.
+  std::vector<std::byte> cell;
+  if (value.size() <= inline_max()) {
+    cell.assign(value.begin(), value.end());
+  } else {
+    const PageId head = write_overflow(value);
+    cell.resize(kOverflowCellSize);
+    store<std::uint64_t>(cell, 0, value.size());
+    store<PageId>(cell, 8, head);
+  }
+  const std::uint16_t cell_len =
+      value.size() <= inline_max() ? static_cast<std::uint16_t>(value.size())
+                                   : kOverflowCellLen;
+
+  const std::size_t need = kLeafSlotSize + cell.size();
+  if (leaf_free_space(data) < need) {
+    // Try compaction first: deleted/replaced cells leave heap garbage.
+    const std::size_t live =
+        kLeafHeader + leaf_count(data) * kLeafSlotSize + leaf_live_heap(data);
+    if (pager_.page_size() - live >= need) {
+      leaf_compact(data);
+    }
+  }
+
+  if (leaf_free_space(data) >= need) {
+    const auto off = leaf_write_cell(data, cell);
+    leaf_insert_slot(data, i, {key, off, cell_len});
+    return std::nullopt;
+  }
+
+  // Split.  Cell sizes vary (4 bytes to inline_max), so redistributing by
+  // entry count can leave one half byte-full; instead gather every entry
+  // *including the pending one* in key order and split by bytes.
+  struct TempEntry {
+    BTreeKey key;
+    std::uint16_t cell_len;
+    std::vector<std::byte> bytes;
+  };
+  const std::size_t n = leaf_count(data);
+  MSSG_CHECK(n >= 1);
+  std::vector<TempEntry> entries;
+  entries.reserve(n + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) entries.push_back({key, cell_len, cell});
+    const auto slot = leaf_slot(data, j);
+    const std::size_t len =
+        (slot.cell_len == kOverflowCellLen) ? kOverflowCellSize : slot.cell_len;
+    entries.push_back(
+        {slot.key, slot.cell_len,
+         std::vector<std::byte>(data.data() + slot.cell_off,
+                                data.data() + slot.cell_off + len)});
+  }
+  if (i == n) entries.push_back({key, cell_len, cell});
+
+  std::size_t total_bytes = 0;
+  for (const auto& e : entries) total_bytes += kLeafSlotSize + e.bytes.size();
+  std::size_t split = 1;  // at least one entry per half
+  std::size_t left_bytes = kLeafSlotSize + entries[0].bytes.size();
+  while (split + 1 < entries.size() && left_bytes < total_bytes / 2) {
+    left_bytes += kLeafSlotSize + entries[split].bytes.size();
+    ++split;
+  }
+
+  const PageId right_page = pager_.allocate();
+  auto right_handle = pager_.pin(right_page);
+  auto right = right_handle.mutable_data();
+  init_leaf(right);
+  set_leaf_next(right, leaf_next(data));
+
+  init_leaf(data);
+  set_leaf_next(data, right_page);
+
+  auto write_entries = [](std::span<std::byte> target_page,
+                          std::span<const TempEntry> list) {
+    for (const auto& e : list) {
+      const auto off = leaf_write_cell(target_page, e.bytes);
+      leaf_insert_slot(target_page, leaf_count(target_page),
+                       {e.key, off, e.cell_len});
+    }
+  };
+  write_entries(data, std::span(entries).subspan(0, split));
+  write_entries(right, std::span(entries).subspan(split));
+
+  return SplitResult{leaf_slot(right, 0).key, right_page};
+}
+
+// ---- Erase ---------------------------------------------------------------
+
+bool BTree::erase(const BTreeKey& key) {
+  if (root() == kInvalidPage) return false;
+  const PageId leaf = find_leaf(key);
+  auto handle = pager_.pin(leaf);
+  auto data = handle.mutable_data();
+  const std::size_t i = leaf_lower_bound(data, key);
+  if (i >= leaf_count(data) || leaf_slot(data, i).key != key) return false;
+  const auto slot = leaf_slot(data, i);
+  if (slot.cell_len == kOverflowCellLen) {
+    const auto head = load<PageId>(data, slot.cell_off + 8);
+    free_overflow(head);
+  }
+  leaf_remove_slot(data, i);
+  bump_size(-1);
+  return true;
+}
+
+// ---- Scan ----------------------------------------------------------------
+
+void BTree::scan(const BTreeKey& lo, const BTreeKey& hi,
+                 const std::function<bool(const BTreeKey&,
+                                          std::span<const std::byte>)>& visit)
+    const {
+  if (root() == kInvalidPage || hi < lo) return;
+  PageId page = find_leaf(lo);
+  while (page != kInvalidPage) {
+    // Copy out the entries of this leaf before calling the visitor so the
+    // pin is not held across user code.
+    std::vector<std::pair<BTreeKey, std::vector<std::byte>>> batch;
+    PageId next;
+    {
+      auto handle = pager_.pin(page);
+      auto data = handle.data();
+      next = leaf_next(data);
+      const std::size_t n = leaf_count(data);
+      for (std::size_t i = leaf_lower_bound(data, lo); i < n; ++i) {
+        const auto slot = leaf_slot(data, i);
+        if (hi < slot.key) {
+          next = kInvalidPage;
+          break;
+        }
+        std::vector<std::byte> value;
+        if (slot.cell_len == kOverflowCellLen) {
+          const auto total_len = load<std::uint64_t>(data, slot.cell_off);
+          const auto head = load<PageId>(data, slot.cell_off + 8);
+          value = read_overflow(head, total_len);
+        } else {
+          value.resize(slot.cell_len);
+          std::memcpy(value.data(), data.data() + slot.cell_off,
+                      slot.cell_len);
+        }
+        batch.emplace_back(slot.key, std::move(value));
+      }
+    }
+    for (const auto& [k, v] : batch) {
+      if (!visit(k, v)) return;
+    }
+    page = next;
+  }
+}
+
+}  // namespace mssg

@@ -1,0 +1,110 @@
+// Disk-based B+tree with variable-length values and overflow chains.
+//
+// This is the access structure behind KVStoreDB (the BerkeleyDB stand-in)
+// and the secondary index of RelationalDB (the MySQL stand-in).  Keys are
+// a (primary, secondary) pair — in the GraphDB backends that is
+// (vertex GID, adjacency chunk number), matching the thesis' chunked-BLOB
+// schema (Figure 4.3).
+//
+// Layout (page size P, from the Pager):
+//   leaf:     [type u8][pad u8][count u16][heap_start u16][pad u16]
+//             [next_leaf u64] then `count` sorted 16-byte slots
+//             {primary u64, secondary u32, cell_off u16, cell_len u16};
+//             cells grow downward from the page end.  cell_len == 0xFFFF
+//             marks an overflow cell: {total_len u64, head_page u64}.
+//   internal: [type u8][pad u8][count u16][pad u32][child0 u64] then
+//             `count` 20-byte entries {primary u64, secondary u32,
+//             child u64}; child[i] holds keys < key[i] <= child[i+1].
+//   overflow: [type u8][pad3][used u32][next u64][payload ...]
+//
+// Deletions do not rebalance (no page merging); freed overflow pages are
+// recycled through the pager free list.  That matches the
+// insert/update/lookup-heavy GraphDB workload and keeps the structure
+// simple — BerkeleyDB btrees behave similarly under this access pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "storage/pager.hpp"
+
+namespace mssg {
+
+struct BTreeKey {
+  std::uint64_t primary = 0;
+  std::uint32_t secondary = 0;
+
+  friend constexpr bool operator==(const BTreeKey&, const BTreeKey&) = default;
+  friend constexpr auto operator<=>(const BTreeKey&, const BTreeKey&) = default;
+};
+
+class BTree {
+ public:
+  /// The tree persists its root and entry count in pager meta slots
+  /// [meta_base, meta_base+1].
+  explicit BTree(Pager& pager, int meta_base = 0);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or replaces.  Returns true if the key already existed.
+  bool put(const BTreeKey& key, std::span<const std::byte> value);
+
+  /// Returns the value, or nullopt if absent.
+  [[nodiscard]] std::optional<std::vector<std::byte>> get(
+      const BTreeKey& key) const;
+
+  [[nodiscard]] bool contains(const BTreeKey& key) const;
+
+  /// Removes the key.  Returns true if it was present.
+  bool erase(const BTreeKey& key);
+
+  /// Visits entries with lo <= key <= hi in key order.  The visitor
+  /// returns false to stop early.
+  void scan(const BTreeKey& lo, const BTreeKey& hi,
+            const std::function<bool(const BTreeKey&,
+                                     std::span<const std::byte>)>& visit) const;
+
+  /// Number of live entries.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Height of the tree (0 for empty, 1 for a lone leaf).
+  [[nodiscard]] int height() const;
+
+  void flush() { pager_.flush(); }
+
+ private:
+  struct SplitResult {
+    BTreeKey separator;
+    PageId right_page;
+  };
+
+  [[nodiscard]] std::size_t inline_max() const;
+  [[nodiscard]] PageId root() const { return pager_.meta(meta_base_); }
+  void set_root(PageId page) { pager_.set_meta(meta_base_, page); }
+  void bump_size(std::int64_t delta);
+
+  std::optional<SplitResult> insert_recursive(PageId page, const BTreeKey& key,
+                                              std::span<const std::byte> value,
+                                              bool& replaced);
+  std::optional<SplitResult> leaf_insert(PageId page, const BTreeKey& key,
+                                         std::span<const std::byte> value,
+                                         bool& replaced);
+
+  /// Writes a value as an overflow chain; returns the head page.
+  PageId write_overflow(std::span<const std::byte> value);
+  void free_overflow(PageId head);
+  [[nodiscard]] std::vector<std::byte> read_overflow(PageId head,
+                                                     std::uint64_t len) const;
+
+  /// Locates the leaf that does / would contain `key`.
+  [[nodiscard]] PageId find_leaf(const BTreeKey& key) const;
+
+  Pager& pager_;
+  int meta_base_;
+};
+
+}  // namespace mssg

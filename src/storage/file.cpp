@@ -1,0 +1,125 @@
+#include "storage/file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& op,
+                              const std::filesystem::path& path) {
+  throw StorageError(op + " failed for " + path.string() + ": " +
+                     std::strerror(errno));
+}
+}  // namespace
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      stats_(std::exchange(other.stats_, nullptr)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    stats_ = std::exchange(other.stats_, nullptr);
+  }
+  return *this;
+}
+
+File::~File() { close(); }
+
+File File::open(const std::filesystem::path& path, IoStats* stats) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open", path);
+  return File(fd, stats);
+}
+
+File File::open_readonly(const std::filesystem::path& path, IoStats* stats) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open (read-only)", path);
+  return File(fd, stats);
+}
+
+std::size_t File::read_at(std::uint64_t offset,
+                          std::span<std::byte> buffer) const {
+  MSSG_CHECK(is_open());
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t n = ::pread(fd_, buffer.data() + done, buffer.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StorageError(std::string("pread failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // past EOF: zero-fill the rest
+    done += static_cast<std::size_t>(n);
+  }
+  if (done < buffer.size()) {
+    std::memset(buffer.data() + done, 0, buffer.size() - done);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->reads;
+    stats_->bytes_read += buffer.size();
+  }
+  return done;
+}
+
+void File::write_at(std::uint64_t offset,
+                    std::span<const std::byte> buffer) const {
+  MSSG_CHECK(is_open());
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t n = ::pwrite(fd_, buffer.data() + done, buffer.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StorageError(std::string("pwrite failed: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->writes;
+    stats_->bytes_written += buffer.size();
+  }
+}
+
+std::uint64_t File::size() const {
+  MSSG_CHECK(is_open());
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    throw StorageError(std::string("lseek failed: ") + std::strerror(errno));
+  }
+  return static_cast<std::uint64_t>(end);
+}
+
+void File::truncate(std::uint64_t new_size) const {
+  MSSG_CHECK(is_open());
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    throw StorageError(std::string("ftruncate failed: ") +
+                       std::strerror(errno));
+  }
+}
+
+void File::sync() const {
+  MSSG_CHECK(is_open());
+  if (::fdatasync(fd_) != 0) {
+    throw StorageError(std::string("fdatasync failed: ") +
+                       std::strerror(errno));
+  }
+  if (stats_ != nullptr) ++stats_->syncs;
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mssg

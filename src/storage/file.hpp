@@ -1,0 +1,54 @@
+// RAII wrapper over a POSIX file descriptor with positional I/O.
+// All GraphDB backends do random block access, so the interface is
+// pread/pwrite-shaped rather than stream-shaped.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+#include "storage/io_stats.hpp"
+
+namespace mssg {
+
+class File {
+ public:
+  File() = default;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  ~File();
+
+  /// Opens (creating if necessary) a read/write file.  `stats` may be
+  /// null; when set, every operation is accounted there.  The pointer
+  /// must outlive the File.
+  static File open(const std::filesystem::path& path, IoStats* stats = nullptr);
+
+  /// Opens an existing file read-only; throws StorageError if missing.
+  static File open_readonly(const std::filesystem::path& path,
+                            IoStats* stats = nullptr);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Reads exactly buffer.size() bytes at `offset`.  Bytes beyond EOF
+  /// read as zero (grDB files are sparse: blocks are addressed before
+  /// they are first written).  Returns the number of real bytes read.
+  std::size_t read_at(std::uint64_t offset, std::span<std::byte> buffer) const;
+
+  /// Writes exactly buffer.size() bytes at `offset`, extending the file.
+  void write_at(std::uint64_t offset, std::span<const std::byte> buffer) const;
+
+  [[nodiscard]] std::uint64_t size() const;
+  void truncate(std::uint64_t new_size) const;
+  void sync() const;
+  void close();
+
+ private:
+  File(int fd, IoStats* stats) : fd_(fd), stats_(stats) {}
+
+  int fd_ = -1;
+  IoStats* stats_ = nullptr;
+};
+
+}  // namespace mssg

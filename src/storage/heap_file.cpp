@@ -1,0 +1,325 @@
+#include "storage/heap_file.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "storage/overflow.hpp"
+
+namespace mssg {
+
+namespace {
+
+constexpr std::uint8_t kHeapPageType = 4;
+constexpr std::size_t kHeader = 16;
+constexpr std::size_t kSlotSize = 4;
+constexpr std::uint16_t kDeadOff = 0xFFFF;
+constexpr std::uint16_t kSpilledLen = 0xFFFF;
+constexpr std::size_t kSpillCellSize = 16;
+
+template <typename T>
+T load(std::span<const std::byte> page, std::size_t off) {
+  T v;
+  std::memcpy(&v, page.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void store(std::span<std::byte> page, std::size_t off, T v) {
+  std::memcpy(page.data() + off, &v, sizeof(T));
+}
+
+std::uint16_t slot_count(std::span<const std::byte> p) {
+  return load<std::uint16_t>(p, 2);
+}
+void set_slot_count(std::span<std::byte> p, std::uint16_t n) {
+  store<std::uint16_t>(p, 2, n);
+}
+std::uint16_t heap_start(std::span<const std::byte> p) {
+  return load<std::uint16_t>(p, 4);
+}
+void set_heap_start(std::span<std::byte> p, std::uint16_t off) {
+  store<std::uint16_t>(p, 4, off);
+}
+PageId next_page(std::span<const std::byte> p) { return load<PageId>(p, 8); }
+void set_next_page(std::span<std::byte> p, PageId next) {
+  store<PageId>(p, 8, next);
+}
+
+struct Slot {
+  std::uint16_t off;
+  std::uint16_t len;
+};
+
+Slot get_slot(std::span<const std::byte> p, std::size_t i) {
+  const std::size_t base = kHeader + i * kSlotSize;
+  return {load<std::uint16_t>(p, base), load<std::uint16_t>(p, base + 2)};
+}
+
+void set_slot(std::span<std::byte> p, std::size_t i, Slot s) {
+  const std::size_t base = kHeader + i * kSlotSize;
+  store<std::uint16_t>(p, base, s.off);
+  store<std::uint16_t>(p, base + 2, s.len);
+}
+
+std::size_t cell_size(Slot s) {
+  if (s.off == kDeadOff) return 0;
+  return s.len == kSpilledLen ? kSpillCellSize : s.len;
+}
+
+std::size_t free_space(std::span<const std::byte> p) {
+  return heap_start(p) - (kHeader + slot_count(p) * kSlotSize);
+}
+
+std::size_t live_bytes(std::span<const std::byte> p) {
+  std::size_t total = 0;
+  const std::size_t n = slot_count(p);
+  for (std::size_t i = 0; i < n; ++i) total += cell_size(get_slot(p, i));
+  return total;
+}
+
+void compact(std::span<std::byte> p) {
+  const std::size_t n = slot_count(p);
+  std::vector<std::byte> scratch(p.size());
+  std::size_t heap = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = get_slot(p, i);
+    const std::size_t len = cell_size(s);
+    if (s.off == kDeadOff || len == 0) continue;
+    heap -= len;
+    std::memcpy(scratch.data() + heap, p.data() + s.off, len);
+    s.off = static_cast<std::uint16_t>(heap);
+    set_slot(p, i, s);
+  }
+  std::memcpy(p.data() + heap, scratch.data() + heap, p.size() - heap);
+  set_heap_start(p, static_cast<std::uint16_t>(heap));
+}
+
+void init_heap_page(std::span<std::byte> p) {
+  std::memset(p.data(), 0, p.size());
+  store<std::uint8_t>(p, 0, kHeapPageType);
+  set_slot_count(p, 0);
+  set_heap_start(p, static_cast<std::uint16_t>(p.size()));
+  set_next_page(p, kInvalidPage);
+}
+
+/// Writes a cell into the heap area (space must be available).
+std::uint16_t write_cell(std::span<std::byte> p,
+                         std::span<const std::byte> cell) {
+  const std::size_t heap = heap_start(p) - cell.size();
+  if (!cell.empty()) std::memcpy(p.data() + heap, cell.data(), cell.size());
+  set_heap_start(p, static_cast<std::uint16_t>(heap));
+  return static_cast<std::uint16_t>(heap);
+}
+
+}  // namespace
+
+HeapFile::HeapFile(Pager& pager, int meta_base)
+    : pager_(pager), meta_base_(meta_base) {
+  MSSG_CHECK(meta_base >= 0 && meta_base + 2 < Pager::kMetaSlots);
+}
+
+void HeapFile::bump_rows(std::int64_t delta) {
+  pager_.set_meta(meta_base_ + 2, pager_.meta(meta_base_ + 2) +
+                                      static_cast<std::uint64_t>(delta));
+}
+
+std::uint64_t HeapFile::row_count() const { return pager_.meta(meta_base_ + 2); }
+
+PageId HeapFile::append_page() {
+  const PageId page = pager_.allocate();
+  {
+    auto handle = pager_.pin(page);
+    init_heap_page(handle.mutable_data());
+  }
+  if (first_page() == kInvalidPage) {
+    pager_.set_meta(meta_base_, page);
+  } else {
+    auto tail = pager_.pin(last_page());
+    set_next_page(tail.mutable_data(), page);
+  }
+  pager_.set_meta(meta_base_ + 1, page);
+  return page;
+}
+
+RowId HeapFile::insert(std::span<const std::byte> row) {
+  // Build the stored cell: inline when it fits in a quarter page, spilled
+  // to an overflow chain otherwise.
+  const std::size_t inline_max = pager_.page_size() / 4;
+  std::vector<std::byte> cell;
+  std::uint16_t len;
+  if (row.size() <= inline_max) {
+    cell.assign(row.begin(), row.end());
+    len = static_cast<std::uint16_t>(row.size());
+  } else {
+    const PageId head = overflow::write_chain(pager_, row);
+    cell.resize(kSpillCellSize);
+    store<std::uint64_t>(cell, 0, row.size());
+    store<PageId>(cell, 8, head);
+    len = kSpilledLen;
+  }
+
+  PageId page = last_page();
+  if (page == kInvalidPage) page = append_page();
+
+  const std::size_t need = kSlotSize + cell.size();
+  {
+    auto handle = pager_.pin(page);
+    auto data = handle.mutable_data();
+    if (free_space(data) < need) {
+      const std::size_t live =
+          kHeader + slot_count(data) * kSlotSize + live_bytes(data);
+      if (pager_.page_size() - live >= need) compact(data);
+    }
+    if (free_space(data) >= need) {
+      const auto off = write_cell(data, cell);
+      const std::uint16_t slot = slot_count(data);
+      set_slot(data, slot, {off, len});
+      set_slot_count(data, static_cast<std::uint16_t>(slot + 1));
+      bump_rows(1);
+      return {page, slot};
+    }
+  }
+
+  // Tail page full: open a new one.  (Heap files only ever append at the
+  // tail; interior free space is reused via update-in-place.)
+  page = append_page();
+  auto handle = pager_.pin(page);
+  auto data = handle.mutable_data();
+  MSSG_CHECK(free_space(data) >= need);
+  const auto off = write_cell(data, cell);
+  set_slot(data, 0, {off, len});
+  set_slot_count(data, 1);
+  bump_rows(1);
+  return {page, 0};
+}
+
+std::vector<std::byte> HeapFile::read(RowId id) const {
+  auto handle = const_cast<Pager&>(pager_).pin(id.page);
+  auto data = handle.data();
+  if (load<std::uint8_t>(data, 0) != kHeapPageType) {
+    throw StorageError("heap read: RowId does not point at a heap page");
+  }
+  if (id.slot >= slot_count(data)) {
+    throw StorageError("heap read: slot out of range");
+  }
+  const auto s = get_slot(data, id.slot);
+  if (s.off == kDeadOff) throw StorageError("heap read: row was deleted");
+  if (s.len == kSpilledLen) {
+    const auto total_len = load<std::uint64_t>(data, s.off);
+    const auto head = load<PageId>(data, s.off + 8);
+    return overflow::read_chain(pager_, head, total_len);
+  }
+  std::vector<std::byte> row(s.len);
+  std::memcpy(row.data(), data.data() + s.off, s.len);
+  return row;
+}
+
+void HeapFile::erase(RowId id) {
+  auto handle = pager_.pin(id.page);
+  auto data = handle.mutable_data();
+  MSSG_CHECK(id.slot < slot_count(data));
+  const auto s = get_slot(data, id.slot);
+  if (s.off == kDeadOff) return;  // already dead
+  if (s.len == kSpilledLen) {
+    const auto head = load<PageId>(data, s.off + 8);
+    overflow::free_chain(pager_, head);
+  }
+  set_slot(data, id.slot, {kDeadOff, 0});
+  bump_rows(-1);
+}
+
+RowId HeapFile::update(RowId id, std::span<const std::byte> row) {
+  const std::size_t inline_max = pager_.page_size() / 4;
+  {
+    auto handle = pager_.pin(id.page);
+    auto data = handle.mutable_data();
+    MSSG_CHECK(id.slot < slot_count(data));
+    const auto s = get_slot(data, id.slot);
+    MSSG_CHECK(s.off != kDeadOff);
+    if (row.size() <= inline_max) {
+      // In-place rewrite when the new row fits the existing cell.
+      if (s.len != kSpilledLen && row.size() <= s.len) {
+        std::memcpy(data.data() + s.off, row.data(), row.size());
+        set_slot(data, id.slot,
+                 {s.off, static_cast<std::uint16_t>(row.size())});
+        return id;
+      }
+      // Otherwise try to place a fresh cell in the same page.
+      const std::size_t old_cell = cell_size(s);
+      if (s.len == kSpilledLen) {
+        const auto head = load<PageId>(data, s.off + 8);
+        overflow::free_chain(pager_, head);
+      }
+      set_slot(data, id.slot, {kDeadOff, 0});
+      const std::size_t live =
+          kHeader + slot_count(data) * kSlotSize + live_bytes(data);
+      (void)old_cell;
+      if (pager_.page_size() - live >= row.size()) {
+        compact(data);
+        const auto off = write_cell(data, row);
+        set_slot(data, id.slot,
+                 {off, static_cast<std::uint16_t>(row.size())});
+        return id;
+      }
+      // No room: migrate (slot stays dead; count already balanced below).
+      bump_rows(-1);
+    } else {
+      // New row spills: reuse the slot with a fresh overflow chain.
+      if (s.len == kSpilledLen) {
+        const auto head = load<PageId>(data, s.off + 8);
+        overflow::free_chain(pager_, head);
+      }
+      set_slot(data, id.slot, {kDeadOff, 0});
+      const std::size_t live =
+          kHeader + slot_count(data) * kSlotSize + live_bytes(data);
+      if (pager_.page_size() - live >= kSpillCellSize) {
+        compact(data);
+        const PageId head = overflow::write_chain(pager_, row);
+        std::vector<std::byte> cell(kSpillCellSize);
+        store<std::uint64_t>(cell, 0, row.size());
+        store<PageId>(cell, 8, head);
+        const auto off = write_cell(data, cell);
+        set_slot(data, id.slot, {off, kSpilledLen});
+        return id;
+      }
+      bump_rows(-1);
+    }
+  }
+  return insert(row);
+}
+
+void HeapFile::for_each(
+    const std::function<bool(RowId, std::span<const std::byte>)>& visit)
+    const {
+  PageId page = first_page();
+  while (page != kInvalidPage) {
+    std::vector<std::pair<RowId, std::vector<std::byte>>> batch;
+    PageId next;
+    {
+      auto handle = const_cast<Pager&>(pager_).pin(page);
+      auto data = handle.data();
+      next = next_page(data);
+      const std::size_t n = slot_count(data);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto s = get_slot(data, i);
+        if (s.off == kDeadOff) continue;
+        const RowId id{page, static_cast<std::uint16_t>(i)};
+        if (s.len == kSpilledLen) {
+          const auto total_len = load<std::uint64_t>(data, s.off);
+          const auto head = load<PageId>(data, s.off + 8);
+          batch.emplace_back(id, overflow::read_chain(pager_, head, total_len));
+        } else {
+          std::vector<std::byte> row(s.len);
+          std::memcpy(row.data(), data.data() + s.off, s.len);
+          batch.emplace_back(id, std::move(row));
+        }
+      }
+    }
+    for (const auto& [id, row] : batch) {
+      if (!visit(id, row)) return;
+    }
+    page = next;
+  }
+}
+
+}  // namespace mssg

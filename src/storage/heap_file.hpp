@@ -1,0 +1,74 @@
+// Slotted-page heap file — the row store of RelationalDB (MySQL
+// stand-in).  Rows are addressed by stable RowIds; a secondary B+tree
+// index maps relational keys to RowIds, reproducing the index-probe +
+// heap-fetch double indirection that costs MySQL its performance in the
+// thesis' experiments.
+//
+// Page layout:
+//   [type u8 (=4)][pad u8][slot_count u16][heap_start u16][pad u16]
+//   [next_page u64] then slot_count 4-byte slot entries {off u16, len u16};
+//   row cells grow downward from the page end.  off == 0xFFFF marks a
+//   dead slot (slot ids stay stable so RowIds never dangle silently).
+//   len == 0xFFFF marks a spilled row: the 16-byte cell holds
+//   {total_len u64, overflow_head u64} (off-page storage, as InnoDB does
+//   for large BLOBs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "storage/pager.hpp"
+
+namespace mssg {
+
+struct RowId {
+  PageId page = kInvalidPage;
+  std::uint16_t slot = 0;
+
+  friend constexpr bool operator==(const RowId&, const RowId&) = default;
+};
+
+class HeapFile {
+ public:
+  /// Persists its state in pager meta slots [meta_base, meta_base+2]:
+  /// first page, last page (insert target), and row count.
+  explicit HeapFile(Pager& pager, int meta_base = 0);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a row; returns its stable id.
+  RowId insert(std::span<const std::byte> row);
+
+  /// Reads a row.  Throws StorageError if the id is dead or out of range.
+  [[nodiscard]] std::vector<std::byte> read(RowId id) const;
+
+  /// Deletes a row (frees any overflow chain, tombstones the slot).
+  void erase(RowId id);
+
+  /// Replaces a row's contents.  Rewrites in place when the new row fits
+  /// in the page (after compaction); otherwise the row migrates and the
+  /// returned RowId differs from `id`.
+  RowId update(RowId id, std::span<const std::byte> row);
+
+  [[nodiscard]] std::uint64_t row_count() const;
+
+  /// Full scan in page order (dead slots skipped).  The visitor returns
+  /// false to stop early.
+  void for_each(const std::function<bool(RowId, std::span<const std::byte>)>&
+                    visit) const;
+
+ private:
+  [[nodiscard]] PageId first_page() const { return pager_.meta(meta_base_); }
+  [[nodiscard]] PageId last_page() const { return pager_.meta(meta_base_ + 1); }
+  void bump_rows(std::int64_t delta);
+
+  PageId append_page();
+
+  Pager& pager_;
+  int meta_base_;
+};
+
+}  // namespace mssg

@@ -1,0 +1,50 @@
+// Deterministic I/O accounting.  Every disk-touching layer updates an
+// IoStats so experiments can report block/byte counts alongside wall
+// time; counts are machine-independent, which makes the paper's "shape"
+// claims checkable even when absolute timings differ.
+//
+// Not thread-safe: each simulated node owns its stats and the bench
+// harness aggregates after joining the node threads.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace mssg {
+
+struct IoStats {
+  std::uint64_t reads = 0;          ///< pread calls
+  std::uint64_t writes = 0;         ///< pwrite calls
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  void reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+    reads += other.reads;
+    writes += other.writes;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    syncs += other.syncs;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  friend std::ostream& operator<<(std::ostream& os, const IoStats& s) {
+    return os << "reads=" << s.reads << " writes=" << s.writes
+              << " bytes_read=" << s.bytes_read
+              << " bytes_written=" << s.bytes_written
+              << " hits=" << s.cache_hits << " misses=" << s.cache_misses
+              << " evictions=" << s.cache_evictions;
+  }
+};
+
+}  // namespace mssg

@@ -1,0 +1,82 @@
+#include "storage/overflow.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg::overflow {
+
+namespace {
+template <typename T>
+T load(std::span<const std::byte> page, std::size_t off) {
+  T v;
+  std::memcpy(&v, page.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void store(std::span<std::byte> page, std::size_t off, T v) {
+  std::memcpy(page.data() + off, &v, sizeof(T));
+}
+}  // namespace
+
+PageId write_chain(Pager& pager, std::span<const std::byte> value) {
+  const std::size_t capacity = pager.page_size() - kHeader;
+  PageId head = kInvalidPage;
+  PageId prev = kInvalidPage;
+  std::size_t pos = 0;
+  do {
+    const PageId page = pager.allocate();
+    if (head == kInvalidPage) head = page;
+    if (prev != kInvalidPage) {
+      auto prev_handle = pager.pin(prev);
+      store<PageId>(prev_handle.mutable_data(), 8, page);
+    }
+    const std::size_t n = std::min(capacity, value.size() - pos);
+    auto handle = pager.pin(page);
+    auto data = handle.mutable_data();
+    store<std::uint8_t>(data, 0, kPageType);
+    store<std::uint32_t>(data, 4, static_cast<std::uint32_t>(n));
+    store<PageId>(data, 8, kInvalidPage);
+    if (n > 0) std::memcpy(data.data() + kHeader, value.data() + pos, n);
+    pos += n;
+    prev = page;
+  } while (pos < value.size());
+  return head;
+}
+
+std::vector<std::byte> read_chain(const Pager& pager, PageId head,
+                                  std::uint64_t len) {
+  std::vector<std::byte> value(len);
+  std::size_t pos = 0;
+  PageId page = head;
+  while (pos < len) {
+    MSSG_CHECK(page != kInvalidPage);
+    auto handle = const_cast<Pager&>(pager).pin(page);
+    auto data = handle.data();
+    if (load<std::uint8_t>(data, 0) != kPageType) {
+      throw StorageError("overflow chain points at non-overflow page");
+    }
+    const auto used = load<std::uint32_t>(data, 4);
+    MSSG_CHECK(pos + used <= len);
+    std::memcpy(value.data() + pos, data.data() + kHeader, used);
+    pos += used;
+    page = load<PageId>(data, 8);
+  }
+  return value;
+}
+
+void free_chain(Pager& pager, PageId head) {
+  while (head != kInvalidPage) {
+    PageId next;
+    {
+      auto handle = pager.pin(head);
+      next = load<PageId>(handle.data(), 8);
+    }
+    pager.free_page(head);
+    head = next;
+  }
+}
+
+}  // namespace mssg::overflow

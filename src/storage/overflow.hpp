@@ -1,0 +1,30 @@
+// Overflow chains: values too large for their home page are stored in a
+// linked list of dedicated pages.  Shared by the B+tree (large cells) and
+// the heap file (off-page rows, the way InnoDB stores large BLOBs).
+//
+// Page layout: [type u8 (=3)][pad3][used u32][next u64][payload ...]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/pager.hpp"
+
+namespace mssg::overflow {
+
+inline constexpr std::uint8_t kPageType = 3;
+inline constexpr std::size_t kHeader = 16;
+
+/// Writes `value` as a chain; returns the head page (always allocates at
+/// least one page, even for an empty value).
+PageId write_chain(Pager& pager, std::span<const std::byte> value);
+
+/// Reads `len` bytes starting at `head`.
+std::vector<std::byte> read_chain(const Pager& pager, PageId head,
+                                  std::uint64_t len);
+
+/// Returns every page of the chain to the pager free list.
+void free_chain(Pager& pager, PageId head);
+
+}  // namespace mssg::overflow

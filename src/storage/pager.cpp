@@ -1,0 +1,120 @@
+#include "storage/pager.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
+             std::size_t cache_capacity_bytes, IoStats* stats)
+    : page_size_(page_size),
+      file_(File::open(path, stats)),
+      stats_(stats),
+      cache_(cache_capacity_bytes, stats) {
+  MSSG_CHECK(page_size_ >= 256 && (page_size_ & (page_size_ - 1)) == 0);
+  store_id_ = cache_.register_store(
+      page_size_,
+      [this](std::uint64_t block, std::span<std::byte> out) {
+        file_.read_at(block * page_size_, out);
+      },
+      [this](std::uint64_t block, std::span<const std::byte> in) {
+        file_.write_at(block * page_size_, in);
+      });
+  // A non-empty file must carry a valid header — even one shorter than
+  // our page size (that means it was created with a smaller page size,
+  // which load_header rejects explicitly).
+  if (file_.size() > 0) {
+    load_header();
+  } else {
+    store_header();
+  }
+}
+
+Pager::~Pager() {
+  cache_.flush();
+  if (header_dirty_) store_header();
+}
+
+void Pager::load_header() {
+  std::vector<std::byte> buf(page_size_);
+  file_.read_at(0, buf);
+  Header h;
+  std::memcpy(&h, buf.data(), sizeof(h));
+  if (h.magic != kMagic) throw StorageError("pager: bad magic in header page");
+  if (h.page_size != page_size_) {
+    throw StorageError("pager: file has page size " +
+                       std::to_string(h.page_size) + ", expected " +
+                       std::to_string(page_size_));
+  }
+  page_count_ = h.page_count;
+  free_head_ = h.free_head;
+  std::memcpy(user_meta_, h.user, sizeof(user_meta_));
+}
+
+void Pager::store_header() {
+  Header h{};
+  h.magic = kMagic;
+  h.page_size = page_size_;
+  h.page_count = page_count_;
+  h.free_head = free_head_;
+  std::memcpy(h.user, user_meta_, sizeof(user_meta_));
+  std::vector<std::byte> buf(page_size_);
+  std::memcpy(buf.data(), &h, sizeof(h));
+  file_.write_at(0, buf);
+  header_dirty_ = false;
+}
+
+PageId Pager::allocate() {
+  PageId page;
+  if (free_head_ != kInvalidPage) {
+    page = free_head_;
+    {
+      auto handle = cache_.get(store_id_, page);
+      std::uint64_t next;
+      std::memcpy(&next, handle.data().data(), sizeof(next));
+      free_head_ = next;
+    }
+    header_dirty_ = true;
+  } else {
+    page = page_count_++;
+    header_dirty_ = true;
+  }
+  // Zero the page so callers start from a clean slate.
+  auto handle = cache_.get(store_id_, page);
+  auto data = handle.mutable_data();
+  std::memset(data.data(), 0, data.size());
+  return page;
+}
+
+void Pager::free_page(PageId page) {
+  MSSG_CHECK(page != kInvalidPage && page < page_count_);
+  auto handle = cache_.get(store_id_, page);
+  auto data = handle.mutable_data();
+  std::memcpy(data.data(), &free_head_, sizeof(free_head_));
+  free_head_ = page;
+  header_dirty_ = true;
+}
+
+BlockHandle Pager::pin(PageId page) {
+  MSSG_CHECK(page != kInvalidPage && page < page_count_);
+  return cache_.get(store_id_, page);
+}
+
+std::uint64_t Pager::meta(int slot) const {
+  MSSG_CHECK(slot >= 0 && slot < kMetaSlots);
+  return user_meta_[slot];
+}
+
+void Pager::set_meta(int slot, std::uint64_t value) {
+  MSSG_CHECK(slot >= 0 && slot < kMetaSlots);
+  user_meta_[slot] = value;
+  header_dirty_ = true;
+}
+
+void Pager::flush() {
+  cache_.flush();
+  if (header_dirty_) store_header();
+}
+
+}  // namespace mssg

@@ -1,0 +1,75 @@
+// Fixed-size-page file manager with a free list, backing the B+tree and
+// the slotted heap file.  Page 0 is the header (magic, geometry, free
+// list head, and a few user metadata slots for e.g. the B+tree root).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "storage/block_cache.hpp"
+#include "storage/file.hpp"
+
+namespace mssg {
+
+using PageId = std::uint64_t;
+inline constexpr PageId kInvalidPage = 0;  // page 0 is the header
+
+class Pager {
+ public:
+  /// Opens (or creates) a paged file.  `cache_capacity_bytes` sizes the
+  /// page cache; zero means write-through (no caching).
+  Pager(const std::filesystem::path& path, std::size_t page_size,
+        std::size_t cache_capacity_bytes, IoStats* stats = nullptr);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+  ~Pager();
+
+  [[nodiscard]] std::size_t page_size() const { return page_size_; }
+  [[nodiscard]] PageId page_count() const { return page_count_; }
+
+  /// Allocates a page (recycling freed pages first).  Contents are
+  /// zeroed.
+  PageId allocate();
+
+  /// Returns a page to the free list.
+  void free_page(PageId page);
+
+  /// Pins a page in the cache.
+  BlockHandle pin(PageId page);
+
+  /// User metadata slots persisted in the header (8 available).
+  static constexpr int kMetaSlots = 8;
+  [[nodiscard]] std::uint64_t meta(int slot) const;
+  void set_meta(int slot, std::uint64_t value);
+
+  /// Writes back all dirty pages and the header.
+  void flush();
+
+  [[nodiscard]] IoStats* stats() const { return stats_; }
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t page_size;
+    std::uint64_t page_count;
+    std::uint64_t free_head;
+    std::uint64_t user[kMetaSlots];
+  };
+  static constexpr std::uint64_t kMagic = 0x4d53534750414745ull;  // "MSSGPAGE"
+
+  void load_header();
+  void store_header();
+
+  std::size_t page_size_;
+  File file_;
+  IoStats* stats_;
+  BlockCache cache_;
+  std::uint16_t store_id_;
+  PageId page_count_ = 1;  // header occupies page 0
+  PageId free_head_ = kInvalidPage;
+  std::uint64_t user_meta_[kMetaSlots] = {};
+  bool header_dirty_ = false;
+};
+
+}  // namespace mssg

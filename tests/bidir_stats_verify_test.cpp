@@ -1,0 +1,242 @@
+// Tests for bidirectional BFS, the distributed stats analysis, and the
+// grDB integrity verifier.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+#include "gen/memory_graph.hpp"
+#include "gen/pairs.hpp"
+#include "gen/stats.hpp"
+#include "graphdb/grdb/grdb.hpp"
+#include "mssg/mssg.hpp"
+#include "test_util.hpp"
+
+namespace mssg {
+namespace {
+
+// ---- Bidirectional BFS -----------------------------------------------------
+
+TEST(BidirectionalBfs, BasicDistances) {
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i + 1 < 10; ++i) edges.push_back({i, i + 1});
+  ClusterConfig config;
+  config.backend = Backend::kHashMap;
+  config.backend_nodes = 3;
+  MssgCluster cluster(config);
+  cluster.ingest(edges);
+
+  EXPECT_EQ(cluster.bidirectional_bfs(0, 0).distance, 0);
+  EXPECT_EQ(cluster.bidirectional_bfs(0, 1).distance, 1);
+  EXPECT_EQ(cluster.bidirectional_bfs(0, 5).distance, 5);
+  EXPECT_EQ(cluster.bidirectional_bfs(0, 9).distance, 9);
+  EXPECT_EQ(cluster.bidirectional_bfs(9, 0).distance, 9);
+}
+
+TEST(BidirectionalBfs, UnreachableReturnsUnvisited) {
+  const std::vector<Edge> edges{{0, 1}, {5, 6}};
+  ClusterConfig config;
+  config.backend = Backend::kHashMap;
+  config.backend_nodes = 2;
+  MssgCluster cluster(config);
+  cluster.ingest(edges);
+  EXPECT_EQ(cluster.bidirectional_bfs(0, 6).distance, kUnvisited);
+}
+
+TEST(BidirectionalBfs, MatchesUnidirectionalOnRandomGraphs) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    ChungLuConfig gen{.vertices = 300, .edges = 1300, .seed = seed};
+    const auto edges = generate_chung_lu(gen);
+    const MemoryGraph reference(gen.vertices, edges);
+
+    ClusterConfig config;
+    config.backend = Backend::kGrDB;
+    config.backend_nodes = 4;
+    MssgCluster cluster(config);
+    cluster.ingest(edges);
+
+    for (const auto& pair : sample_random_pairs(reference, 8, seed * 3)) {
+      EXPECT_EQ(cluster.bidirectional_bfs(pair.src, pair.dst).distance,
+                pair.distance)
+          << pair.src << "->" << pair.dst << " seed " << seed;
+    }
+  }
+}
+
+TEST(BidirectionalBfs, ScansFewerEdgesOnLongPaths) {
+  ChungLuConfig gen{.vertices = 3000, .edges = 15000, .seed = 17};
+  const auto edges = generate_chung_lu(gen);
+  const MemoryGraph reference(gen.vertices, edges);
+
+  ClusterConfig config;
+  config.backend = Backend::kHashMap;
+  config.backend_nodes = 4;
+  MssgCluster cluster(config);
+  cluster.ingest(edges);
+
+  const auto pairs = sample_stratified_pairs(reference, 5, 3, 19);
+  std::uint64_t uni_total = 0, bidir_total = 0;
+  int compared = 0;
+  for (const auto& pair : pairs) {
+    if (pair.distance < 4) continue;
+    uni_total += cluster.bfs(pair.src, pair.dst).edges_scanned;
+    bidir_total +=
+        cluster.bidirectional_bfs(pair.src, pair.dst).edges_scanned;
+    ++compared;
+  }
+  ASSERT_GT(compared, 0);
+  // Meeting in the middle must save a substantial fraction of the scan.
+  EXPECT_LT(bidir_total * 2, uni_total);
+}
+
+// ---- Distributed stats -----------------------------------------------------
+
+TEST(DistributedStats, MatchesGeneratorStats) {
+  ChungLuConfig gen{.vertices = 400, .edges = 2000, .seed = 23};
+  const auto edges = generate_chung_lu(gen);
+
+  ClusterConfig config;
+  config.backend = Backend::kGrDB;
+  config.backend_nodes = 4;
+  MssgCluster cluster(config);
+  cluster.ingest(edges);
+
+  const auto stats = cluster.graph_stats();
+  const auto expected = compute_stats(gen.vertices, edges);
+  EXPECT_EQ(stats.vertices, expected.vertices);
+  EXPECT_EQ(stats.directed_edges, 2 * expected.undirected_edges);
+  EXPECT_EQ(stats.min_degree, expected.min_degree);
+  EXPECT_EQ(stats.max_degree, expected.max_degree);
+  EXPECT_NEAR(stats.avg_degree, expected.avg_degree, 1e-9);
+}
+
+TEST(DistributedStats, EmptyCluster) {
+  ClusterConfig config;
+  config.backend = Backend::kHashMap;
+  config.backend_nodes = 2;
+  MssgCluster cluster(config);
+  const auto stats = cluster.graph_stats();
+  EXPECT_EQ(stats.vertices, 0u);
+  EXPECT_EQ(stats.directed_edges, 0u);
+}
+
+TEST(DistributedStats, RegisteredAsAnalysis) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}};
+  ClusterConfig config;
+  config.backend = Backend::kHashMap;
+  config.backend_nodes = 2;
+  MssgCluster cluster(config);
+  cluster.ingest(edges);
+  const auto result = cluster.run_analysis("stats", {});
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_DOUBLE_EQ(result[0], 3.0);  // vertices
+  EXPECT_DOUBLE_EQ(result[1], 4.0);  // directed edges
+}
+
+// ---- grDB verify -----------------------------------------------------------
+
+GrDBOptions tiny_geometry() {
+  GrDBOptions options;
+  options.geometry.levels = {grdb::LevelSpec{2, 64}, grdb::LevelSpec{4, 64},
+                             grdb::LevelSpec{8, 64}};
+  options.geometry.max_file_bytes = 1024;
+  return options;
+}
+
+TEST(GrdbVerify, CleanInstancePasses) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  std::filesystem::create_directories(config.dir);
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+  Rng rng(31);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 3000; ++i) {
+    edges.push_back({rng.below(200), rng.below(200)});
+  }
+  db.store_edges(edges);
+  const auto report = db.verify();
+  EXPECT_TRUE(report.ok()) << report.errors.front();
+  EXPECT_EQ(report.entries, edges.size());
+  EXPECT_GT(report.chains_checked, 0u);
+}
+
+TEST(GrdbVerify, CleanAfterDefragment) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  std::filesystem::create_directories(config.dir);
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    db.store_edges(std::vector<Edge>{{3, 100 + i}, {7, 200 + i}});
+  }
+  ASSERT_TRUE(db.verify().ok());
+  db.defragment();
+  const auto report = db.verify();
+  EXPECT_TRUE(report.ok()) << report.errors.front();
+  EXPECT_EQ(report.entries, 80u);
+}
+
+TEST(GrdbVerify, DetectsCorruptedPointer) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  std::filesystem::create_directories(config.dir);
+  {
+    GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+    db.store_edges(std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    db.flush();
+  }
+  // Vertex 0's level-0 sub-block is the first 16 bytes of level0.0.dat;
+  // its second entry is a pointer to level 1.  Point it past level 1's
+  // allocated extent.
+  {
+    const auto bogus = grdb::make_pointer_entry(1, 999);
+    std::fstream f(dir.path() / "level0.0.dat",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+  const auto report = db.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors.front().find("allocated extent"),
+            std::string::npos);
+}
+
+TEST(GrdbVerify, DetectsSharedSubblock) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  std::filesystem::create_directories(config.dir);
+  std::uint64_t target_subblock = 0;
+  {
+    GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+    // Two vertices with level-1 chains.
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      db.store_edges(std::vector<Edge>{{0, 10 + i}, {1, 20 + i}});
+    }
+    ASSERT_EQ(db.chain_of(0).size(), 2u);
+    ASSERT_EQ(db.chain_of(1).size(), 2u);
+    target_subblock = db.chain_of(0)[1].second;  // vertex 0's level-1 sub-block
+    ASSERT_NE(target_subblock, db.chain_of(1)[1].second);
+    db.flush();
+  }
+  // Redirect vertex 1's pointer at vertex 0's level-1 sub-block: two
+  // chains now share it.
+  {
+    const auto alias = grdb::make_pointer_entry(1, target_subblock);
+    std::fstream f(dir.path() / "level0.0.dat",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(16 + 8);  // vertex 1's sub-block, second entry
+    f.write(reinterpret_cast<const char*>(&alias), sizeof(alias));
+  }
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+  const auto report = db.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors.front().find("two chains"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mssg

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+#include "storage/btree.hpp"
+
+namespace mssg {
+namespace {
+
+std::vector<std::byte> value_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string string_of(std::span<const std::byte> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+/// Deterministic pseudo-random value of a given length, keyed by `tag`.
+std::vector<std::byte> synth_value(std::size_t length, std::uint64_t tag) {
+  std::vector<std::byte> value(length);
+  Rng rng(tag ^ 0xbeef);
+  for (auto& b : value) b = static_cast<std::byte>(rng() & 0xFF);
+  return value;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest()
+      : pager_(dir_.path() / "tree.db", 4096, 1 << 20), tree_(pager_) {}
+
+  TempDir dir_;
+  Pager pager_;
+  BTree tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeBehaviour) {
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_EQ(tree_.height(), 0);
+  EXPECT_FALSE(tree_.get({1, 0}).has_value());
+  EXPECT_FALSE(tree_.contains({1, 0}));
+  EXPECT_FALSE(tree_.erase({1, 0}));
+}
+
+TEST_F(BTreeTest, PutGetSingle) {
+  EXPECT_FALSE(tree_.put({7, 3}, value_of("hello")));
+  ASSERT_TRUE(tree_.get({7, 3}).has_value());
+  EXPECT_EQ(string_of(*tree_.get({7, 3})), "hello");
+  EXPECT_EQ(tree_.size(), 1u);
+  EXPECT_EQ(tree_.height(), 1);
+  EXPECT_FALSE(tree_.get({7, 4}).has_value());
+  EXPECT_FALSE(tree_.get({8, 3}).has_value());
+}
+
+TEST_F(BTreeTest, PutReplacesExisting) {
+  tree_.put({1, 1}, value_of("old"));
+  EXPECT_TRUE(tree_.put({1, 1}, value_of("new-and-longer")));
+  EXPECT_EQ(string_of(*tree_.get({1, 1})), "new-and-longer");
+  EXPECT_EQ(tree_.size(), 1u);
+}
+
+TEST_F(BTreeTest, SecondaryKeyDistinguishesEntries) {
+  tree_.put({5, 0}, value_of("a"));
+  tree_.put({5, 1}, value_of("b"));
+  tree_.put({5, 2}, value_of("c"));
+  EXPECT_EQ(tree_.size(), 3u);
+  EXPECT_EQ(string_of(*tree_.get({5, 1})), "b");
+}
+
+TEST_F(BTreeTest, EraseRemovesOnlyTarget) {
+  tree_.put({1, 0}, value_of("a"));
+  tree_.put({2, 0}, value_of("b"));
+  EXPECT_TRUE(tree_.erase({1, 0}));
+  EXPECT_FALSE(tree_.contains({1, 0}));
+  EXPECT_TRUE(tree_.contains({2, 0}));
+  EXPECT_EQ(tree_.size(), 1u);
+}
+
+TEST_F(BTreeTest, OverflowValuesRoundTrip) {
+  const auto big = synth_value(100'000, 1);
+  tree_.put({9, 9}, big);
+  EXPECT_EQ(*tree_.get({9, 9}), big);
+}
+
+TEST_F(BTreeTest, OverflowValueReplacedReleasesPages) {
+  tree_.put({1, 0}, synth_value(50'000, 1));
+  const auto pages_before = pager_.page_count();
+  // Replace with a same-size value: freed chain should be recycled, so
+  // the file barely grows.
+  tree_.put({1, 0}, synth_value(50'000, 2));
+  EXPECT_LE(pager_.page_count(), pages_before + 2);
+}
+
+TEST_F(BTreeTest, ManyInsertionsForceSplits) {
+  constexpr int kCount = 5000;
+  for (int i = 0; i < kCount; ++i) {
+    tree_.put({static_cast<std::uint64_t>(i), 0},
+              value_of("v" + std::to_string(i)));
+  }
+  EXPECT_EQ(tree_.size(), static_cast<std::uint64_t>(kCount));
+  EXPECT_GT(tree_.height(), 1);
+  for (int i = 0; i < kCount; i += 37) {
+    ASSERT_EQ(string_of(*tree_.get({static_cast<std::uint64_t>(i), 0})),
+              "v" + std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, ReverseOrderInsertion) {
+  for (int i = 2000; i >= 0; --i) {
+    tree_.put({static_cast<std::uint64_t>(i), 0}, value_of("x"));
+  }
+  EXPECT_EQ(tree_.size(), 2001u);
+  EXPECT_TRUE(tree_.contains({0, 0}));
+  EXPECT_TRUE(tree_.contains({2000, 0}));
+}
+
+TEST_F(BTreeTest, ScanVisitsRangeInOrder) {
+  for (std::uint64_t i = 0; i < 100; ++i) tree_.put({i, 0}, value_of("x"));
+  std::vector<std::uint64_t> seen;
+  tree_.scan({10, 0}, {20, 0},
+             [&](const BTreeKey& key, std::span<const std::byte>) {
+               seen.push_back(key.primary);
+               return true;
+             });
+  ASSERT_EQ(seen.size(), 11u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 10 + i);
+}
+
+TEST_F(BTreeTest, ScanEarlyStop) {
+  for (std::uint64_t i = 0; i < 50; ++i) tree_.put({i, 0}, value_of("x"));
+  int visits = 0;
+  tree_.scan({0, 0}, {49, 0},
+             [&](const BTreeKey&, std::span<const std::byte>) {
+               return ++visits < 5;
+             });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(BTreeTest, ScanAcrossLeafBoundaries) {
+  constexpr std::uint64_t kCount = 3000;
+  for (std::uint64_t i = 0; i < kCount; ++i) tree_.put({i, 0}, value_of("y"));
+  std::uint64_t visits = 0;
+  std::uint64_t prev = 0;
+  tree_.scan({0, 0}, {kCount, 0},
+             [&](const BTreeKey& key, std::span<const std::byte>) {
+               EXPECT_GE(key.primary, prev);
+               prev = key.primary;
+               ++visits;
+               return true;
+             });
+  EXPECT_EQ(visits, kCount);
+}
+
+TEST_F(BTreeTest, PersistsAcrossReopen) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    tree_.put({i, static_cast<std::uint32_t>(i % 3)},
+              value_of("p" + std::to_string(i)));
+  }
+  tree_.flush();
+  // Reopen the same file with a fresh pager + tree.
+  Pager pager2(dir_.path() / "tree.db", 4096, 1 << 20);
+  BTree tree2(pager2);
+  EXPECT_EQ(tree2.size(), 500u);
+  EXPECT_EQ(string_of(*tree2.get({123, 123 % 3})), "p123");
+}
+
+// Property test: random interleaved put/get/erase mirror a std::map.
+TEST_F(BTreeTest, RandomOperationsMatchReferenceMap) {
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::vector<std::byte>>
+      reference;
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const BTreeKey key{rng.below(400), static_cast<std::uint32_t>(rng.below(4))};
+    const auto ref_key = std::make_pair(key.primary, key.secondary);
+    const auto op = rng.below(10);
+    if (op < 6) {  // put
+      auto value = synth_value(rng.below(200) + 1, rng());
+      tree_.put(key, value);
+      reference[ref_key] = std::move(value);
+    } else if (op < 8) {  // erase
+      EXPECT_EQ(tree_.erase(key), reference.erase(ref_key) > 0);
+    } else {  // get
+      const auto got = tree_.get(key);
+      const auto it = reference.find(ref_key);
+      ASSERT_EQ(got.has_value(), it != reference.end());
+      if (got) {
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree_.size(), reference.size());
+  // Full sweep at the end.
+  for (const auto& [key, value] : reference) {
+    const auto got = tree_.get({key.first, key.second});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value);
+  }
+}
+
+// Property test under mixed small/overflow values.
+TEST_F(BTreeTest, MixedValueSizes) {
+  std::map<std::uint64_t, std::vector<std::byte>> reference;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = rng.below(100);
+    // Sizes straddle the inline/overflow boundary (~1 KB).
+    const std::size_t length = 1 + rng.below(4000);
+    auto value = synth_value(length, rng());
+    tree_.put({k, 0}, value);
+    reference[k] = std::move(value);
+  }
+  for (const auto& [k, value] : reference) {
+    const auto got = tree_.get({k, 0});
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, value) << k;
+  }
+}
+
+struct PageSizeParam {
+  std::size_t page_size;
+};
+
+class BTreePageSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+// The tree must work for any sane page size (block-size ablation support).
+TEST_P(BTreePageSizeTest, InsertLookupSweep) {
+  TempDir dir;
+  Pager pager(dir.path() / "tree.db", GetParam(), 1 << 20);
+  BTree tree(pager);
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    tree.put({i * 17 % 801, 0}, synth_value(24, i));
+  }
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    EXPECT_TRUE(tree.contains({i * 17 % 801, 0}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreePageSizeTest,
+                         ::testing::Values(512, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace mssg

@@ -1,0 +1,138 @@
+// AdjacencyChunkStore: the chunked-BLOB logic shared by the MySQL and
+// BerkeleyDB stand-ins, tested against an in-memory fake backend so chunk
+// boundaries are observable.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graphdb/chunk_store.hpp"
+
+namespace mssg {
+namespace {
+
+class FakeChunkBackend final : public ChunkBackend {
+ public:
+  std::optional<std::vector<std::byte>> get_chunk(
+      VertexId v, std::uint32_t chunk) override {
+    ++gets_;
+    auto it = chunks_.find({v, chunk});
+    if (it == chunks_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void put_chunk(VertexId v, std::uint32_t chunk,
+                 std::span<const std::byte> data) override {
+    ++puts_;
+    chunks_[{v, chunk}].assign(data.begin(), data.end());
+  }
+
+  std::map<std::pair<VertexId, std::uint32_t>, std::vector<std::byte>> chunks_;
+  int gets_ = 0;
+  int puts_ = 0;
+};
+
+constexpr std::size_t kFirstCap = (kChunkBytes - 8) / sizeof(VertexId);
+constexpr std::size_t kLaterCap = (kChunkBytes - 4) / sizeof(VertexId);
+
+std::vector<VertexId> range(VertexId from, std::uint64_t count) {
+  std::vector<VertexId> v(count);
+  for (std::uint64_t i = 0; i < count; ++i) v[i] = from + i;
+  return v;
+}
+
+TEST(ChunkStore, SmallListLivesInChunkZero) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(7, range(100, 5));
+  EXPECT_EQ(backend.chunks_.size(), 1u);
+  std::vector<VertexId> out;
+  store.read(7, out);
+  EXPECT_EQ(out, range(100, 5));
+}
+
+TEST(ChunkStore, ExactlyFullFirstChunkNoSpill) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(1, range(0, kFirstCap));
+  EXPECT_EQ(backend.chunks_.size(), 1u);
+  std::vector<VertexId> out;
+  store.read(1, out);
+  EXPECT_EQ(out.size(), kFirstCap);
+}
+
+TEST(ChunkStore, OneBeyondFirstChunkOpensSecond) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(1, range(0, kFirstCap + 1));
+  EXPECT_EQ(backend.chunks_.size(), 2u);
+  std::vector<VertexId> out;
+  store.read(1, out);
+  EXPECT_EQ(out, range(0, kFirstCap + 1));
+}
+
+TEST(ChunkStore, ManyChunksRoundTrip) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  const auto total = kFirstCap + 3 * kLaterCap + 17;
+  store.append(2, range(0, total));
+  EXPECT_EQ(backend.chunks_.size(), 5u);
+  std::vector<VertexId> out;
+  store.read(2, out);
+  EXPECT_EQ(out, range(0, total));
+}
+
+TEST(ChunkStore, IncrementalAppendsCrossBoundaries) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  std::vector<VertexId> expected;
+  VertexId next = 0;
+  // Appends of awkward sizes repeatedly straddle chunk boundaries.
+  for (const std::size_t n : {7ul, kFirstCap - 3, 100ul, kLaterCap, 5ul}) {
+    const auto batch = range(next, n);
+    next += n;
+    store.append(3, batch);
+    expected.insert(expected.end(), batch.begin(), batch.end());
+    std::vector<VertexId> out;
+    store.read(3, out);
+    ASSERT_EQ(out, expected);
+  }
+}
+
+TEST(ChunkStore, EmptyAppendIsNoOp) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(4, {});
+  EXPECT_EQ(backend.puts_, 0);
+  std::vector<VertexId> out;
+  store.read(4, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ChunkStore, VerticesAreIndependent) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(1, range(10, 3));
+  store.append(2, range(20, 4));
+  std::vector<VertexId> out;
+  store.read(1, out);
+  EXPECT_EQ(out, range(10, 3));
+  out.clear();
+  store.read(2, out);
+  EXPECT_EQ(out, range(20, 4));
+}
+
+TEST(ChunkStore, AppendTouchesOnlyHeadAndTail) {
+  FakeChunkBackend backend;
+  AdjacencyChunkStore store(backend);
+  store.append(1, range(0, kFirstCap + 2 * kLaterCap));  // 3 chunks
+  backend.gets_ = 0;
+  backend.puts_ = 0;
+  store.append(1, range(90000, 1));
+  // Read-modify-write must touch the head (for num_chunks) and the tail
+  // chunk only — not the middle chunks.
+  EXPECT_LE(backend.gets_, 2);
+  EXPECT_LE(backend.puts_, 2);
+}
+
+}  // namespace
+}  // namespace mssg

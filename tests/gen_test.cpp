@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/alias_table.hpp"
+#include "gen/datasets.hpp"
+#include "gen/generators.hpp"
+#include "gen/memory_graph.hpp"
+#include "gen/pairs.hpp"
+#include "gen/stats.hpp"
+
+namespace mssg {
+namespace {
+
+// ---- MemoryGraph -----------------------------------------------------------
+
+TEST(MemoryGraph, CsrConstructionAndNeighbors) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const MemoryGraph g(3, edges);  // symmetrized
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.directed_edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ((std::unordered_set<VertexId>(n0.begin(), n0.end())),
+            (std::unordered_set<VertexId>{1, 2}));
+}
+
+TEST(MemoryGraph, DirectedModeKeepsOrientation) {
+  const std::vector<Edge> edges{{0, 1}};
+  const MemoryGraph g(2, edges, /*symmetrize=*/false);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(MemoryGraph, BfsLevelsOnPath) {
+  // 0-1-2-3 path
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const MemoryGraph g(4, edges);
+  const auto levels = g.bfs_levels(0);
+  EXPECT_EQ(levels, (std::vector<Metadata>{0, 1, 2, 3}));
+  EXPECT_EQ(g.bfs_distance(0, 3), 3);
+  EXPECT_EQ(g.bfs_distance(3, 0), 3);
+  EXPECT_EQ(g.bfs_distance(2, 2), 0);
+}
+
+TEST(MemoryGraph, BfsUnreachable) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}};
+  const MemoryGraph g(4, edges);
+  EXPECT_EQ(g.bfs_distance(0, 3), kUnvisited);
+  const auto levels = g.bfs_levels(0);
+  EXPECT_EQ(levels[2], kUnvisited);
+}
+
+// ---- AliasTable ------------------------------------------------------------
+
+TEST(AliasTable, MatchesWeightsOnLargeSample) {
+  const std::vector<double> weights{1.0, 2.0, 4.0, 1.0};
+  const AliasTable table(weights);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0], kSamples / 8.0, kSamples * 0.01);
+  EXPECT_NEAR(counts[1], kSamples / 4.0, kSamples * 0.01);
+  EXPECT_NEAR(counts[2], kSamples / 2.0, kSamples * 0.01);
+}
+
+TEST(AliasTable, SingleElement) {
+  const std::vector<double> weights{3.0};
+  const AliasTable table(weights);
+  Rng rng(1);
+  EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsAllZeroWeights) {
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(AliasTable{weights}, UsageError);
+}
+
+// ---- Generators ------------------------------------------------------------
+
+TEST(Generators, ChungLuDeterministicAndSized) {
+  ChungLuConfig config{.vertices = 1000, .edges = 5000, .seed = 9};
+  const auto a = generate_chung_lu(config);
+  const auto b = generate_chung_lu(config);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 5000u);
+  for (const auto& e : a) {
+    EXPECT_LT(e.src, 1000u);
+    EXPECT_LT(e.dst, 1000u);
+    EXPECT_NE(e.src, e.dst);  // no self-loops
+  }
+}
+
+TEST(Generators, ChungLuIsScaleFree) {
+  ChungLuConfig config{
+      .vertices = 20000, .edges = 150000, .exponent = 2.3, .seed = 3};
+  const auto edges = generate_chung_lu(config);
+  const auto hist = degree_histogram(config.vertices, edges, 1000);
+  const double slope = power_law_slope(hist);
+  // Log-log degree distribution must fall steeply.
+  EXPECT_LT(slope, -1.0);
+  const auto stats = compute_stats(config.vertices, edges);
+  // Hubs: max degree far above average.
+  EXPECT_GT(stats.max_degree, 50 * static_cast<std::uint64_t>(stats.avg_degree));
+}
+
+TEST(Generators, ChungLuNoMultiEdgesWhenDisabled) {
+  ChungLuConfig config{.vertices = 500,
+                       .edges = 2000,
+                       .seed = 4,
+                       .allow_multi_edges = false};
+  const auto edges = generate_chung_lu(config);
+  std::unordered_set<Edge> seen;
+  for (const auto& e : edges) {
+    const Edge canonical{std::min(e.src, e.dst), std::max(e.src, e.dst)};
+    EXPECT_TRUE(seen.insert(canonical).second);
+  }
+}
+
+TEST(Generators, BarabasiAlbertDegreeSum) {
+  const auto edges = generate_barabasi_albert(1000, 3, 11);
+  const auto stats = compute_stats(1000, edges);
+  EXPECT_EQ(stats.vertices, 1000u);
+  EXPECT_NEAR(stats.avg_degree, 6.0, 0.5);  // 2m per vertex
+  // Preferential attachment: early vertices become hubs.
+  EXPECT_GT(stats.max_degree, 30u);
+}
+
+TEST(Generators, RmatBoundsAndDeterminism) {
+  RmatConfig config{.scale = 12, .edges = 20000, .seed = 21};
+  const auto a = generate_rmat(config);
+  EXPECT_EQ(a, generate_rmat(config));
+  EXPECT_EQ(a.size(), 20000u);
+  for (const auto& e : a) {
+    EXPECT_LT(e.src, 1u << 12);
+    EXPECT_LT(e.dst, 1u << 12);
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(Generators, ScrambleIdsPreservesStructure) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  auto scrambled = edges;
+  scramble_ids(scrambled, 3, 5);
+  // Still a triangle: every vertex has degree 2.
+  const auto stats = compute_stats(3, scrambled);
+  EXPECT_EQ(stats.min_degree, 2u);
+  EXPECT_EQ(stats.max_degree, 2u);
+}
+
+TEST(Generators, ShuffleKeepsMultiset) {
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 100; ++i) edges.push_back({i, i + 1});
+  auto shuffled = edges;
+  shuffle_edges(shuffled, 8);
+  EXPECT_NE(shuffled, edges);  // overwhelmingly likely
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, edges);
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+TEST(Stats, ComputesTableColumns) {
+  // Star: center 0 with 4 leaves.
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  const auto stats = compute_stats(6, edges);  // id 5 is isolated
+  EXPECT_EQ(stats.vertices, 5u);  // isolated id not counted
+  EXPECT_EQ(stats.undirected_edges, 4u);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 8.0 / 5.0);
+}
+
+TEST(Stats, HistogramCapsAtMaxBucket) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  const auto hist = degree_histogram(5, edges, 2);
+  EXPECT_EQ(hist[1], 4u);  // four leaves
+  EXPECT_EQ(hist[2], 1u);  // the hub, capped into the last bucket
+}
+
+// ---- Datasets --------------------------------------------------------------
+
+TEST(Datasets, PubmedSCalibration) {
+  const auto spec = pubmed_s(0.25);
+  const auto edges = build_dataset(spec);
+  const auto stats = compute_stats(spec.vertices, edges);
+  // Average degree ~= the paper's 14.84.
+  EXPECT_NEAR(stats.avg_degree, 14.84, 3.0);
+  // Heavy hub: max degree is a significant fraction of |V| (paper: 19%).
+  EXPECT_GT(static_cast<double>(stats.max_degree),
+            0.03 * static_cast<double>(stats.vertices));
+}
+
+TEST(Datasets, SynHasLighterTailThanPubmed) {
+  const auto pub = pubmed_s(0.1);
+  const auto syn = syn_2b(0.1);
+  const auto pub_stats = compute_stats(pub.vertices, build_dataset(pub));
+  const auto syn_stats = compute_stats(syn.vertices, build_dataset(syn));
+  const double pub_ratio = static_cast<double>(pub_stats.max_degree) /
+                           static_cast<double>(pub_stats.vertices);
+  const double syn_ratio = static_cast<double>(syn_stats.max_degree) /
+                           static_cast<double>(syn_stats.vertices);
+  EXPECT_LT(syn_ratio, pub_ratio);  // as in Table 5.1
+  // Average degree drifts low at tiny scales (more of the id space stays
+  // active in a flat RMAT); the full-scale bench lands near the paper's 20.
+  EXPECT_NEAR(syn_stats.avg_degree, 20.0, 5.0);
+}
+
+TEST(Datasets, ScaleParameterScalesSizes) {
+  const auto small = pubmed_s(0.1);
+  const auto large = pubmed_s(0.2);
+  EXPECT_NEAR(static_cast<double>(large.vertices),
+              2.0 * static_cast<double>(small.vertices), 2.0);
+  EXPECT_NEAR(static_cast<double>(large.edges),
+              2.0 * static_cast<double>(small.edges), 2.0);
+}
+
+// ---- Query pairs -----------------------------------------------------------
+
+TEST(Pairs, RandomPairsAreLabelledCorrectly) {
+  ChungLuConfig config{.vertices = 2000, .edges = 8000, .seed = 31};
+  const auto edges = generate_chung_lu(config);
+  const MemoryGraph g(config.vertices, edges);
+  const auto pairs = sample_random_pairs(g, 20, 7);
+  EXPECT_EQ(pairs.size(), 20u);
+  for (const auto& pair : pairs) {
+    EXPECT_EQ(g.bfs_distance(pair.src, pair.dst), pair.distance);
+    EXPECT_GE(pair.distance, 1);
+  }
+}
+
+TEST(Pairs, StratifiedCoversPathLengths) {
+  // A long path guarantees pairs at every distance.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i + 1 < 60; ++i) edges.push_back({i, i + 1});
+  const MemoryGraph g(60, edges);
+  const auto pairs = sample_stratified_pairs(g, 5, 3, 13);
+  std::vector<int> per_bucket(6, 0);
+  for (const auto& pair : pairs) {
+    ASSERT_GE(pair.distance, 1);
+    ASSERT_LE(pair.distance, 5);
+    ++per_bucket[pair.distance];
+    EXPECT_EQ(g.bfs_distance(pair.src, pair.dst), pair.distance);
+  }
+  for (int d = 1; d <= 5; ++d) EXPECT_EQ(per_bucket[d], 3) << d;
+}
+
+}  // namespace
+}  // namespace mssg

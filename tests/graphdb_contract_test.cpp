@@ -1,0 +1,288 @@
+// Contract tests run against every GraphDB backend: the six instances of
+// chapter 4 must be observationally equivalent for storage + retrieval.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/generators.hpp"
+#include "gen/memory_graph.hpp"
+#include "graphdb/stream_db.hpp"
+#include "test_util.hpp"
+
+namespace mssg {
+namespace {
+
+using testing::make_db;
+using testing::sorted;
+using testing::tiny_graph_directed;
+
+class GraphDBContract : public ::testing::TestWithParam<Backend> {
+ protected:
+  GraphDBContract() : db_(make_db(GetParam(), dir_)) {}
+
+  TempDir dir_;
+  std::unique_ptr<GraphDB> db_;
+};
+
+TEST_P(GraphDBContract, EmptyDatabaseReturnsNoNeighbors) {
+  std::vector<VertexId> out;
+  db_->get_adjacency(42, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(GraphDBContract, StoreAndRetrieveTinyGraph) {
+  const auto edges = tiny_graph_directed();
+  db_->store_edges(edges);
+  db_->finalize_ingest();
+
+  std::vector<VertexId> out;
+  db_->get_adjacency(0, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{1, 3}));
+
+  out.clear();
+  db_->get_adjacency(1, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{0, 2, 4}));
+
+  out.clear();
+  db_->get_adjacency(5, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{6}));
+
+  out.clear();
+  db_->get_adjacency(7, out);  // never stored
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(GraphDBContract, IncrementalStoreAccumulates) {
+  // The Array backend converts to CSR at finalize; all others must accept
+  // incremental batches naturally.
+  db_->store_edges(std::vector<Edge>{{1, 2}, {1, 3}});
+  db_->store_edges(std::vector<Edge>{{1, 4}});
+  db_->store_edges(std::vector<Edge>{{1, 5}, {2, 1}});
+  db_->finalize_ingest();
+  std::vector<VertexId> out;
+  db_->get_adjacency(1, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{2, 3, 4, 5}));
+}
+
+TEST_P(GraphDBContract, DuplicateEdgesAreKept) {
+  db_->store_edges(std::vector<Edge>{{1, 2}, {1, 2}, {1, 2}});
+  db_->finalize_ingest();
+  std::vector<VertexId> out;
+  db_->get_adjacency(1, out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_P(GraphDBContract, MetadataDefaultsToUnvisited) {
+  EXPECT_EQ(db_->get_metadata(123), kUnvisited);
+}
+
+TEST_P(GraphDBContract, MetadataSetGetClear) {
+  db_->set_metadata(7, 3);
+  db_->set_metadata(9, 0);
+  EXPECT_EQ(db_->get_metadata(7), 3);
+  EXPECT_EQ(db_->get_metadata(9), 0);
+  db_->clear_metadata(kUnvisited);
+  EXPECT_EQ(db_->get_metadata(7), kUnvisited);
+  db_->clear_metadata(-5);
+  EXPECT_EQ(db_->get_metadata(7), -5);
+}
+
+TEST_P(GraphDBContract, AdjacencyFilteredByMetadataOps) {
+  db_->store_edges(std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  db_->finalize_ingest();
+  db_->set_metadata(1, 5);
+  db_->set_metadata(2, 10);
+  db_->set_metadata(3, 10);
+  // vertex 4 stays kUnvisited (INT_MAX)
+
+  std::vector<VertexId> out;
+  db_->get_adjacency_using_metadata(0, out, 10, MetadataOp::kAll);
+  EXPECT_EQ(out.size(), 4u);
+
+  out.clear();
+  db_->get_adjacency_using_metadata(0, out, 10, MetadataOp::kEqual);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{2, 3}));
+
+  out.clear();
+  db_->get_adjacency_using_metadata(0, out, 10, MetadataOp::kNotEqual);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{1, 4}));
+
+  out.clear();
+  db_->get_adjacency_using_metadata(0, out, 10, MetadataOp::kGreater);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{4}));
+
+  out.clear();
+  db_->get_adjacency_using_metadata(0, out, 10, MetadataOp::kLess);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{1}));
+}
+
+TEST_P(GraphDBContract, UnvisitedFilterSupportsBfsPattern) {
+  // The BFS idiom: neighbors whose metadata == kUnvisited.
+  db_->store_edges(std::vector<Edge>{{0, 1}, {0, 2}});
+  db_->finalize_ingest();
+  db_->set_metadata(1, 0);
+  std::vector<VertexId> out;
+  db_->get_adjacency_using_metadata(0, out, kUnvisited, MetadataOp::kEqual);
+  EXPECT_EQ(out, (std::vector<VertexId>{2}));
+}
+
+// Property test: a random scale-free graph reads back identically to the
+// in-memory reference on every backend.
+TEST_P(GraphDBContract, RandomGraphMatchesReference) {
+  ChungLuConfig config{.vertices = 400, .edges = 3000, .seed = 17};
+  auto edges = generate_chung_lu(config);
+  // Symmetrize as the ingestion service would.
+  std::vector<Edge> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    directed.push_back(e);
+    directed.push_back(Edge{e.dst, e.src});
+  }
+
+  // Feed in several batches to exercise incremental growth.
+  const std::size_t batch = 500;
+  for (std::size_t i = 0; i < directed.size(); i += batch) {
+    const auto n = std::min(batch, directed.size() - i);
+    db_->store_edges(std::span(directed).subspan(i, n));
+  }
+  db_->finalize_ingest();
+
+  const MemoryGraph reference(config.vertices, edges);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < config.vertices; ++v) {
+    out.clear();
+    db_->get_adjacency(v, out);
+    const auto expected = reference.neighbors(v);
+    ASSERT_EQ(sorted(out),
+              sorted(std::vector<VertexId>(expected.begin(), expected.end())))
+        << "vertex " << v << " on " << db_->name();
+  }
+}
+
+TEST_P(GraphDBContract, HighDegreeHubRoundTrips) {
+  // A single vertex with 40k neighbors: crosses every grDB level and
+  // many KVStore/Relational chunks.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 40'000; ++i) edges.push_back({0, i});
+  db_->store_edges(edges);
+  db_->finalize_ingest();
+  std::vector<VertexId> out;
+  db_->get_adjacency(0, out);
+  ASSERT_EQ(out.size(), 40'000u);
+  auto s = sorted(out);
+  for (VertexId i = 1; i <= 40'000; ++i) ASSERT_EQ(s[i - 1], i);
+}
+
+TEST_P(GraphDBContract, NameIsStable) {
+  EXPECT_EQ(db_->name(), to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, GraphDBContract,
+    ::testing::Values(Backend::kArray, Backend::kHashMap, Backend::kRelational,
+                      Backend::kKVStore, Backend::kStream, Backend::kGrDB),
+    [](const ::testing::TestParamInfo<Backend>& param_info) {
+      switch (param_info.param) {
+        case Backend::kArray: return std::string("Array");
+        case Backend::kHashMap: return std::string("HashMap");
+        case Backend::kRelational: return std::string("Relational");
+        case Backend::kKVStore: return std::string("KVStore");
+        case Backend::kStream: return std::string("StreamDB");
+        case Backend::kGrDB: return std::string("GrDB");
+      }
+      return std::string("unknown");
+    });
+
+// Disk-backed backends must survive reopen (Array/HashMap are in-memory).
+class GraphDBPersistence : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(GraphDBPersistence, DataSurvivesReopen) {
+  TempDir dir;
+  {
+    auto db = make_db(GetParam(), dir);
+    db->store_edges(std::vector<Edge>{{1, 2}, {1, 3}, {4, 5}});
+    db->finalize_ingest();
+    db->flush();
+  }
+  auto db = make_db(GetParam(), dir);
+  std::vector<VertexId> out;
+  db->get_adjacency(1, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{2, 3}));
+  out.clear();
+  db->get_adjacency(4, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{5}));
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskBackends, GraphDBPersistence,
+                         ::testing::Values(Backend::kRelational,
+                                           Backend::kKVStore, Backend::kStream,
+                                           Backend::kGrDB),
+                         [](const ::testing::TestParamInfo<Backend>& param_info) {
+                           return to_string(param_info.param).substr(
+                               0, to_string(param_info.param).find('('));
+                         });
+
+// Cache-disabled configurations must behave identically (Figure 5.2).
+class GraphDBNoCache : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(GraphDBNoCache, NoCacheMatchesCached) {
+  TempDir dir_cached, dir_raw;
+  GraphDBConfig no_cache;
+  no_cache.cache_enabled = false;
+  auto cached = make_db(GetParam(), dir_cached);
+  auto raw = make_db(GetParam(), dir_raw, no_cache);
+
+  ChungLuConfig config{.vertices = 200, .edges = 1000, .seed = 23};
+  const auto edges = generate_chung_lu(config);
+  cached->store_edges(edges);
+  raw->store_edges(edges);
+  cached->finalize_ingest();
+  raw->finalize_ingest();
+
+  std::vector<VertexId> a, b;
+  for (VertexId v = 0; v < 200; ++v) {
+    a.clear();
+    b.clear();
+    cached->get_adjacency(v, a);
+    raw->get_adjacency(v, b);
+    ASSERT_EQ(sorted(a), sorted(b)) << v;
+  }
+  // And the raw instance really did more disk I/O.
+  EXPECT_GT(raw->io_stats().reads + raw->io_stats().writes,
+            cached->io_stats().reads + cached->io_stats().writes);
+}
+
+INSTANTIATE_TEST_SUITE_P(CachedBackends, GraphDBNoCache,
+                         ::testing::Values(Backend::kKVStore, Backend::kGrDB,
+                                           Backend::kRelational),
+                         [](const ::testing::TestParamInfo<Backend>& param_info) {
+                           return to_string(param_info.param).substr(
+                               0, to_string(param_info.param).find('('));
+                         });
+
+// StreamDB's batch API — the interface its BFS integration depends on.
+TEST(StreamDBBatch, BatchMatchesPerVertexLookups) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  auto base = make_graphdb(Backend::kStream, config);
+  auto* db = dynamic_cast<StreamDB*>(base.get());
+  ASSERT_NE(db, nullptr);
+
+  db->store_edges(
+      std::vector<Edge>{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {5, 1}, {2, 5}});
+  db->finalize_ingest();
+
+  const std::vector<VertexId> fringe{1, 2, 99};
+  std::unordered_map<VertexId, std::vector<VertexId>> batch;
+  db->get_adjacency_batch(fringe, batch);
+
+  EXPECT_EQ(sorted(batch.at(1)), (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(sorted(batch.at(2)), (std::vector<VertexId>{4, 5}));
+  EXPECT_FALSE(batch.contains(99));
+  EXPECT_FALSE(batch.contains(3));
+}
+
+}  // namespace
+}  // namespace mssg

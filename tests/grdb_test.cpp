@@ -1,0 +1,344 @@
+// grDB-specific tests: address arithmetic, pointer tagging, chain growth
+// across levels, link vs copy-up, defragmentation, and persistence.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/temp_dir.hpp"
+#include "graphdb/grdb/format.hpp"
+#include "graphdb/grdb/grdb.hpp"
+#include "graphdb/metadata_store.hpp"
+
+namespace mssg {
+namespace {
+
+// ---- Format / addressing ---------------------------------------------------
+
+TEST(GrdbFormat, StandardGeometryMatchesThesis) {
+  const auto geo = grdb::Geometry::standard();
+  ASSERT_EQ(geo.level_count(), 6);
+  const std::uint64_t d[] = {2, 4, 16, 256, 4096, 16384};
+  const std::uint64_t B[] = {4096, 4096, 4096, 4096, 32768, 262144};
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_EQ(geo.levels[l].entries_per_subblock, d[l]);
+    EXPECT_EQ(geo.levels[l].block_bytes, B[l]);
+  }
+  EXPECT_EQ(geo.max_file_bytes, 256u << 20);
+  // k_l = B_l / (b * d_l)
+  EXPECT_EQ(geo.levels[0].subblocks_per_block(), 256u);
+  EXPECT_EQ(geo.levels[3].subblocks_per_block(), 2u);
+  EXPECT_EQ(geo.levels[4].subblocks_per_block(), 1u);
+}
+
+TEST(GrdbFormat, LocateImplementsThesisFormula) {
+  grdb::Geometry geo;
+  geo.levels = {grdb::LevelSpec{2, 64}};  // d=2, b*d=16, k=4
+  geo.max_file_bytes = 128;               // N = 2 blocks per file
+  geo.validate();
+
+  // Sub-block 0: block 0, file 0, offset 0.
+  auto a = grdb::locate(geo, 0, 0);
+  EXPECT_EQ(a.block, 0u);
+  EXPECT_EQ(a.file, 0u);
+  EXPECT_EQ(a.file_offset, 0u);
+  EXPECT_EQ(a.block_offset, 0u);
+
+  // Sub-block 5: block 1 (5/4), file 0, file offset 64, block offset 16.
+  a = grdb::locate(geo, 0, 5);
+  EXPECT_EQ(a.block, 1u);
+  EXPECT_EQ(a.file, 0u);
+  EXPECT_EQ(a.file_offset, 64u);
+  EXPECT_EQ(a.block_offset, 16u);
+
+  // Sub-block 9: block 2, file 1 (2/2), file offset 0, block offset 16.
+  a = grdb::locate(geo, 0, 9);
+  EXPECT_EQ(a.block, 2u);
+  EXPECT_EQ(a.file, 1u);
+  EXPECT_EQ(a.file_offset, 0u);
+  EXPECT_EQ(a.block_offset, 16u);
+}
+
+TEST(GrdbFormat, EntryTagging) {
+  EXPECT_EQ(grdb::classify(grdb::make_vertex_entry(0)),
+            grdb::EntryKind::kVertex);
+  EXPECT_EQ(grdb::classify(grdb::make_vertex_entry(kMaxVertexId)),
+            grdb::EntryKind::kVertex);
+  EXPECT_EQ(grdb::classify(grdb::kEmptySlot), grdb::EntryKind::kEmpty);
+
+  const auto ptr = grdb::make_pointer_entry(3, 12345);
+  EXPECT_EQ(grdb::classify(ptr), grdb::EntryKind::kPointer);
+  EXPECT_EQ(grdb::pointer_level(ptr), 3);
+  EXPECT_EQ(grdb::pointer_subblock(ptr), 12345u);
+}
+
+TEST(GrdbFormat, VertexIdAboveLimitRejected) {
+  EXPECT_THROW(grdb::make_vertex_entry(kMaxVertexId + 1), UsageError);
+}
+
+TEST(GrdbFormat, GeometryValidation) {
+  grdb::Geometry geo;
+  geo.levels = {grdb::LevelSpec{2, 64}, grdb::LevelSpec{3, 64}};
+  geo.max_file_bytes = 128;
+  EXPECT_THROW(geo.validate(), UsageError);  // d1 < 2*d0
+
+  geo.levels = {grdb::LevelSpec{2, 60}};  // block not multiple of sub-block
+  EXPECT_THROW(geo.validate(), UsageError);
+
+  geo.levels = {grdb::LevelSpec{2, 64}};
+  geo.max_file_bytes = 100;  // file not multiple of block
+  EXPECT_THROW(geo.validate(), UsageError);
+}
+
+// ---- GrDB behaviour --------------------------------------------------------
+
+/// Small geometry so tests cross levels quickly: d = 2,4,8; tiny files.
+GrDBOptions small_options(GrDBGrowth growth = GrDBGrowth::kLink) {
+  GrDBOptions options;
+  options.geometry.levels = {grdb::LevelSpec{2, 64}, grdb::LevelSpec{4, 64},
+                             grdb::LevelSpec{8, 64}};
+  options.geometry.max_file_bytes = 1024;
+  options.growth = growth;
+  return options;
+}
+
+std::unique_ptr<GrDB> make_grdb(const TempDir& dir, GrDBOptions options,
+                                std::size_t cache_bytes = 1 << 16) {
+  GraphDBConfig config;
+  config.dir = dir.path();
+  config.cache_bytes = cache_bytes;
+  std::filesystem::create_directories(config.dir);
+  return std::make_unique<GrDB>(config, std::make_unique<InMemoryMetadata>(),
+                                std::move(options));
+}
+
+std::vector<Edge> star_edges(VertexId center, std::uint64_t degree) {
+  std::vector<Edge> edges;
+  for (std::uint64_t i = 1; i <= degree; ++i) {
+    edges.push_back({center, center + i});
+  }
+  return edges;
+}
+
+TEST(Grdb, LowDegreeStaysAtLevelZero) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options());
+  db->store_edges(star_edges(5, 2));  // d0 = 2, exactly fits
+  const auto chain = db->chain_of(5);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], (std::pair<int, std::uint64_t>{0, 5}));
+  std::vector<VertexId> out;
+  db->get_adjacency(5, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Grdb, OverflowAllocatesNextLevelAndDisplacesLastEntry) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options());
+  db->store_edges(star_edges(5, 3));  // one beyond d0
+  const auto chain = db->chain_of(5);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].first, 0);
+  EXPECT_EQ(chain[1].first, 1);
+  std::vector<VertexId> out;
+  db->get_adjacency(5, out);
+  EXPECT_EQ(out.size(), 3u);  // nothing lost in the displacement
+}
+
+TEST(Grdb, ChainReachesMaxLevelAndExtendsSideways) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options());
+  db->store_edges(star_edges(1, 100));  // far beyond 2+4+8
+  const auto chain = db->chain_of(1);
+  ASSERT_GE(chain.size(), 4u);
+  EXPECT_EQ(chain[0].first, 0);
+  EXPECT_EQ(chain[1].first, 1);
+  EXPECT_EQ(chain[2].first, 2);
+  for (std::size_t i = 3; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].first, 2);  // repeats at the last level
+  }
+  std::vector<VertexId> out;
+  db->get_adjacency(1, out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Grdb, IncrementalSmallAppendsFragmentInLinkMode) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options(GrDBGrowth::kLink));
+  // One neighbor at a time: the thesis' fragmenting ingest pattern.
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    db->store_edges(std::vector<Edge>{{7, 7 + i}});
+  }
+  std::vector<VertexId> out;
+  db->get_adjacency(7, out);
+  ASSERT_EQ(out.size(), 20u);
+  std::sort(out.begin(), out.end());
+  for (std::uint64_t i = 1; i <= 20; ++i) EXPECT_EQ(out[i - 1], 7 + i);
+}
+
+TEST(Grdb, CopyUpProducesCompactChains) {
+  TempDir dir_link, dir_copy;
+  auto link_db = make_grdb(dir_link, small_options(GrDBGrowth::kLink));
+  auto copy_db = make_grdb(dir_copy, small_options(GrDBGrowth::kCopyUp));
+  for (std::uint64_t i = 1; i <= 13; ++i) {
+    link_db->store_edges(std::vector<Edge>{{3, 3 + i}});
+    copy_db->store_edges(std::vector<Edge>{{3, 3 + i}});
+  }
+  // Identical data...
+  std::vector<VertexId> a, b;
+  link_db->get_adjacency(3, a);
+  copy_db->get_adjacency(3, b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // ...but the copy-up chain is no longer than the link chain.
+  EXPECT_LE(copy_db->chain_of(3).size(), link_db->chain_of(3).size());
+  // 13 = 1 (level0 kept) + spill: copy-up should be 0 -> 1 -> 2 at most.
+  EXPECT_LE(copy_db->chain_of(3).size(), 3u);
+}
+
+TEST(Grdb, DefragmentCompactsAndPreservesData) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options(GrDBGrowth::kLink));
+  for (std::uint64_t i = 1; i <= 13; ++i) {
+    db->store_edges(std::vector<Edge>{{3, 100 + i}});
+  }
+  const auto before = db->chain_of(3).size();
+  std::vector<VertexId> expected;
+  db->get_adjacency(3, expected);
+  std::sort(expected.begin(), expected.end());
+
+  const auto rewritten = db->defragment();
+  EXPECT_GE(rewritten, 1u);
+  EXPECT_LT(db->chain_of(3).size(), before);
+
+  std::vector<VertexId> after;
+  db->get_adjacency(3, after);
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(after, expected);
+}
+
+TEST(Grdb, DefragmentIsIdempotent) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options(GrDBGrowth::kLink));
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    db->store_edges(std::vector<Edge>{{2, 200 + i}});
+  }
+  db->defragment();
+  EXPECT_EQ(db->defragment(), 0u);  // already optimal
+}
+
+TEST(Grdb, DefragmentRecyclesSubblocks) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options(GrDBGrowth::kLink));
+  for (std::uint64_t i = 1; i <= 13; ++i) {
+    db->store_edges(std::vector<Edge>{{3, 100 + i}});
+  }
+  const auto allocated_before = db->allocated_subblocks(1);
+  db->defragment();
+  // New growth reuses freed sub-blocks instead of extending level 1.
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    db->store_edges(std::vector<Edge>{{50 + i, 1}, {50 + i, 2}, {50 + i, 3}});
+  }
+  // One freed level-1 sub-block is recycled; only the two extra vertices
+  // need fresh allocations.
+  EXPECT_LE(db->allocated_subblocks(1), allocated_before + 2);
+}
+
+TEST(Grdb, AppendAfterDefragmentKeepsWorking) {
+  TempDir dir;
+  auto db = make_grdb(dir, small_options(GrDBGrowth::kLink));
+  for (std::uint64_t i = 1; i <= 13; ++i) {
+    db->store_edges(std::vector<Edge>{{3, 100 + i}});
+  }
+  db->defragment();
+  db->store_edges(star_edges(3, 0));  // no-op
+  for (std::uint64_t i = 14; i <= 40; ++i) {
+    db->store_edges(std::vector<Edge>{{3, 100 + i}});
+  }
+  std::vector<VertexId> out;
+  db->get_adjacency(3, out);
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST(Grdb, PersistsAcrossReopenWithSmallGeometry) {
+  TempDir dir;
+  {
+    auto db = make_grdb(dir, small_options());
+    db->store_edges(star_edges(9, 25));
+    db->flush();
+  }
+  auto db = make_grdb(dir, small_options());
+  std::vector<VertexId> out;
+  db->get_adjacency(9, out);
+  EXPECT_EQ(out.size(), 25u);
+}
+
+TEST(Grdb, GeometryMismatchOnReopenRejected) {
+  TempDir dir;
+  {
+    auto db = make_grdb(dir, small_options());
+    db->store_edges(star_edges(1, 5));
+    db->flush();
+  }
+  GrDBOptions other;
+  other.geometry.levels = {grdb::LevelSpec{2, 64}, grdb::LevelSpec{4, 64}};
+  other.geometry.max_file_bytes = 1024;
+  EXPECT_THROW(make_grdb(dir, std::move(other)), StorageError);
+}
+
+TEST(Grdb, MultipleFilesPerLevel) {
+  TempDir dir;
+  // max_file_bytes 1024, level-0 blocks 64 B => 16 blocks/file; vertices
+  // spread far apart force several level-0 files.
+  auto db = make_grdb(dir, small_options());
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 2000; v += 100) edges.push_back({v, v + 1});
+  db->store_edges(edges);
+  db->flush();
+  int level0_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().filename().string().starts_with("level0.")) {
+      ++level0_files;
+    }
+  }
+  EXPECT_GT(level0_files, 1);
+  std::vector<VertexId> out;
+  db->get_adjacency(1900, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1901}));
+}
+
+TEST(Grdb, VertexZeroNeighborZeroAreValid) {
+  // Entry value 0 must read back as vertex 0, not as an empty slot.
+  TempDir dir;
+  auto db = make_grdb(dir, small_options());
+  db->store_edges(std::vector<Edge>{{1, 0}, {0, 1}});
+  std::vector<VertexId> out;
+  db->get_adjacency(1, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{0}));
+  out.clear();
+  db->get_adjacency(0, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1}));
+}
+
+TEST(Grdb, StandardGeometryHubCrossesAllLevels) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  config.cache_bytes = 4u << 20;
+  std::filesystem::create_directories(config.dir);
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), GrDBOptions{});
+  // Degree 20000: the link chain holds 1+3+15+255+4095 = 4369 entries in
+  // levels 0-4 and the remaining 15631 fit one level-5 sub-block.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 20'000; ++i) edges.push_back({0, i});
+  db.store_edges(edges);
+  const auto chain = db.chain_of(0);
+  ASSERT_EQ(chain.size(), 6u);
+  for (int l = 0; l < 6; ++l) EXPECT_EQ(chain[l].first, l);
+  std::vector<VertexId> out;
+  db.get_adjacency(0, out);
+  EXPECT_EQ(out.size(), 20'000u);
+}
+
+}  // namespace
+}  // namespace mssg

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+#include "storage/heap_file.hpp"
+
+namespace mssg {
+namespace {
+
+std::vector<std::byte> row_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::vector<std::byte> synth_row(std::size_t length, std::uint64_t tag) {
+  std::vector<std::byte> row(length);
+  Rng rng(tag);
+  for (auto& b : row) b = static_cast<std::byte>(rng() & 0xFF);
+  return row;
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : pager_(dir_.path() / "heap.db", 4096, 1 << 20), heap_(pager_) {}
+
+  TempDir dir_;
+  Pager pager_;
+  HeapFile heap_;
+};
+
+TEST_F(HeapFileTest, InsertThenRead) {
+  const auto id = heap_.insert(row_of("first row"));
+  EXPECT_EQ(heap_.read(id), row_of("first row"));
+  EXPECT_EQ(heap_.row_count(), 1u);
+}
+
+TEST_F(HeapFileTest, RowIdsAreStableAcrossMoreInserts) {
+  const auto id = heap_.insert(row_of("keep me"));
+  for (int i = 0; i < 5000; ++i) {
+    heap_.insert(row_of("filler " + std::to_string(i)));
+  }
+  EXPECT_EQ(heap_.read(id), row_of("keep me"));
+}
+
+TEST_F(HeapFileTest, EraseTombstonesSlot) {
+  const auto id = heap_.insert(row_of("gone"));
+  heap_.erase(id);
+  EXPECT_EQ(heap_.row_count(), 0u);
+  EXPECT_THROW(heap_.read(id), StorageError);
+}
+
+TEST_F(HeapFileTest, EraseIsIdempotent) {
+  const auto id = heap_.insert(row_of("x"));
+  heap_.erase(id);
+  heap_.erase(id);
+  EXPECT_EQ(heap_.row_count(), 0u);
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceWhenSmaller) {
+  const auto id = heap_.insert(row_of("a rather long row"));
+  const auto new_id = heap_.update(id, row_of("short"));
+  EXPECT_EQ(new_id, id);
+  EXPECT_EQ(heap_.read(id), row_of("short"));
+  EXPECT_EQ(heap_.row_count(), 1u);
+}
+
+TEST_F(HeapFileTest, UpdateGrowingRowStaysReadable) {
+  const auto id = heap_.insert(row_of("s"));
+  const auto new_id = heap_.update(id, synth_row(700, 1));
+  EXPECT_EQ(heap_.read(new_id), synth_row(700, 1));
+  EXPECT_EQ(heap_.row_count(), 1u);
+}
+
+TEST_F(HeapFileTest, LargeRowSpillsAndReadsBack) {
+  const auto big = synth_row(20'000, 7);  // well beyond one 4 KB page
+  const auto id = heap_.insert(big);
+  EXPECT_EQ(heap_.read(id), big);
+}
+
+TEST_F(HeapFileTest, SpilledRowUpdateAndErase) {
+  const auto id = heap_.insert(synth_row(20'000, 1));
+  const auto id2 = heap_.update(id, synth_row(30'000, 2));
+  EXPECT_EQ(heap_.read(id2), synth_row(30'000, 2));
+  heap_.erase(id2);
+  EXPECT_EQ(heap_.row_count(), 0u);
+}
+
+TEST_F(HeapFileTest, ForEachVisitsLiveRowsInOrder) {
+  std::vector<RowId> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(heap_.insert(row_of("row" + std::to_string(i))));
+  }
+  heap_.erase(ids[10]);
+  heap_.erase(ids[200]);
+  std::size_t count = 0;
+  heap_.for_each([&](RowId id, std::span<const std::byte>) {
+    EXPECT_FALSE(id == ids[10]);
+    EXPECT_FALSE(id == ids[200]);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 298u);
+}
+
+TEST_F(HeapFileTest, ForEachEarlyStop) {
+  for (int i = 0; i < 50; ++i) heap_.insert(row_of("r"));
+  int visits = 0;
+  heap_.for_each([&](RowId, std::span<const std::byte>) {
+    return ++visits < 7;
+  });
+  EXPECT_EQ(visits, 7);
+}
+
+TEST_F(HeapFileTest, PersistsAcrossReopen) {
+  const auto id = heap_.insert(row_of("durable"));
+  heap_.insert(synth_row(9'000, 3));
+  pager_.flush();
+
+  Pager pager2(dir_.path() / "heap.db", 4096, 1 << 20);
+  HeapFile heap2(pager2);
+  EXPECT_EQ(heap2.row_count(), 2u);
+  EXPECT_EQ(heap2.read(id), row_of("durable"));
+}
+
+// Property test: random insert/update/erase vs a reference map.
+TEST_F(HeapFileTest, RandomOperationsMatchReference) {
+  std::map<std::uint64_t, std::pair<RowId, std::vector<std::byte>>> live;
+  Rng rng(4242);
+  std::uint64_t next_key = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const auto op = rng.below(10);
+    if (op < 5 || live.empty()) {  // insert
+      auto row = synth_row(1 + rng.below(6000), rng());
+      const auto id = heap_.insert(row);
+      live[next_key++] = {id, std::move(row)};
+    } else {
+      // Pick a pseudo-random live row.
+      auto it = live.lower_bound(rng.below(next_key));
+      if (it == live.end()) it = live.begin();
+      if (op < 8) {  // update
+        auto row = synth_row(1 + rng.below(6000), rng());
+        it->second.first = heap_.update(it->second.first, row);
+        it->second.second = std::move(row);
+      } else {  // erase
+        heap_.erase(it->second.first);
+        live.erase(it);
+      }
+    }
+  }
+  EXPECT_EQ(heap_.row_count(), live.size());
+  for (const auto& [key, entry] : live) {
+    EXPECT_EQ(heap_.read(entry.first), entry.second) << key;
+  }
+}
+
+}  // namespace
+}  // namespace mssg

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.hpp"
+#include "graphdb/metadata_store.hpp"
+
+namespace mssg {
+namespace {
+
+TEST(InMemoryMetadata, DefaultsToFill) {
+  InMemoryMetadata store;
+  EXPECT_EQ(store.get(0), kUnvisited);
+  EXPECT_EQ(store.get(1'000'000), kUnvisited);
+}
+
+TEST(InMemoryMetadata, SetGetAndClear) {
+  InMemoryMetadata store;
+  store.set(10, 3);
+  store.set(0, -7);
+  EXPECT_EQ(store.get(10), 3);
+  EXPECT_EQ(store.get(0), -7);
+  EXPECT_EQ(store.get(5), kUnvisited);
+  store.clear(0);
+  EXPECT_EQ(store.get(10), 0);
+}
+
+TEST(ExternalMetadata, DefaultsToFill) {
+  TempDir dir;
+  ExternalMetadata store(dir.path() / "meta.dat", 100'000, 1 << 16);
+  EXPECT_EQ(store.get(0), kUnvisited);
+  EXPECT_EQ(store.get(99'999), kUnvisited);
+}
+
+TEST(ExternalMetadata, SetGetAcrossPages) {
+  TempDir dir;
+  ExternalMetadata store(dir.path() / "meta.dat", 100'000, 1 << 16);
+  store.set(0, 1);
+  store.set(5'000, 2);   // a different page
+  store.set(99'999, 3);  // yet another
+  EXPECT_EQ(store.get(0), 1);
+  EXPECT_EQ(store.get(5'000), 2);
+  EXPECT_EQ(store.get(99'999), 3);
+  // Untouched neighbors on a touched page still read as fill.
+  EXPECT_EQ(store.get(1), kUnvisited);
+  EXPECT_EQ(store.get(99'998), kUnvisited);
+}
+
+TEST(ExternalMetadata, ClearIsGenerational) {
+  TempDir dir;
+  ExternalMetadata store(dir.path() / "meta.dat", 10'000, 1 << 16);
+  store.set(42, 7);
+  store.clear(kUnvisited);
+  EXPECT_EQ(store.get(42), kUnvisited);
+  store.set(42, 9);
+  EXPECT_EQ(store.get(42), 9);
+  store.clear(-1);
+  EXPECT_EQ(store.get(42), -1);
+  EXPECT_EQ(store.get(43), -1);
+}
+
+TEST(ExternalMetadata, ManyClearsStayCorrect) {
+  TempDir dir;
+  ExternalMetadata store(dir.path() / "meta.dat", 1'000, 1 << 14);
+  for (int round = 0; round < 50; ++round) {
+    store.clear(kUnvisited);
+    store.set(round % 1000, round);
+    EXPECT_EQ(store.get(round % 1000), round);
+    EXPECT_EQ(store.get((round + 1) % 1000), kUnvisited);
+  }
+}
+
+TEST(ExternalMetadata, SmallCacheStillCorrect) {
+  TempDir dir;
+  IoStats stats;
+  // Cache of a single page: every page switch is an eviction.
+  ExternalMetadata store(dir.path() / "meta.dat", 100'000, 4096, &stats);
+  for (VertexId v = 0; v < 100'000; v += 1017) {
+    store.set(v, static_cast<Metadata>(v % 1000));
+  }
+  for (VertexId v = 0; v < 100'000; v += 1017) {
+    EXPECT_EQ(store.get(v), static_cast<Metadata>(v % 1000));
+  }
+  EXPECT_GT(stats.writes, 0u);  // evictions really hit the disk
+}
+
+TEST(ExternalMetadata, OutOfRangeRejected) {
+  TempDir dir;
+  ExternalMetadata store(dir.path() / "meta.dat", 100, 1 << 12);
+  EXPECT_THROW((void)store.get(100), UsageError);
+  EXPECT_THROW(store.set(200, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace mssg

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ontology/ontology.hpp"
+
+namespace mssg {
+namespace {
+
+/// The Figure 1.1 ontology: Person --attends--> Meeting,
+/// Meeting --occurred on--> Date, Person --takes--> Travel,
+/// Travel --occurred on--> Date.
+struct Fig11 {
+  Ontology ontology;
+  TypeId person, meeting, date, travel;
+  TypeId attends, meeting_on, takes, travel_on;
+
+  Fig11() {
+    person = ontology.add_vertex_type("Person");
+    meeting = ontology.add_vertex_type("Meeting");
+    date = ontology.add_vertex_type("Date");
+    travel = ontology.add_vertex_type("Travel");
+    attends = ontology.add_edge_type("attends", person, meeting);
+    meeting_on = ontology.add_edge_type("occurred on", meeting, date);
+    takes = ontology.add_edge_type("takes", person, travel);
+    travel_on = ontology.add_edge_type("occurred on", travel, date);
+  }
+};
+
+TEST(Ontology, VertexTypesAreStableAndNamed) {
+  Fig11 fig;
+  EXPECT_EQ(fig.ontology.vertex_type_count(), 4u);
+  EXPECT_EQ(fig.ontology.vertex_type("Person"), fig.person);
+  EXPECT_EQ(fig.ontology.vertex_type_name(fig.meeting), "Meeting");
+  EXPECT_FALSE(fig.ontology.vertex_type("Alien").has_value());
+}
+
+TEST(Ontology, ReRegisteringVertexTypeReturnsSameId) {
+  Ontology o;
+  EXPECT_EQ(o.add_vertex_type("X"), o.add_vertex_type("X"));
+  EXPECT_EQ(o.vertex_type_count(), 1u);
+}
+
+TEST(Ontology, SameEdgeNameMayConnectSeveralTypePairs) {
+  Fig11 fig;
+  EXPECT_NE(fig.meeting_on, fig.travel_on);
+  EXPECT_EQ(fig.ontology.edge_type_name(fig.meeting_on), "occurred on");
+  EXPECT_EQ(fig.ontology.edge_type_name(fig.travel_on), "occurred on");
+}
+
+TEST(Ontology, AllowsExactlyTheDeclaredConnections) {
+  Fig11 fig;
+  EXPECT_TRUE(fig.ontology.allows(fig.person, fig.attends, fig.meeting));
+  // "'Date' vertex types are not allowed to be directly connected to the
+  // 'Person' vertex type."
+  EXPECT_FALSE(fig.ontology.allows(fig.person, fig.attends, fig.date));
+  EXPECT_FALSE(fig.ontology.allows(fig.date, fig.attends, fig.meeting));
+  EXPECT_FALSE(fig.ontology.allows(fig.person, fig.meeting_on, fig.date));
+}
+
+TEST(Ontology, ValidateThrowsWithReadableMessage) {
+  Fig11 fig;
+  TypedEdge bad;
+  bad.edge = {1, 2};
+  bad.src_type = fig.person;
+  bad.dst_type = fig.date;
+  bad.edge_type = fig.attends;
+  try {
+    fig.ontology.validate(bad);
+    FAIL() << "expected OntologyError";
+  } catch (const OntologyError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Person"), std::string::npos);
+    EXPECT_NE(what.find("Date"), std::string::npos);
+    EXPECT_NE(what.find("attends"), std::string::npos);
+  }
+}
+
+TEST(Ontology, EdgeTypeReferencingUnknownVertexTypeRejected) {
+  Ontology o;
+  const auto a = o.add_vertex_type("A");
+  EXPECT_THROW(o.add_edge_type("broken", a, 99), OntologyError);
+  EXPECT_THROW(o.add_edge_type("broken", kUntyped, a), OntologyError);
+}
+
+TEST(Ontology, ExportsItselfAsSemanticGraph) {
+  // "By itself, an ontology is just an instance of a semantic graph."
+  Fig11 fig;
+  const auto edges = fig.ontology.to_edges();
+  ASSERT_EQ(edges.size(), 4u);
+  // First rule: Person -> Meeting.
+  EXPECT_EQ(edges[0].edge.src, fig.person);
+  EXPECT_EQ(edges[0].edge.dst, fig.meeting);
+  EXPECT_EQ(edges[0].edge_type, fig.attends);
+}
+
+TEST(VertexTypeRegistry, FirstBindWinsConflictsThrow) {
+  Fig11 fig;
+  VertexTypeRegistry registry;
+  registry.bind(7, fig.person);
+  registry.bind(7, fig.person);  // consistent re-bind OK
+  EXPECT_EQ(registry.type_of(7), fig.person);
+  EXPECT_EQ(registry.type_of(8), kUntyped);
+  EXPECT_THROW(registry.bind(7, fig.meeting), OntologyError);
+}
+
+TEST(TypedEdgeValidator, AcceptsValidStreamAndTracksTypes) {
+  Fig11 fig;
+  TypedEdgeValidator validator(fig.ontology);
+  // alice(0) attends standup(10); standup occurred on 2006-07-01 (20).
+  TypedEdge e1{{0, 10}, fig.person, fig.meeting, fig.attends};
+  TypedEdge e2{{10, 20}, fig.meeting, fig.date, fig.meeting_on};
+  EXPECT_EQ(validator.accept(e1), (Edge{0, 10}));
+  EXPECT_EQ(validator.accept(e2), (Edge{10, 20}));
+  EXPECT_EQ(validator.registry().type_of(10), fig.meeting);
+  EXPECT_EQ(validator.registry().size(), 3u);
+}
+
+TEST(TypedEdgeValidator, RejectsSchemaViolation) {
+  Fig11 fig;
+  TypedEdgeValidator validator(fig.ontology);
+  TypedEdge bad{{0, 20}, fig.person, fig.date, fig.attends};
+  EXPECT_THROW(validator.accept(bad), OntologyError);
+}
+
+TEST(TypedEdgeValidator, RejectsRetypedVertex) {
+  Fig11 fig;
+  TypedEdgeValidator validator(fig.ontology);
+  validator.accept(TypedEdge{{0, 10}, fig.person, fig.meeting, fig.attends});
+  // Vertex 10 reappears as a Travel — inconsistent instance data.
+  TypedEdge bad{{0, 10}, fig.person, fig.travel, fig.takes};
+  EXPECT_THROW(validator.accept(bad), OntologyError);
+}
+
+}  // namespace
+}  // namespace mssg

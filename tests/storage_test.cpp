@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/temp_dir.hpp"
+#include "storage/block_cache.hpp"
+#include "storage/file.hpp"
+#include "storage/overflow.hpp"
+#include "storage/pager.hpp"
+
+namespace mssg {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+// ---- File ------------------------------------------------------------------
+
+TEST(File, WriteThenReadBack) {
+  TempDir dir;
+  IoStats stats;
+  File f = File::open(dir.path() / "data.bin", &stats);
+  const auto payload = bytes_of("hello disk");
+  f.write_at(100, payload);
+  std::vector<std::byte> readback(payload.size());
+  f.read_at(100, readback);
+  EXPECT_EQ(readback, payload);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes_written, payload.size());
+}
+
+TEST(File, ReadPastEofZeroFills) {
+  TempDir dir;
+  File f = File::open(dir.path() / "data.bin");
+  f.write_at(0, bytes_of("abc"));
+  std::vector<std::byte> buffer(10, std::byte{0xFF});
+  const auto real = f.read_at(0, buffer);
+  EXPECT_EQ(real, 3u);
+  EXPECT_EQ(static_cast<char>(buffer[0]), 'a');
+  EXPECT_EQ(buffer[3], std::byte{0});
+  EXPECT_EQ(buffer[9], std::byte{0});
+}
+
+TEST(File, SparseWriteExtends) {
+  TempDir dir;
+  File f = File::open(dir.path() / "data.bin");
+  f.write_at(1 << 20, bytes_of("x"));
+  EXPECT_EQ(f.size(), (1u << 20) + 1);
+}
+
+TEST(File, TruncateShrinks) {
+  TempDir dir;
+  File f = File::open(dir.path() / "data.bin");
+  f.write_at(0, bytes_of("0123456789"));
+  f.truncate(4);
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(File, OpenReadonlyMissingThrows) {
+  TempDir dir;
+  EXPECT_THROW(File::open_readonly(dir.path() / "nope.bin"), StorageError);
+}
+
+TEST(File, MoveTransfersDescriptor) {
+  TempDir dir;
+  File a = File::open(dir.path() / "data.bin");
+  a.write_at(0, bytes_of("abc"));
+  File b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move) — testing it
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.size(), 3u);
+}
+
+// ---- BlockCache ------------------------------------------------------------
+
+/// In-memory backing store for cache tests.
+class FakeStore {
+ public:
+  explicit FakeStore(std::size_t block_size) : block_size_(block_size) {}
+
+  BlockCache::Reader reader() {
+    return [this](std::uint64_t block, std::span<std::byte> out) {
+      ++reads_;
+      auto it = blocks_.find(block);
+      if (it == blocks_.end()) {
+        std::memset(out.data(), 0, out.size());
+      } else {
+        std::memcpy(out.data(), it->second.data(), out.size());
+      }
+    };
+  }
+
+  BlockCache::Writer writer() {
+    return [this](std::uint64_t block, std::span<const std::byte> in) {
+      ++writes_;
+      blocks_[block].assign(in.begin(), in.end());
+    };
+  }
+
+  int reads_ = 0;
+  int writes_ = 0;
+  std::size_t block_size_;
+  std::map<std::uint64_t, std::vector<std::byte>> blocks_;
+};
+
+TEST(BlockCache, HitAvoidsSecondRead) {
+  FakeStore store(64);
+  IoStats stats;
+  BlockCache cache(1024, &stats);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  { auto h = cache.get(id, 5); }
+  { auto h = cache.get(id, 5); }
+  EXPECT_EQ(store.reads_, 1);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(BlockCache, DirtyBlockWrittenBackOnEviction) {
+  FakeStore store(64);
+  BlockCache cache(64, nullptr);  // capacity: exactly one block
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  {
+    auto h = cache.get(id, 1);
+    h.mutable_data()[0] = std::byte{0xAA};
+  }
+  { auto h = cache.get(id, 2); }  // evicts block 1
+  EXPECT_EQ(store.writes_, 1);
+  EXPECT_EQ(store.blocks_.at(1)[0], std::byte{0xAA});
+}
+
+TEST(BlockCache, CleanEvictionSkipsWrite) {
+  FakeStore store(64);
+  BlockCache cache(64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  { auto h = cache.get(id, 1); }
+  { auto h = cache.get(id, 2); }
+  EXPECT_EQ(store.writes_, 0);
+}
+
+TEST(BlockCache, LruEvictsOldestUnpinned) {
+  FakeStore store(64);
+  BlockCache cache(2 * 64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  { auto h = cache.get(id, 1); }
+  { auto h = cache.get(id, 2); }
+  { auto h = cache.get(id, 1); }  // touch 1: now 2 is LRU
+  { auto h = cache.get(id, 3); }  // evicts 2
+  store.reads_ = 0;
+  { auto h = cache.get(id, 1); }
+  EXPECT_EQ(store.reads_, 0);  // 1 still resident
+  { auto h = cache.get(id, 2); }
+  EXPECT_EQ(store.reads_, 1);  // 2 was evicted
+}
+
+TEST(BlockCache, PinnedBlocksSurviveCapacityPressure) {
+  FakeStore store(64);
+  BlockCache cache(64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  auto pinned = cache.get(id, 1);
+  pinned.mutable_data()[0] = std::byte{0x42};
+  { auto h = cache.get(id, 2); }
+  { auto h = cache.get(id, 3); }
+  // Block 1 stayed pinned through the churn.
+  EXPECT_EQ(pinned.data()[0], std::byte{0x42});
+  EXPECT_FALSE(store.blocks_.contains(1));  // never evicted => never written
+}
+
+TEST(BlockCache, ZeroCapacityWritesThrough) {
+  FakeStore store(64);
+  BlockCache cache(0, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  {
+    auto h = cache.get(id, 7);
+    h.mutable_data()[1] = std::byte{0x07};
+  }
+  EXPECT_EQ(store.writes_, 1);
+  store.reads_ = 0;
+  { auto h = cache.get(id, 7); }
+  EXPECT_EQ(store.reads_, 1);  // nothing cached
+}
+
+TEST(BlockCache, FlushPersistsDirtyAndKeepsResident) {
+  FakeStore store(64);
+  BlockCache cache(1024, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  {
+    auto h = cache.get(id, 4);
+    h.mutable_data()[0] = std::byte{0x99};
+  }
+  cache.flush();
+  EXPECT_EQ(store.blocks_.at(4)[0], std::byte{0x99});
+  store.reads_ = 0;
+  { auto h = cache.get(id, 4); }
+  EXPECT_EQ(store.reads_, 0);
+}
+
+TEST(BlockCache, MultipleStoresAreIndependent) {
+  FakeStore a(32), b(128);
+  BlockCache cache(4096, nullptr);
+  const auto ida = cache.register_store(32, a.reader(), a.writer());
+  const auto idb = cache.register_store(128, b.reader(), b.writer());
+  {
+    auto ha = cache.get(ida, 0);
+    auto hb = cache.get(idb, 0);
+    EXPECT_EQ(ha.data().size(), 32u);
+    EXPECT_EQ(hb.data().size(), 128u);
+    ha.mutable_data()[0] = std::byte{1};
+    hb.mutable_data()[0] = std::byte{2};
+  }
+  cache.flush();
+  EXPECT_EQ(a.blocks_.at(0)[0], std::byte{1});
+  EXPECT_EQ(b.blocks_.at(0)[0], std::byte{2});
+}
+
+TEST(BlockCache, RepinnedBlockLeavesLru) {
+  FakeStore store(64);
+  BlockCache cache(3 * 64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  { auto h = cache.get(id, 1); }
+  auto repinned = cache.get(id, 1);  // back out of the LRU
+  { auto h = cache.get(id, 2); }
+  { auto h = cache.get(id, 3); }
+  { auto h = cache.get(id, 4); }  // evictions must skip pinned block 1
+  store.reads_ = 0;
+  repinned = BlockHandle{};  // unpin
+  { auto h = cache.get(id, 1); }
+  EXPECT_EQ(store.reads_, 0);
+}
+
+// ---- Pager -----------------------------------------------------------------
+
+TEST(Pager, AllocateReturnsZeroedDistinctPages) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 1 << 16);
+  const PageId a = pager.allocate();
+  const PageId b = pager.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kInvalidPage);
+  auto h = pager.pin(a);
+  for (const auto byte : h.data()) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(Pager, FreeListRecyclesPages) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 1 << 16);
+  const PageId a = pager.allocate();
+  pager.allocate();
+  pager.free_page(a);
+  EXPECT_EQ(pager.allocate(), a);
+}
+
+TEST(Pager, MetaPersistsAcrossReopen) {
+  TempDir dir;
+  const auto path = dir.path() / "pages.db";
+  PageId page;
+  {
+    Pager pager(path, 512, 1 << 16);
+    page = pager.allocate();
+    auto h = pager.pin(page);
+    h.mutable_data()[10] = std::byte{0x5A};
+    pager.set_meta(0, 777);
+    pager.flush();
+  }
+  Pager pager(path, 512, 1 << 16);
+  EXPECT_EQ(pager.meta(0), 777u);
+  auto h = pager.pin(page);
+  EXPECT_EQ(h.data()[10], std::byte{0x5A});
+}
+
+TEST(Pager, WrongPageSizeRejected) {
+  TempDir dir;
+  const auto path = dir.path() / "pages.db";
+  { Pager pager(path, 512, 0); }
+  EXPECT_THROW(Pager(path, 1024, 0), StorageError);
+}
+
+TEST(Pager, PinHeaderOrOutOfRangeThrows) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 0);
+  EXPECT_THROW(pager.pin(kInvalidPage), UsageError);
+  EXPECT_THROW(pager.pin(99), UsageError);
+}
+
+// ---- Overflow chains -------------------------------------------------------
+
+TEST(Overflow, RoundTripsLargeValue) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 1 << 16);
+  std::vector<std::byte> value(5000);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::byte>(i * 7);
+  }
+  const PageId head = overflow::write_chain(pager, value);
+  EXPECT_EQ(overflow::read_chain(pager, head, value.size()), value);
+}
+
+TEST(Overflow, EmptyValueAllocatesOnePage) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 1 << 16);
+  const PageId head = overflow::write_chain(pager, {});
+  EXPECT_NE(head, kInvalidPage);
+  EXPECT_TRUE(overflow::read_chain(pager, head, 0).empty());
+}
+
+TEST(Overflow, FreeReturnsPagesToPager) {
+  TempDir dir;
+  Pager pager(dir.path() / "pages.db", 512, 1 << 16);
+  std::vector<std::byte> value(2000);
+  const PageId head = overflow::write_chain(pager, value);
+  const PageId before = pager.page_count();
+  overflow::free_chain(pager, head);
+  // Next allocations reuse the freed chain instead of growing the file.
+  pager.allocate();
+  pager.allocate();
+  EXPECT_EQ(pager.page_count(), before);
+}
+
+}  // namespace
+}  // namespace mssg

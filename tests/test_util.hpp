@@ -1,0 +1,43 @@
+// Shared helpers for the MSSG test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "common/types.hpp"
+#include "graphdb/graphdb.hpp"
+
+namespace mssg::testing {
+
+/// Creates a backend with a small cache in a scratch directory.
+inline std::unique_ptr<GraphDB> make_db(Backend backend, const TempDir& dir,
+                                        GraphDBConfig config = {}) {
+  config.dir = dir.path();
+  return make_graphdb(backend, config);
+}
+
+/// A tiny fixed graph used across contract tests:
+///
+///   0 - 1 - 2
+///   |   |
+///   3 - 4       5 (isolated from the component above via 6)
+///   6 - 5
+inline std::vector<Edge> tiny_graph_directed() {
+  // Both orientations (the frameworks store directed edges).
+  std::vector<Edge> edges;
+  for (const Edge e : std::initializer_list<Edge>{
+           {0, 1}, {1, 2}, {0, 3}, {1, 4}, {3, 4}, {6, 5}}) {
+    edges.push_back(e);
+    edges.push_back(Edge{e.dst, e.src});
+  }
+  return edges;
+}
+
+/// Sorted copy (adjacency order is backend-specific).
+inline std::vector<VertexId> sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace mssg::testing

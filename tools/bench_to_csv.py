@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Convert Google-Benchmark console output from the MSSG bench binaries
+into tidy CSV, one row per benchmark with its user counters as columns.
+
+Usage:
+    for b in build/bench/*; do $b; done 2>&1 | tools/bench_to_csv.py > results.csv
+    tools/bench_to_csv.py bench_output.txt > results.csv
+
+The benchmark name is split on '/' into up to five `name_partN` columns
+(e.g. Fig5_4 / grDB / pathlen:5), which makes pivoting per figure easy.
+"""
+import csv
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<name>\S+)\s+(?P<time>[\d.]+) (?P<time_unit>\w+)\s+"
+    r"(?P<cpu>[\d.]+) \w+\s+(?P<iterations>\d+)(?P<counters>.*)$"
+)
+COUNTER = re.compile(r"(\w+)=([\d.]+[kMGTm]?)(?:/s)?")
+
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9, "T": 1e12, "m": 1e-3}
+
+
+def parse_value(text: str) -> float:
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main() -> int:
+    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    rows = []
+    counter_keys = []
+    for line in source:
+        m = ROW.match(line.strip())
+        if not m or m.group("name") in ("Benchmark",):
+            continue
+        row = {
+            "name": m.group("name"),
+            "time": float(m.group("time")),
+            "time_unit": m.group("time_unit"),
+            "cpu": float(m.group("cpu")),
+            "iterations": int(m.group("iterations")),
+        }
+        for i, part in enumerate(m.group("name").split("/")[:5]):
+            row[f"name_part{i}"] = part
+        for key, value in COUNTER.findall(m.group("counters")):
+            row[key] = parse_value(value)
+            if key not in counter_keys:
+                counter_keys.append(key)
+        rows.append(row)
+
+    if not rows:
+        print("no benchmark rows found", file=sys.stderr)
+        return 1
+
+    base = ["name", "name_part0", "name_part1", "name_part2", "name_part3",
+            "name_part4", "time", "time_unit", "cpu", "iterations"]
+    writer = csv.DictWriter(sys.stdout, fieldnames=base + counter_keys,
+                            restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
