@@ -35,6 +35,9 @@ void ingest_once(benchmark::State& state, const bench::Workload& w,
         static_cast<double>(report.edges_stored) / report.seconds;
     state.counters["modeled_s"] = bench::modeled_ingest_seconds(report, io);
     state.counters["imbalance"] = report.imbalance();
+    state.counters["ingest_windows"] =
+        static_cast<double>(report.metrics.counter("ingest.windows"));
+    bench::report_cluster_metrics(state, cluster);
   }
 }
 

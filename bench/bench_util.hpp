@@ -197,6 +197,32 @@ inline double modeled_ingest_seconds(const IngestReport& report,
   return slowest;
 }
 
+// ---- Metrics reporting -----------------------------------------------------
+
+/// Copies the headline counters of a MetricsSnapshot into benchmark
+/// counters, so every bench row carries the unified accounting schema
+/// (see DESIGN.md "I/O accounting") next to its timings.
+inline void report_metrics(benchmark::State& state,
+                           const MetricsSnapshot& snap) {
+  state.counters["io_reads"] = static_cast<double>(snap.counter("io.reads"));
+  state.counters["io_bytes_read"] =
+      static_cast<double>(snap.counter("io.bytes_read"));
+  state.counters["cache_hits"] =
+      static_cast<double>(snap.counter("io.cache_hits"));
+  state.counters["cache_misses"] =
+      static_cast<double>(snap.counter("io.cache_misses"));
+  state.counters["comm_msgs"] =
+      static_cast<double>(snap.counter("comm.messages_sent"));
+  state.counters["comm_bytes"] =
+      static_cast<double>(snap.counter("comm.bytes_sent"));
+}
+
+/// Snapshot-and-report convenience for benches that drive an MssgCluster.
+inline void report_cluster_metrics(benchmark::State& state,
+                                   const MssgCluster& cluster) {
+  report_metrics(state, cluster.metrics_snapshot());
+}
+
 /// Runs one query and returns (result, per-node I/O delta).
 struct QueryRun {
   ClusterQueryResult result;
@@ -267,6 +293,7 @@ inline void run_search_bucket(benchmark::State& state, const Workload& w,
       queries == 0 ? 0
                    : static_cast<double>(messages_total) /
                          static_cast<double>(queries);
+  report_cluster_metrics(state, *ready.cluster);
 }
 
 /// Short backend labels for benchmark names.

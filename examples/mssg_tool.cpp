@@ -11,6 +11,10 @@
 //   mssg_tool defrag <storage-dir>            [--nodes N]
 //
 // Backends: grdb (default), kvstore, relational, stream.
+//
+// Every cluster command accepts --metrics: after the result it prints
+// the merged MetricsSnapshot (io.*, comm.*, bfs.*, ingest.*, ...) as a
+// single JSON line on stdout.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -35,6 +39,7 @@ struct CommonArgs {
   Backend backend = Backend::kGrDB;
   double scale = 0.05;
   std::string model = "pubmed-s";
+  bool metrics = false;
 };
 
 CommonArgs parse_flags(int argc, char** argv, int first) {
@@ -47,6 +52,8 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
     };
     if (flag == "--nodes") {
       args.nodes = std::stoi(next());
+    } else if (flag == "--metrics") {
+      args.metrics = true;
     } else if (flag == "--scale") {
       args.scale = std::stod(next());
     } else if (flag == "--model") {
@@ -78,6 +85,10 @@ std::vector<Edge> load_edges(const std::string& path) {
     all.insert(all.end(), block.begin(), block.end());
   }
   return all;
+}
+
+void maybe_print_metrics(const CommonArgs& args, const MssgCluster& cluster) {
+  if (args.metrics) std::cout << cluster.metrics_snapshot().to_json() << "\n";
 }
 
 MssgCluster open_cluster(const std::string& dir, const CommonArgs& args) {
@@ -135,6 +146,7 @@ int cmd_ingest(int argc, char** argv) {
   std::cout << "ingested " << report.edges_stored << " directed edges in "
             << report.seconds << " s across " << args.nodes
             << " nodes (imbalance " << report.imbalance() << "x)\n";
+  maybe_print_metrics(args, cluster);
   return 0;
 }
 
@@ -152,6 +164,7 @@ int cmd_bfs(int argc, char** argv) {
               << result.edges_scanned << " edges in " << result.seconds
               << " s)\n";
   }
+  maybe_print_metrics(args, cluster);
   return 0;
 }
 
@@ -163,6 +176,7 @@ int cmd_khop(int argc, char** argv) {
                                    static_cast<Metadata>(std::stoi(argv[4])));
   std::cout << result.vertices_within << " vertices within " << argv[4]
             << " hops of " << argv[3] << "\n";
+  maybe_print_metrics(args, cluster);
   return 0;
 }
 
@@ -174,6 +188,7 @@ int cmd_cc(int argc, char** argv) {
   std::cout << result.components << " connected components over "
             << result.vertices << " vertices (" << result.iterations
             << " rounds, " << result.seconds << " s)\n";
+  maybe_print_metrics(args, cluster);
   return 0;
 }
 
@@ -183,6 +198,7 @@ int cmd_defrag(int argc, char** argv) {
   auto cluster = open_cluster(argv[2], args);
   std::cout << "rewrote " << cluster.defragment_all()
             << " fragmented adjacency chains\n";
+  maybe_print_metrics(args, cluster);
   return 0;
 }
 

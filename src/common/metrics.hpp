@@ -1,0 +1,144 @@
+// Unified metrics and tracing — the instrumentation layer behind every
+// count the experiments report (fringe messages, blocks read, cache
+// hits, ingestion windows, defrag passes).
+//
+// Three pieces:
+//
+//  - MetricsRegistry: a per-node registry of named monotonic counters
+//    and power-of-two-bucket histograms.  Registration (the first
+//    `counter(name)` call) may allocate; the returned reference is a
+//    stable raw slot, so hot-path updates are plain integer increments.
+//    Like IoStats, a registry is *not thread-safe by design*: each
+//    simulated cluster node owns one and the harness merges snapshots
+//    after joining the node threads.
+//  - TraceSpan: an RAII span (BFS level, ingestion window, defrag pass)
+//    recording an occurrence count plus a duration histogram.  Span
+//    counts are deterministic across same-seed runs; durations are not,
+//    which is why they live in histograms, not counters.
+//  - MetricsSnapshot: a merged, serializable view (JSON / CSV) unifying
+//    registry contents with the legacy per-layer stats (IoStats,
+//    CommWorld traffic, BfsStats).  `deterministic_string()` renders
+//    counters only, in canonical order — the byte-comparable form the
+//    reproducibility tests assert on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/timer.hpp"
+
+namespace mssg {
+
+/// Histogram over uint64 values with one bucket per power of two
+/// (bucket i counts values whose bit width is i; value 0 lands in
+/// bucket 0).  Fixed footprint, allocation-free recording.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 65> buckets{};
+
+  void record(std::uint64_t value);
+
+  HistogramData& operator+=(const HistogramData& other);
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound (next power of two) of the bucket containing quantile
+  /// `q` in [0, 1] — a coarse p50/p99 for reports.
+  [[nodiscard]] std::uint64_t quantile_bound(double q) const;
+};
+
+/// Merged, serializable metrics view.  Plain data: copyable, mergeable.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Value of a counter, 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  void add(std::string_view name, std::uint64_t delta);
+
+  /// Sums counters and merges histograms element-wise.
+  MetricsSnapshot& merge(const MetricsSnapshot& other);
+
+  /// Full snapshot as a JSON object: {"counters":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// One "metric,name,value" CSV line per counter plus one summary line
+  /// per histogram — the snapshot row the bench harness emits.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Counters only, "name=value\n" in canonical (sorted) order.  Two
+  /// same-seed runs must produce byte-identical output; histograms are
+  /// excluded because span durations are wall-clock.
+  [[nodiscard]] std::string deterministic_string() const;
+};
+
+class MetricsRegistry;
+
+/// RAII span handle from MetricsRegistry::span().  On destruction adds
+/// one to the span's occurrence counter and records the elapsed
+/// microseconds into its duration histogram.  Default-constructed spans
+/// are inert (instrumentation disabled).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  ~TraceSpan() { finish(); }
+
+  /// Ends the span early (idempotent).
+  void finish();
+
+ private:
+  friend class MetricsRegistry;
+  TraceSpan(std::uint64_t* count, HistogramData* micros)
+      : count_(count), micros_(micros) {}
+
+  std::uint64_t* count_ = nullptr;
+  HistogramData* micros_ = nullptr;
+  Timer timer_;
+};
+
+/// Per-node metrics registry.  NOT thread-safe: one per simulated
+/// cluster node, merged via snapshot() after the node threads join.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Stable reference to the named monotonic counter, created zeroed on
+  /// first use.  Updates through the reference never allocate.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Stable reference to the named histogram.
+  HistogramData& histogram(std::string_view name);
+
+  /// Opens a trace span: counts into "span.<name>" and records
+  /// microseconds into histogram "span.<name>.us".
+  [[nodiscard]] TraceSpan span(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  // std::map nodes give the stable addresses counter()/histogram()
+  // hand out; transparent comparison avoids a string copy on lookup.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+}  // namespace mssg

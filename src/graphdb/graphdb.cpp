@@ -42,6 +42,10 @@ void GraphDB::set_metadata(VertexId v, Metadata metadata) {
 
 void GraphDB::clear_metadata(Metadata fill) { metadata_->clear(fill); }
 
+void GraphDB::publish_metrics(MetricsSnapshot& snap) const {
+  publish_io(io_stats(), snap);
+}
+
 std::string to_string(Backend backend) {
   switch (backend) {
     case Backend::kArray:

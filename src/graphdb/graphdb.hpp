@@ -88,6 +88,12 @@ class GraphDB {
   /// Disk accounting (zeroes for in-memory backends).
   [[nodiscard]] virtual IoStats io_stats() const { return {}; }
 
+  /// Publishes this backend's counters into a merged snapshot.  Every
+  /// backend contributes the shared "io.*" counters (zeroes for
+  /// in-memory backends); overrides may add backend-specific ones but
+  /// must call the base implementation.
+  virtual void publish_metrics(MetricsSnapshot& snap) const;
+
   /// Direct access to the metadata store (the BFS analyses use it).
   [[nodiscard]] MetadataStore& metadata_store() { return *metadata_; }
 

@@ -217,6 +217,15 @@ std::uint64_t GrDB::allocated_subblocks(int level) const {
   return levels_[level].alloc;
 }
 
+void GrDB::publish_metrics(MetricsSnapshot& snap) const {
+  GraphDB::publish_metrics(snap);
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::string prefix = "grdb.level" + std::to_string(l);
+    snap.add(prefix + ".subblocks", allocated_subblocks(static_cast<int>(l)));
+    snap.add(prefix + ".free", levels_[l].free_list.size());
+  }
+}
+
 // ---- Reads -----------------------------------------------------------------
 
 void GrDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {

@@ -57,6 +57,11 @@ class GrDB final : public GraphDB {
   [[nodiscard]] std::string name() const override { return "grDB"; }
   [[nodiscard]] IoStats io_stats() const override { return stats_; }
 
+  /// Adds per-level sub-block allocation and free-list depth counters
+  /// ("grdb.level<l>.subblocks" / ".free") on top of the shared io.*
+  /// set.
+  void publish_metrics(MetricsSnapshot& snap) const override;
+
   /// Offline compaction: rewrites every multi-sub-block chain into its
   /// optimal shape, returning freed sub-blocks to per-level free lists.
   /// Returns the number of chains rewritten.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "runtime/filter.hpp"
 
@@ -37,11 +38,18 @@ std::span<const Edge> unpack_edges(std::span<const std::byte> buffer) {
 class FrontEndFilter final : public Filter {
  public:
   FrontEndFilter(std::vector<std::unique_ptr<EdgeSource>>& sources,
-                 Partitioner& partitioner, const IngestOptions& options)
-      : sources_(sources), partitioner_(partitioner), options_(options) {}
+                 Partitioner& partitioner, const IngestOptions& options,
+                 std::vector<std::unique_ptr<MetricsRegistry>>& registries)
+      : sources_(sources),
+        partitioner_(partitioner),
+        options_(options),
+        registries_(registries) {}
 
   void run(FilterContext& ctx) override {
     EdgeSource& source = *sources_[ctx.copy_index()];
+    // Each filter copy runs on its own thread and owns its registry; the
+    // registries merge into the report after the pipeline joins.
+    MetricsRegistry& reg = *registries_[ctx.copy_index()];
     const auto backends = ctx.output_width("edges");
 
     std::vector<Edge> window;
@@ -50,6 +58,8 @@ class FrontEndFilter final : public Filter {
     std::vector<std::vector<Edge>> outgoing(backends);
 
     while (source.next_block(options_.window_edges, window)) {
+      const TraceSpan window_span = reg.span("ingest.window");
+      reg.counter("ingest.windows") += 1;
       // Build the routed block: undirected inputs contribute both
       // orientations, each routed by its own source endpoint.
       block.clear();
@@ -59,6 +69,7 @@ class FrontEndFilter final : public Filter {
       }
       targets.assign(block.size(), 0);
       partitioner_.route(block, targets);
+      reg.counter("ingest.edges_routed") += block.size();
 
       for (auto& bucket : outgoing) bucket.clear();
       for (std::size_t i = 0; i < block.size(); ++i) {
@@ -77,22 +88,28 @@ class FrontEndFilter final : public Filter {
   std::vector<std::unique_ptr<EdgeSource>>& sources_;
   Partitioner& partitioner_;
   const IngestOptions& options_;
+  std::vector<std::unique_ptr<MetricsRegistry>>& registries_;
 };
 
 /// Back-end storage node: drain edge blocks into the local GraphDB.
 class BackEndFilter final : public Filter {
  public:
   BackEndFilter(std::span<GraphDB* const> backends,
-                std::vector<std::uint64_t>& counts)
-      : backends_(backends), counts_(counts) {}
+                std::vector<std::uint64_t>& counts,
+                std::vector<std::unique_ptr<MetricsRegistry>>& registries)
+      : backends_(backends), counts_(counts), registries_(registries) {}
 
   void run(FilterContext& ctx) override {
     GraphDB& db = *backends_[ctx.copy_index()];
+    MetricsRegistry& reg = *registries_[ctx.copy_index()];
     std::uint64_t count = 0;
     while (auto buffer = ctx.input("edges").get()) {
+      const TraceSpan store_span = reg.span("ingest.store_batch");
       const auto edges = unpack_edges(*buffer);
       db.store_edges(edges);
       count += edges.size();
+      reg.counter("ingest.batches") += 1;
+      reg.counter("ingest.edges_stored") += edges.size();
     }
     db.finalize_ingest();
     counts_[ctx.copy_index()] = count;
@@ -101,6 +118,7 @@ class BackEndFilter final : public Filter {
  private:
   std::span<GraphDB* const> backends_;
   std::vector<std::uint64_t>& counts_;
+  std::vector<std::unique_ptr<MetricsRegistry>>& registries_;
 };
 
 }  // namespace
@@ -115,17 +133,30 @@ IngestReport run_ingestion(std::vector<std::unique_ptr<EdgeSource>> sources,
   IngestReport report;
   report.per_backend.assign(backends.size(), 0);
 
+  // One registry per filter copy (each copy is one thread); merged below
+  // after graph.run() joins every thread.
+  std::vector<std::unique_ptr<MetricsRegistry>> frontend_registries;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    frontend_registries.push_back(std::make_unique<MetricsRegistry>());
+  }
+  std::vector<std::unique_ptr<MetricsRegistry>> backend_registries;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    backend_registries.push_back(std::make_unique<MetricsRegistry>());
+  }
+
   FilterGraph graph;
   graph.add_filter(
       "frontend",
       [&] {
-        return std::make_unique<FrontEndFilter>(sources, partitioner, options);
+        return std::make_unique<FrontEndFilter>(sources, partitioner, options,
+                                                frontend_registries);
       },
       static_cast<int>(sources.size()));
   graph.add_filter(
       "backend",
       [&] {
-        return std::make_unique<BackEndFilter>(backends, report.per_backend);
+        return std::make_unique<BackEndFilter>(backends, report.per_backend,
+                                               backend_registries);
       },
       static_cast<int>(backends.size()));
   graph.connect("frontend", "edges", "backend", "edges",
@@ -135,6 +166,12 @@ IngestReport run_ingestion(std::vector<std::unique_ptr<EdgeSource>> sources,
   graph.run();
   report.seconds = timer.seconds();
   for (const auto n : report.per_backend) report.edges_stored += n;
+  for (const auto& reg : frontend_registries) {
+    report.metrics.merge(reg->snapshot());
+  }
+  for (const auto& reg : backend_registries) {
+    report.metrics.merge(reg->snapshot());
+  }
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "graphdb/graphdb.hpp"
 #include "ingest/decluster.hpp"
 #include "ingest/edge_source.hpp"
@@ -28,6 +29,12 @@ struct IngestReport {
   double seconds = 0;
   std::uint64_t edges_stored = 0;  ///< directed edges written to GraphDBs
   std::vector<std::uint64_t> per_backend;
+
+  /// Merged metrics of the run: "ingest.*" counters plus the
+  /// "span.ingest.window" / "span.ingest.store" traces.  Each filter
+  /// copy publishes into its own registry while running (the per-node
+  /// threading rule); the merge happens after the pipeline joins.
+  MetricsSnapshot metrics;
 
   /// Max/min back-end edge-count ratio — the load-balance number the
   /// Fig 5.3 discussion attributes ingestion differences to.

@@ -38,10 +38,12 @@ MssgCluster::MssgCluster(ClusterConfig config)
   }
 
   dbs_.reserve(b);
+  registries_.reserve(b);
   for (int node = 0; node < b; ++node) {
     GraphDBConfig db_config = config_.db;
     db_config.dir = config_.storage_root / ("node" + std::to_string(node));
     dbs_.push_back(make_graphdb(config_.backend, db_config));
+    registries_.push_back(std::make_unique<MetricsRegistry>());
   }
 }
 
@@ -59,8 +61,10 @@ IngestReport MssgCluster::ingest(
   std::vector<GraphDB*> backends;
   backends.reserve(dbs_.size());
   for (const auto& db : dbs_) backends.push_back(db.get());
-  return run_ingestion(std::move(sources), *partitioner_, backends,
-                       config_.ingest);
+  IngestReport report = run_ingestion(std::move(sources), *partitioner_,
+                                      backends, config_.ingest);
+  ingest_metrics_.merge(report.metrics);
+  return report;
 }
 
 ClusterQueryResult MssgCluster::bfs(VertexId src, VertexId dst,
@@ -76,8 +80,10 @@ ClusterQueryResult MssgCluster::bfs(VertexId src, VertexId dst,
   result.per_node.resize(config_.backend_nodes);
   std::mutex merge_mutex;
   run_cluster(world_, [&](Communicator& comm) {
+    BfsOptions node_options = options;
+    node_options.metrics = registries_[comm.rank()].get();
     const BfsStats stats =
-        parallel_oocbfs(comm, *dbs_[comm.rank()], src, dst, options);
+        parallel_oocbfs(comm, *dbs_[comm.rank()], src, dst, node_options);
     std::lock_guard lock(merge_mutex);
     result.per_node[comm.rank()] = stats;
     result.distance = stats.distance;  // globally consistent
@@ -112,8 +118,10 @@ KHopStats MssgCluster::khop(VertexId src, Metadata k, BfsOptions options) {
   KHopStats result;
   std::mutex merge_mutex;
   run_cluster(world_, [&](Communicator& comm) {
+    BfsOptions node_options = options;
+    node_options.metrics = registries_[comm.rank()].get();
     const auto stats =
-        parallel_khop(comm, *dbs_[comm.rank()], src, k, options);
+        parallel_khop(comm, *dbs_[comm.rank()], src, k, node_options);
     std::lock_guard lock(merge_mutex);
     result.vertices_within = stats.vertices_within;  // globally consistent
     result.edges_scanned += stats.edges_scanned;
@@ -129,8 +137,10 @@ ClusterQueryResult MssgCluster::bidirectional_bfs(VertexId src, VertexId dst,
   result.per_node.resize(config_.backend_nodes);
   std::mutex merge_mutex;
   run_cluster(world_, [&](Communicator& comm) {
+    BfsOptions node_options = options;
+    node_options.metrics = registries_[comm.rank()].get();
     const BfsStats stats =
-        bidirectional_oocbfs(comm, *dbs_[comm.rank()], src, dst, options);
+        bidirectional_oocbfs(comm, *dbs_[comm.rank()], src, dst, node_options);
     std::lock_guard lock(merge_mutex);
     result.per_node[comm.rank()] = stats;
     result.distance = stats.distance;
@@ -148,6 +158,7 @@ DistributedGraphStats MssgCluster::graph_stats() {
   std::mutex merge_mutex;
   run_cluster(world_, [&](Communicator& comm) {
     const auto stats = parallel_graph_stats(comm, *dbs_[comm.rank()]);
+    registries_[comm.rank()]->counter("stats.runs") += 1;
     if (comm.rank() == 0) {
       std::lock_guard lock(merge_mutex);
       result = stats;  // globally consistent
@@ -163,6 +174,10 @@ CcStats MssgCluster::connected_components() {
   run_cluster(world_, [&](Communicator& comm) {
     const auto stats =
         parallel_connected_components(comm, *dbs_[comm.rank()]);
+    MetricsRegistry& reg = *registries_[comm.rank()];
+    reg.counter("cc.runs") += 1;
+    reg.counter("cc.iterations") += stats.iterations;
+    reg.counter("cc.edges_scanned") += stats.edges_scanned;
     std::lock_guard lock(merge_mutex);
     result.components = stats.components;  // globally consistent
     result.vertices = stats.vertices;
@@ -175,9 +190,13 @@ CcStats MssgCluster::connected_components() {
 
 std::uint64_t MssgCluster::defragment_all() {
   std::uint64_t rewritten = 0;
-  for (auto& db : dbs_) {
-    if (auto* grdb = dynamic_cast<GrDB*>(db.get())) {
-      rewritten += grdb->defragment();
+  for (std::size_t node = 0; node < dbs_.size(); ++node) {
+    if (auto* grdb = dynamic_cast<GrDB*>(dbs_[node].get())) {
+      MetricsRegistry& reg = *registries_[node];
+      const TraceSpan pass_span = reg.span("defrag.pass");
+      const std::uint64_t chains = grdb->defragment();
+      reg.counter("defrag.chains_rewritten") += chains;
+      rewritten += chains;
     }
   }
   return rewritten;
@@ -187,6 +206,14 @@ IoStats MssgCluster::total_io() const {
   IoStats total;
   for (const auto& db : dbs_) total += db->io_stats();
   return total;
+}
+
+MetricsSnapshot MssgCluster::metrics_snapshot() const {
+  MetricsSnapshot snap = ingest_metrics_;
+  for (const auto& reg : registries_) snap.merge(reg->snapshot());
+  for (const auto& db : dbs_) db->publish_metrics(snap);
+  world_.publish_metrics(snap);
+  return snap;
 }
 
 }  // namespace mssg

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/temp_dir.hpp"
 #include "graphdb/graphdb.hpp"
 #include "ingest/decluster.hpp"
@@ -107,12 +108,28 @@ class MssgCluster {
   /// Aggregate disk statistics over all back-end nodes.
   [[nodiscard]] IoStats total_io() const;
 
+  /// Per-node metrics registry (rank-indexed).  Each registry is only
+  /// written by its node's thread while a query runs; read or merged
+  /// only between queries, after run_cluster has joined every thread.
+  [[nodiscard]] MetricsRegistry& node_metrics(int node) {
+    return *registries_.at(node);
+  }
+
+  /// One unified snapshot of everything the cluster counts: per-node
+  /// registries (bfs.*, cc.*, span.*, ...), GraphDB I/O and cache
+  /// counters (io.*, grdb.*), CommWorld traffic (comm.*), and the
+  /// accumulated ingestion metrics (ingest.*).  Safe to call whenever no
+  /// query is in flight.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
  private:
   ClusterConfig config_;
   std::optional<TempDir> owned_root_;
   std::shared_ptr<SharedVertexMap> vertex_map_;
   std::unique_ptr<Partitioner> partitioner_;
   std::vector<std::unique_ptr<GraphDB>> dbs_;
+  std::vector<std::unique_ptr<MetricsRegistry>> registries_;
+  MetricsSnapshot ingest_metrics_;
   CommWorld world_;
   QueryService queries_;
 };

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "graphdb/stream_db.hpp"
 
@@ -61,6 +62,11 @@ class BfsRun {
 
   void poll_chunks(Metadata next_level);
   void merge_candidate(VertexId u, Metadata next_level);
+
+  /// Publishes the finished stats into this rank's registry (no-op when
+  /// instrumentation is off).  Counter names are the MetricsSnapshot
+  /// schema documented in DESIGN.md.
+  void publish_stats() const;
 
   Communicator& comm_;
   GraphDB& db_;
@@ -177,6 +183,18 @@ void BfsRun::poll_chunks(Metadata next_level) {
   }
 }
 
+void BfsRun::publish_stats() const {
+  MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  reg->counter("bfs.queries") += 1;
+  reg->counter("bfs.levels") += stats_.levels;
+  reg->counter("bfs.edges_scanned") += stats_.edges_scanned;
+  reg->counter("bfs.vertices_expanded") += stats_.vertices_expanded;
+  reg->counter("bfs.fringe_messages") += stats_.fringe_messages;
+  reg->counter("bfs.discovered_owned") += stats_.discovered_owned;
+  if (stats_.distance != kUnvisited) reg->counter("bfs.found") += 1;
+}
+
 BfsStats BfsRun::execute() {
   Timer timer;
   const int p = comm_.size();
@@ -187,6 +205,7 @@ BfsStats BfsRun::execute() {
     stats_.distance = 0;
     stats_.seconds = timer.seconds();
     comm_.barrier();
+    publish_stats();
     return stats_;
   }
 
@@ -197,6 +216,10 @@ BfsStats BfsRun::execute() {
   }
 
   for (Metadata levcnt = 1; levcnt <= options_.max_levels; ++levcnt) {
+    TraceSpan level_span;
+    if (options_.metrics != nullptr) {
+      level_span = options_.metrics->span("bfs.level");
+    }
     next_fringe_.clear();
     for (auto& bucket : buckets_) bucket.clear();
 
@@ -251,8 +274,13 @@ BfsStats BfsRun::execute() {
           ++stats_.fringe_messages;
         }
       }
-      for (int received = 0; received < p - 1; ++received) {
-        const Message msg = comm_.recv(kFringeTag);
+      // Merge in rank order, not arrival order: arrival depends on
+      // thread scheduling, and the resulting next_fringe_ order decides
+      // how many edges the final level scans before the early stop —
+      // rank order keeps every counter a pure function of the seed.
+      for (Rank q = 0; q < p; ++q) {
+        if (q == comm_.rank()) continue;
+        const Message msg = comm_.recv(kFringeTag, q);
         // Directed sends: we own every received u.  Broadcast mode:
         // everyone merges everyone's discoveries.  Same merge either way.
         for (const VertexId u : unpack_vertices(msg.payload)) {
@@ -275,6 +303,7 @@ BfsStats BfsRun::execute() {
 
   comm_.barrier();
   stats_.seconds = timer.seconds();
+  publish_stats();
   return stats_;
 }
 

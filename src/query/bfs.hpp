@@ -23,6 +23,8 @@
 
 namespace mssg {
 
+class MetricsRegistry;
+
 struct BfsOptions {
   /// Vertex-granularity storage with owner(v) = v mod p known everywhere
   /// (the experiments' configuration).  When false, fringes broadcast and
@@ -37,6 +39,10 @@ struct BfsOptions {
   bool prefetch = false;
   /// Safety bound on levels (small-world graphs stay well under this).
   Metadata max_levels = 64;
+  /// When set, the search publishes its counters ("bfs.*") and a trace
+  /// span per level into this rank's registry.  Must be the registry of
+  /// the calling rank's node — registries are single-threaded by design.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct BfsStats {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 
 namespace mssg {
@@ -79,6 +80,10 @@ BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
     const int side = forward_size <= backward_size ? 0 : 1;
     const Metadata next_depth = ++depth[side];
 
+    TraceSpan round_span;
+    if (options.metrics != nullptr) {
+      round_span = options.metrics->span("bidir.round");
+    }
     next_frontier.clear();
     for (auto& bucket : buckets) bucket.clear();
 
@@ -105,8 +110,10 @@ BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
       comm.send(q, kBidirFringeTag, pack_vertices(buckets[q]));
       ++stats.fringe_messages;
     }
-    for (int received = 0; received < p - 1; ++received) {
-      const Message msg = comm.recv(kBidirFringeTag);
+    // Rank-ordered merge for deterministic counters (see bfs.cpp).
+    for (Rank q = 0; q < p; ++q) {
+      if (q == comm.rank()) continue;
+      const Message msg = comm.recv(kBidirFringeTag, q);
       for (const VertexId u : unpack_vertices(msg.payload)) {
         if (level[side].contains(u)) continue;
         level[side].emplace(u, next_depth);
@@ -129,6 +136,14 @@ BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
 
   comm.barrier();
   stats.seconds = timer.seconds();
+  if (options.metrics != nullptr) {
+    MetricsRegistry& reg = *options.metrics;
+    reg.counter("bidir.queries") += 1;
+    reg.counter("bidir.levels") += stats.levels;
+    reg.counter("bidir.edges_scanned") += stats.edges_scanned;
+    reg.counter("bidir.vertices_expanded") += stats.vertices_expanded;
+    reg.counter("bidir.fringe_messages") += stats.fringe_messages;
+  }
   return stats;
 }
 

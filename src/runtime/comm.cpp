@@ -21,8 +21,17 @@ Communicator CommWorld::comm(Rank rank) {
   return Communicator(this, rank);
 }
 
-std::uint64_t CommWorld::messages_sent() const { return messages_sent_; }
-std::uint64_t CommWorld::bytes_sent() const { return bytes_sent_; }
+std::uint64_t CommWorld::messages_sent() const {
+  return messages_sent_.load(std::memory_order_relaxed);
+}
+std::uint64_t CommWorld::bytes_sent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+void CommWorld::publish_metrics(MetricsSnapshot& snap) const {
+  snap.add("comm.messages_sent", messages_sent());
+  snap.add("comm.bytes_sent", bytes_sent());
+}
 
 void CommWorld::barrier_wait() {
   std::unique_lock lock(barrier_mutex_);
@@ -40,11 +49,8 @@ void CommWorld::barrier_wait() {
 void Communicator::send(Rank dest, int tag,
                         std::vector<std::byte> payload) const {
   MSSG_CHECK(dest >= 0 && dest < size());
-  {
-    std::lock_guard lock(world_->traffic_mutex_);
-    ++world_->messages_sent_;
-    world_->bytes_sent_ += payload.size();
-  }
+  world_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  world_->bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   world_->mailboxes_[dest]->push(Message{tag, rank_, std::move(payload)});
 }
 

@@ -8,6 +8,7 @@
 // only the wire is simulated.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace mssg {
@@ -36,8 +38,14 @@ class CommWorld {
   [[nodiscard]] Communicator comm(Rank rank);
 
   /// Total messages pushed since construction (for experiment reporting).
+  /// Safe to call while sender threads are in flight: the counters are
+  /// relaxed atomics, so a concurrent read sees some recent total.
   [[nodiscard]] std::uint64_t messages_sent() const;
   [[nodiscard]] std::uint64_t bytes_sent() const;
+
+  /// Adds the traffic counters to a merged snapshot
+  /// ("comm.messages_sent" / "comm.bytes_sent").
+  void publish_metrics(MetricsSnapshot& snap) const;
 
  private:
   friend class Communicator;
@@ -57,10 +65,11 @@ class CommWorld {
   std::vector<std::uint64_t> reduce_slots_;
   std::vector<std::vector<std::byte>> gather_slots_;
 
-  // Traffic counters.
-  std::mutex traffic_mutex_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  // Traffic counters.  Monotonic sums read by monitoring code while
+  // senders run; relaxed atomics — no ordering is implied between them,
+  // only that each read sees a valid total.
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 /// A rank's endpoint.  Cheap to copy; all state lives in the CommWorld.

@@ -1,6 +1,9 @@
 #include "storage/block_cache.hpp"
 
+#include <cassert>
 #include <utility>
+
+#include "common/logging.hpp"
 
 namespace mssg {
 
@@ -21,7 +24,11 @@ BlockHandle::~BlockHandle() { release(); }
 
 void BlockHandle::release() {
   if (entry_ != nullptr) {
-    cache_->unpin(entry_);
+    if (entry_->orphaned) {
+      delete entry_;  // the cache is gone; the handle inherited ownership
+    } else {
+      cache_->unpin(entry_);
+    }
     entry_ = nullptr;
     cache_ = nullptr;
   }
@@ -29,9 +36,25 @@ void BlockHandle::release() {
 
 BlockCache::~BlockCache() {
   // Callers should flush() explicitly; this is a last-resort write-back so
-  // data is never silently lost.  Pinned entries at destruction indicate a
-  // bug, but we still persist their contents.
-  for (auto& [key, entry] : map_) write_back(*entry);
+  // data is never silently lost.  Entries still pinned here are leaked
+  // BlockHandles: persist them, then detach them so the straggling handle
+  // can release safely — but never silently.
+  std::uint64_t leaked = 0;
+  for (auto& [key, entry] : map_) {
+    write_back(*entry);
+    if (entry->pins != 0) {
+      ++leaked;
+      MSSG_LOG(kWarn) << "BlockCache destroyed with block " << entry->key
+                      << " still pinned " << entry->pins
+                      << "x — leaked BlockHandle";
+      entry->orphaned = true;
+      entry.release();  // intentionally dropped; freed by the leaked handle
+    }
+  }
+  if (leaked != 0) {
+    if (stats_ != nullptr) stats_->cache_pin_leaks += leaked;
+    assert(false && "BlockHandle leaked past BlockCache destruction");
+  }
 }
 
 std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
@@ -51,7 +74,17 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
   auto it = map_.find(key);
   if (it != map_.end()) {
     detail::CacheEntry& entry = *it->second;
-    if (stats_ != nullptr) ++stats_->cache_hits;
+    // With caching disabled (capacity 0) the map can only hold blocks
+    // that are currently pinned; sharing such a block is not a cache hit
+    // (nothing is ever retained between unpins), and counting it as one
+    // would pollute the Fig 5.2 cache-off series.
+    if (stats_ != nullptr) {
+      if (capacity_bytes_ == 0) {
+        ++stats_->cache_misses;
+      } else {
+        ++stats_->cache_hits;
+      }
+    }
     if (entry.resident && entry.pins == 0) {
       // Remove from the LRU while pinned.
       lru_.erase(entry.lru_pos);

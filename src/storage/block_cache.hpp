@@ -35,6 +35,8 @@ struct CacheEntry {
   int pins = 0;
   std::list<std::uint64_t>::iterator lru_pos;  // valid iff resident
   bool resident = false;
+  bool orphaned = false;  // cache destroyed while still pinned; the
+                          // surviving handle owns (and frees) the entry
 };
 }  // namespace detail
 
@@ -88,6 +90,12 @@ class BlockCache {
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Writes back all dirty blocks.  Entries still pinned here indicate a
+  /// leaked BlockHandle: each is logged, counted in
+  /// `IoStats::cache_pin_leaks` (debug builds additionally assert), and
+  /// handed over to its handle, which frees it on release — so a leaked
+  /// handle is detected loudly instead of silently masked.
   ~BlockCache();
 
   /// Registers a backing store.  Returns the store id used in get().

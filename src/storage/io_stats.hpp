@@ -4,11 +4,17 @@
 // claims checkable even when absolute timings differ.
 //
 // Not thread-safe: each simulated node owns its stats and the bench
-// harness aggregates after joining the node threads.
+// harness aggregates after joining the node threads.  publish_io()
+// folds a stats block into a MetricsSnapshot under the shared "io.*"
+// counter names (see common/metrics.hpp and DESIGN.md "I/O accounting").
 #pragma once
 
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.hpp"
 
 namespace mssg {
 
@@ -21,6 +27,8 @@ struct IoStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_pin_leaks = 0;  ///< blocks still pinned when their
+                                      ///< cache was destroyed (handle leaks)
 
   void reset() { *this = IoStats{}; }
 
@@ -33,6 +41,7 @@ struct IoStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_evictions += other.cache_evictions;
+    cache_pin_leaks += other.cache_pin_leaks;
     return *this;
   }
 
@@ -46,5 +55,20 @@ struct IoStats {
               << " evictions=" << s.cache_evictions;
   }
 };
+
+/// Adds an IoStats block to a snapshot under "<prefix>.<field>" counters.
+inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
+                       std::string_view prefix = "io") {
+  const std::string p(prefix);
+  snap.add(p + ".reads", s.reads);
+  snap.add(p + ".writes", s.writes);
+  snap.add(p + ".bytes_read", s.bytes_read);
+  snap.add(p + ".bytes_written", s.bytes_written);
+  snap.add(p + ".syncs", s.syncs);
+  snap.add(p + ".cache_hits", s.cache_hits);
+  snap.add(p + ".cache_misses", s.cache_misses);
+  snap.add(p + ".cache_evictions", s.cache_evictions);
+  snap.add(p + ".cache_pin_leaks", s.cache_pin_leaks);
+}
 
 }  // namespace mssg

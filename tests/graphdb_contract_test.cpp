@@ -178,6 +178,34 @@ TEST_P(GraphDBContract, NameIsStable) {
   EXPECT_EQ(db_->name(), to_string(GetParam()));
 }
 
+// Every backend — in-memory or disk-backed — must publish its IoStats
+// into the shared "io.*" counters of a MetricsSnapshot, and the values
+// must match io_stats() exactly.
+TEST_P(GraphDBContract, PublishesIoCountersIntoSharedRegistry) {
+  db_->store_edges(tiny_graph_directed());
+  db_->finalize_ingest();
+  std::vector<VertexId> out;
+  db_->get_adjacency(0, out);
+  db_->get_adjacency(1, out);
+
+  MetricsSnapshot snap;
+  db_->publish_metrics(snap);
+
+  const IoStats io = db_->io_stats();
+  EXPECT_EQ(snap.counter("io.reads"), io.reads);
+  EXPECT_EQ(snap.counter("io.writes"), io.writes);
+  EXPECT_EQ(snap.counter("io.bytes_read"), io.bytes_read);
+  EXPECT_EQ(snap.counter("io.bytes_written"), io.bytes_written);
+  EXPECT_EQ(snap.counter("io.cache_hits"), io.cache_hits);
+  EXPECT_EQ(snap.counter("io.cache_misses"), io.cache_misses);
+  // The schema keys exist even when a backend's values are zero, so
+  // downstream consumers can rely on the full set being present.
+  EXPECT_TRUE(snap.counters.contains("io.reads"));
+  EXPECT_TRUE(snap.counters.contains("io.syncs"));
+  EXPECT_TRUE(snap.counters.contains("io.cache_evictions"));
+  EXPECT_TRUE(snap.counters.contains("io.cache_pin_leaks"));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, GraphDBContract,
     ::testing::Values(Backend::kArray, Backend::kHashMap, Backend::kRelational,

@@ -1,0 +1,155 @@
+// The unified metrics/tracing layer: registry semantics, snapshot
+// serialization, and the end-to-end reproducibility contract — two
+// same-seed cluster runs must produce byte-identical counter snapshots.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/metrics.hpp"
+#include "gen/generators.hpp"
+#include "mssg/mssg.hpp"
+
+namespace mssg {
+namespace {
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(Metrics, CounterReferenceIsStableAcrossRegistrations) {
+  MetricsRegistry reg;
+  std::uint64_t& a = reg.counter("a");
+  a += 3;
+  // Force rebalancing/allocation with many more registrations.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i)) += 1;
+  }
+  a += 4;  // the old reference must still point at the live slot
+  EXPECT_EQ(reg.snapshot().counter("a"), 7u);
+}
+
+TEST(Metrics, HistogramBucketsByPowerOfTwo) {
+  HistogramData h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 1006u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_EQ(h.buckets[0], 1u);  // value 0
+  EXPECT_EQ(h.buckets[1], 1u);  // value 1
+  EXPECT_EQ(h.buckets[2], 2u);  // values 2, 3
+  EXPECT_EQ(h.buckets[10], 1u);  // 1000 needs 10 bits
+  EXPECT_GE(h.quantile_bound(0.5), 1u);
+  EXPECT_GE(h.quantile_bound(0.99), h.quantile_bound(0.5));
+}
+
+TEST(Metrics, SpanCountsAndRecordsDuration) {
+  MetricsRegistry reg;
+  { const TraceSpan span = reg.span("work"); }
+  { const TraceSpan span = reg.span("work"); }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("span.work"), 2u);
+  EXPECT_EQ(snap.histograms.at("span.work.us").count, 2u);
+}
+
+TEST(Metrics, MovedFromSpanIsInert) {
+  MetricsRegistry reg;
+  {
+    TraceSpan outer;
+    {
+      TraceSpan inner = reg.span("once");
+      outer = std::move(inner);
+    }  // inner destroyed moved-from: must not record
+  }    // outer records exactly once
+  EXPECT_EQ(reg.snapshot().counter("span.once"), 1u);
+}
+
+TEST(Metrics, DefaultSpanIsANoOp) {
+  TraceSpan span;  // instrumentation disabled: must not crash
+  span.finish();
+}
+
+// ---- Snapshot --------------------------------------------------------------
+
+TEST(Metrics, SnapshotMergeSumsCountersAndHistograms) {
+  MetricsSnapshot a, b;
+  a.add("x", 2);
+  a.add("only_a", 1);
+  b.add("x", 5);
+  b.add("only_b", 7);
+  a.histograms["h"].record(4);
+  b.histograms["h"].record(16);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("x"), 7u);
+  EXPECT_EQ(a.counter("only_a"), 1u);
+  EXPECT_EQ(a.counter("only_b"), 7u);
+  EXPECT_EQ(a.histograms.at("h").count, 2u);
+  EXPECT_EQ(a.histograms.at("h").sum, 20u);
+}
+
+TEST(Metrics, JsonAndCsvRenderAllEntries) {
+  MetricsSnapshot snap;
+  snap.add("io.reads", 12);
+  snap.histograms["span.level.us"].record(100);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"io.reads\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"span.level.us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("counter,io.reads,12"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,span.level.us,1,100"), std::string::npos);
+}
+
+TEST(Metrics, DeterministicStringExcludesHistograms) {
+  MetricsSnapshot snap;
+  snap.add("b", 2);
+  snap.add("a", 1);
+  snap.histograms["wallclock"].record(42);  // must not appear
+  EXPECT_EQ(snap.deterministic_string(), "a=1\nb=2\n");
+}
+
+// ---- End-to-end reproducibility -------------------------------------------
+
+// Builds a fresh 4-node grDB cluster, ingests a seeded scale-free graph,
+// and runs one BFS; returns the merged snapshot.  A single front-end
+// node keeps the edge-stream order fixed and the generous auto-sized
+// cache avoids eviction races, so every counter is a pure function of
+// the seed.
+MetricsSnapshot seeded_run() {
+  ClusterConfig config;
+  config.backend_nodes = 4;
+  config.frontend_nodes = 1;
+  config.backend = Backend::kGrDB;
+
+  ChungLuConfig graph{.vertices = 300, .edges = 1500, .seed = 99};
+  const auto edges = generate_chung_lu(graph);
+  config.db.max_vertices = graph.vertices;
+
+  MssgCluster cluster(std::move(config));
+  cluster.ingest(edges);
+  cluster.bfs(1, 2);
+  return cluster.metrics_snapshot();
+}
+
+TEST(MetricsDeterminism, SameSeedRunsProduceIdenticalSnapshots) {
+  const MetricsSnapshot first = seeded_run();
+  const MetricsSnapshot second = seeded_run();
+  EXPECT_EQ(first.deterministic_string(), second.deterministic_string());
+
+  // The snapshot actually unifies every layer: query counters, ingestion
+  // counters, storage I/O, and comm traffic all present and non-zero.
+  EXPECT_EQ(first.counter("bfs.queries"), 4u);  // one per backend node
+  EXPECT_GT(first.counter("bfs.edges_scanned"), 0u);
+  EXPECT_GT(first.counter("span.bfs.level"), 0u);
+  EXPECT_GT(first.counter("ingest.edges_stored"), 0u);
+  EXPECT_GT(first.counter("span.ingest.window"), 0u);
+  EXPECT_GT(first.counter("io.reads") + first.counter("io.writes"), 0u);
+  EXPECT_GT(first.counter("comm.messages_sent"), 0u);
+  EXPECT_GT(first.counter("grdb.level0.subblocks"), 0u);
+}
+
+}  // namespace
+}  // namespace mssg

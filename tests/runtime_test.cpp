@@ -4,6 +4,7 @@
 #include <span>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "runtime/comm.hpp"
 #include "runtime/filter.hpp"
@@ -157,6 +158,39 @@ TEST(Comm, TrafficCountersAccumulate) {
   });
   EXPECT_EQ(world.messages_sent(), 1u);
   EXPECT_EQ(world.bytes_sent(), 4u);
+}
+
+// Regression: the traffic counters used to be plain ints guarded only on
+// the write side, so a monitor thread polling them mid-run was a data
+// race (TSan flagged comm.cpp's send path).  They are atomics now; this
+// test recreates the racing reader and must stay TSan-clean.
+TEST(Comm, TrafficCountersReadableWhileSendersRun) {
+  constexpr int kRanks = 4;
+  constexpr int kMessages = 500;
+  CommWorld world(kRanks);
+
+  std::atomic<bool> done{false};
+  std::uint64_t observed = 0;
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed = std::max(observed,
+                          world.messages_sent() + world.bytes_sent());
+    }
+  });
+
+  run_cluster(world, [](Communicator& comm) {
+    const Rank peer = (comm.rank() + 1) % comm.size();
+    for (int i = 0; i < kMessages; ++i) {
+      comm.send(peer, 1, payload_of("12345678"));
+    }
+    for (int i = 0; i < kMessages; ++i) comm.recv(1);
+  });
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(world.messages_sent(), kRanks * kMessages);
+  EXPECT_EQ(world.bytes_sent(), kRanks * kMessages * 8u);
+  EXPECT_LE(observed, world.messages_sent() + world.bytes_sent());
 }
 
 // ---- DataStream ------------------------------------------------------------

@@ -170,6 +170,47 @@ TEST(BlockCache, PinnedBlocksSurviveCapacityPressure) {
   EXPECT_FALSE(store.blocks_.contains(1));  // never evicted => never written
 }
 
+TEST(BlockCache, DisabledCacheReportsNoHits) {
+  FakeStore store(64);
+  IoStats stats;
+  BlockCache cache(0, &stats);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  {
+    // Pin the block twice at once: the second get() finds the entry in
+    // the map, but with caching disabled nothing is retained between
+    // unpins, so it must not count as a hit (Fig 5.2's cache-off series
+    // reads 0 hits by definition).
+    auto first = cache.get(id, 3);
+    auto second = cache.get(id, 3);
+  }
+  { auto again = cache.get(id, 3); }
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+}
+
+TEST(BlockCache, PinLeakAtDestructionIsDetected) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "leak check aborts via assert() in debug builds";
+#else
+  FakeStore store(64);
+  IoStats stats;
+  BlockHandle leaked;
+  {
+    BlockCache cache(1024, &stats);
+    const auto id = cache.register_store(64, store.reader(), store.writer());
+    leaked = cache.get(id, 9);
+    leaked.mutable_data()[0] = std::byte{0x5A};
+    // The cache dies while block 9 is still pinned — a leaked handle.
+  }
+  EXPECT_EQ(stats.cache_pin_leaks, 1u);
+  // The dirty block was still persisted (never silently lost)...
+  EXPECT_EQ(store.blocks_.at(9)[0], std::byte{0x5A});
+  // ...and the straggling handle can read and release safely.
+  EXPECT_EQ(leaked.data()[0], std::byte{0x5A});
+  leaked = BlockHandle{};
+#endif
+}
+
 TEST(BlockCache, ZeroCapacityWritesThrough) {
   FakeStore store(64);
   BlockCache cache(0, nullptr);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer CI: builds the tsan and asan-ubsan presets and runs the
+# concurrency-heavy test suites (runtime, BFS, stress) plus the metrics
+# and block-cache suites under each.  Any report is fatal
+# (halt_on_error / -fno-sanitize-recover=all).
+#
+# Usage: tools/ci_sanitize.sh [tsan|asan-ubsan]   (default: both)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="${JOBS:-$(nproc)}"
+
+# The suites that exercise cross-thread behavior: the simulated-cluster
+# runtime, the SPMD searches, the ingestion pipeline, and the stress
+# suite — plus the metrics layer and BlockCache regressions this CI
+# exists to guard.
+FILTER='Mailbox.*:Comm.*:CommStress.*:Stream.*:StreamBackpressure.*'
+FILTER+=':FilterGraph.*:*ParallelBfs*:PipelinedExtreme.*:FileIngestion.*'
+FILTER+=':GrdbTorture.*:BlockCache.*:Metrics*.*'
+
+run_preset() {
+  local preset="$1" build_dir="$2"
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] running filtered suites ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    "$build_dir/tests/mssg_tests" --gtest_filter="$FILTER" \
+    --gtest_brief=1
+  echo "=== [$preset] OK ==="
+}
+
+TARGET="${1:-all}"
+case "$TARGET" in
+  tsan)       run_preset tsan build-tsan ;;
+  asan-ubsan) run_preset asan-ubsan build-asan ;;
+  all)        run_preset tsan build-tsan
+              run_preset asan-ubsan build-asan ;;
+  *) echo "usage: $0 [tsan|asan-ubsan]" >&2; exit 2 ;;
+esac
