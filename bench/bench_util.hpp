@@ -102,12 +102,16 @@ struct ClusterSpec {
   /// (cache_bytes set explicitly there).
   std::size_t cache_bytes = 0;
   bool external_metadata = false;
+  /// Background IoEngine for prefetch read-ahead + write-behind; false
+  /// gives the fully synchronous baseline (ablation A-prefetch).
+  bool async_io = true;
 
   [[nodiscard]] std::string key(const Workload& w) const {
     std::ostringstream os;
     os << to_string(backend) << '/' << backend_nodes << '/' << frontend_nodes
        << '/' << cache_enabled << '/' << cache_bytes << '/'
-       << external_metadata << '/' << w.spec.name << '/' << w.edges.size();
+       << external_metadata << '/' << async_io << '/' << w.spec.name << '/'
+       << w.edges.size();
     return os.str();
   }
 };
@@ -133,6 +137,7 @@ inline ReadyCluster& cluster_for(const Workload& w, const ClusterSpec& spec) {
             : std::max<std::size_t>(
                   256 << 10, 32 * w.directed_bytes() / spec.backend_nodes);
     config.db.external_metadata = spec.external_metadata;
+    config.db.async_io = spec.async_io;
     config.db.max_vertices = w.spec.vertices;
     auto ready = std::make_unique<ReadyCluster>();
     ready->cluster = std::make_unique<MssgCluster>(config);
@@ -211,6 +216,12 @@ inline void report_metrics(benchmark::State& state,
       static_cast<double>(snap.counter("io.cache_hits"));
   state.counters["cache_misses"] =
       static_cast<double>(snap.counter("io.cache_misses"));
+  state.counters["read_stalls"] =
+      static_cast<double>(snap.counter("io.read_stalls"));
+  state.counters["prefetch_issued"] =
+      static_cast<double>(snap.counter("io.prefetch_issued"));
+  state.counters["prefetch_hits"] =
+      static_cast<double>(snap.counter("io.prefetch_hits"));
   state.counters["comm_msgs"] =
       static_cast<double>(snap.counter("comm.messages_sent"));
   state.counters["comm_bytes"] =

@@ -125,6 +125,11 @@ struct GraphDBConfig {
   std::size_t cache_bytes = 16u << 20;
   /// Disable the block cache entirely (Figure 5.2's "without cache").
   bool cache_enabled = true;
+  /// Run prefetch and dirty-block write-back through the background
+  /// IoEngine (overlapping disk access with computation, §4.2).  Only
+  /// meaningful for out-of-core backends with the cache enabled; turning
+  /// it off gives the fully synchronous baseline of the ablation bench.
+  bool async_io = true;
   /// Use an external-memory metadata/visited store instead of in-memory
   /// (Figures 5.8/5.9 discussion).
   bool external_metadata = false;

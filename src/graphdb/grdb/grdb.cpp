@@ -67,8 +67,30 @@ GrDB::GrDB(const GraphDBConfig& config,
           const std::uint64_t n = options_.geometry.blocks_per_file(l);
           ensure_file(l, block / n)
               .write_at(lvl.spec.block_bytes * (block % n), in);
+        },
+        // Locator for the async engine — runs on the owning thread, so
+        // the metadata mutations below (bitmap growth, file creation)
+        // stay single-threaded; the worker only gets a (File*, offset).
+        [this, l](std::uint64_t block,
+                  bool for_write) -> std::optional<AsyncTarget> {
+          Level& lvl = levels_[l];
+          if (for_write) {
+            if (block >= lvl.initialized.size()) {
+              lvl.initialized.resize(block + 1);
+            }
+            lvl.initialized.set(block);
+          } else if (block >= lvl.initialized.size() ||
+                     !lvl.initialized.test(block)) {
+            // Never written: the sync reader resolves it as all-empty
+            // without touching disk, so there is nothing to read ahead.
+            return std::nullopt;
+          }
+          const std::uint64_t n = options_.geometry.blocks_per_file(l);
+          return AsyncTarget{&ensure_file(l, block / n),
+                             lvl.spec.block_bytes * (block % n)};
         });
   }
+  if (config.async_io) cache_.enable_async_io();
   if (std::filesystem::exists(dir_ / "grdb.meta")) load_meta();
 }
 
@@ -219,6 +241,7 @@ std::uint64_t GrDB::allocated_subblocks(int level) const {
 
 void GrDB::publish_metrics(MetricsSnapshot& snap) const {
   GraphDB::publish_metrics(snap);
+  snap.merge(cache_.async_metrics());
   for (std::size_t l = 0; l < levels_.size(); ++l) {
     const std::string prefix = "grdb.level" + std::to_string(l);
     snap.add(prefix + ".subblocks", allocated_subblocks(static_cast<int>(l)));
@@ -279,6 +302,12 @@ void GrDB::prefetch(std::span<const VertexId> vertices) {
   }
   std::sort(blocks.begin(), blocks.end());
   blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  if (cache_.async_enabled()) {
+    // Read-ahead through the engine: the fringe's blocks load in the
+    // background while the caller returns to computation.
+    cache_.prefetch_async(levels_[0].store_id, blocks);
+    return;
+  }
   for (const std::uint64_t block : blocks) {
     BlockHandle handle = cache_.get(levels_[0].store_id, block);
   }

@@ -130,8 +130,11 @@ class GrDB final : public GraphDB {
   GrDBOptions options_;
   std::filesystem::path dir_;
   IoStats stats_;
-  BlockCache cache_;
+  // levels_ (the File handles) is declared before cache_ so the cache —
+  // whose destructor drains the async engine and writes dirty blocks
+  // back through those files — is destroyed first.
   std::vector<Level> levels_;
+  BlockCache cache_;
   VertexId max_vertex_ = 0;
   bool any_data_ = false;
 };

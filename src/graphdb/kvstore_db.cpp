@@ -1,6 +1,7 @@
 #include "graphdb/kvstore_db.hpp"
 
 #include <unordered_map>
+#include <vector>
 
 namespace mssg {
 
@@ -12,7 +13,8 @@ KVStoreDB::KVStoreDB(const GraphDBConfig& config,
                      std::unique_ptr<MetadataStore> metadata)
     : GraphDB(std::move(metadata)),
       pager_(config.dir / "kvstore.db", kPageBytes,
-             config.cache_enabled ? config.cache_bytes : 0, &stats_),
+             config.cache_enabled ? config.cache_bytes : 0, &stats_,
+             config.async_io),
       tree_(pager_),
       backend_(tree_),
       chunks_(backend_) {}
@@ -32,5 +34,23 @@ void KVStoreDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
 }
 
 void KVStoreDB::flush() { pager_.flush(); }
+
+void KVStoreDB::prefetch(std::span<const VertexId> vertices) {
+  if (!pager_.async_enabled() || tree_.size() == 0) return;
+  // The descent touches internal pages only (hot and few), so the probe
+  // itself does not fault the leaves we are about to read ahead.
+  std::vector<PageId> leaves;
+  leaves.reserve(vertices.size());
+  for (const VertexId v : vertices) {
+    const PageId leaf = tree_.leaf_page(BTreeKey{v, 0});
+    if (leaf != kInvalidPage) leaves.push_back(leaf);
+  }
+  pager_.prefetch(leaves);
+}
+
+void KVStoreDB::publish_metrics(MetricsSnapshot& snap) const {
+  GraphDB::publish_metrics(snap);
+  snap.merge(pager_.async_metrics());
+}
 
 }  // namespace mssg

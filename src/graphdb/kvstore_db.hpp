@@ -33,10 +33,17 @@ class KVStoreDB final : public GraphDB {
   void flush() override;
   void finalize_ingest() override { flush(); }
 
+  /// Probes the index (internal pages only) for each vertex's chunk-0
+  /// leaf and issues one sorted async read batch for the leaves.
+  void prefetch(std::span<const VertexId> vertices) override;
+
   [[nodiscard]] std::string name() const override {
     return "KVStore(BerkeleyDB)";
   }
   [[nodiscard]] IoStats io_stats() const override { return stats_; }
+
+  /// Adds the pager's I/O-engine metrics on top of the shared io.* set.
+  void publish_metrics(MetricsSnapshot& snap) const override;
 
  private:
   class Backend final : public ChunkBackend {

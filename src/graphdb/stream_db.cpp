@@ -1,5 +1,6 @@
 #include "graphdb/stream_db.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -54,7 +55,13 @@ void StreamDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
 void StreamDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
   std::unordered_set<VertexId> sources;
   scan([&](const Edge& e) { sources.insert(e.src); });
-  for (const VertexId v : sources) {
+  // Visit in ascending id order, not hash order: an early-exit visitor
+  // (connected components seeding, k-th vertex sampling) otherwise sees
+  // a run-dependent prefix and every counter downstream of it stops
+  // being a pure function of the seed.
+  std::vector<VertexId> ordered(sources.begin(), sources.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (const VertexId v : ordered) {
     if (!visit(v)) return;
   }
 }

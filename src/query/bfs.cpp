@@ -261,6 +261,13 @@ BfsStats BfsRun::execute() {
       expand_fringe(fringe,
                     [&](VertexId u) { return discover_plain(u, levcnt); });
 
+      // Overlap disk with communication (§4.2): level L+1's locally
+      // discovered blocks start loading now, while level L's fringe
+      // exchange drains.  With the async engine this submit returns
+      // immediately; prefetch dedup makes the top-of-loop call for the
+      // merged fringe skip anything already in flight.
+      if (options_.prefetch) db_.prefetch(next_fringe_);
+
       // Bulk exchange: exactly one fringe message to every peer.
       if (!options_.map_known) {
         // next_fringe_ currently holds only the locally discovered part;
@@ -281,10 +288,17 @@ BfsStats BfsRun::execute() {
       for (Rank q = 0; q < p; ++q) {
         if (q == comm_.rank()) continue;
         const Message msg = comm_.recv(kFringeTag, q);
+        const std::size_t merged_from = next_fringe_.size();
         // Directed sends: we own every received u.  Broadcast mode:
         // everyone merges everyone's discoveries.  Same merge either way.
         for (const VertexId u : unpack_vertices(msg.payload)) {
           merge_candidate(u, levcnt);
+        }
+        // Each peer's contribution reads ahead while the next peer's
+        // message is still in transit.
+        if (options_.prefetch && next_fringe_.size() > merged_from) {
+          db_.prefetch(std::span<const VertexId>(next_fringe_)
+                           .subspan(merged_from));
         }
       }
     }

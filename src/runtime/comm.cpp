@@ -99,6 +99,11 @@ std::vector<std::vector<std::byte>> Communicator::allgather(
   barrier();
   std::vector<std::vector<std::byte>> all = world_->gather_slots_;
   barrier();
+  // The second barrier guarantees every rank has copied the slots, so
+  // this rank's payload can be released now instead of staying alive
+  // until the next collective.  Only rank r touches slot r outside the
+  // two barriers, so no synchronization beyond them is needed.
+  std::vector<std::byte>().swap(world_->gather_slots_[rank_]);
   return all;
 }
 

@@ -47,6 +47,15 @@ class CommWorld {
   /// ("comm.messages_sent" / "comm.bytes_sent").
   void publish_metrics(MetricsSnapshot& snap) const;
 
+  /// Bytes currently retained in the allgather scratch slots.  Zero when
+  /// no collective is in flight (slots are released once every rank has
+  /// copied out); only meaningful between cluster runs (quiescent).
+  [[nodiscard]] std::size_t gather_slot_bytes() const {
+    std::size_t total = 0;
+    for (const auto& slot : gather_slots_) total += slot.size();
+    return total;
+  }
+
  private:
   friend class Communicator;
 

@@ -44,6 +44,19 @@ class DataStream {
     return buffer;
   }
 
+  /// Non-blocking get(): returns a buffer only if one is already queued,
+  /// nullopt otherwise (including at end-of-stream).  Lets a consumer
+  /// coalesce everything that arrived while it was busy without ever
+  /// waiting on the producer.
+  std::optional<std::vector<std::byte>> try_get() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    std::vector<std::byte> buffer = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return buffer;
+  }
+
   /// Producer signals end-of-stream.  Idempotent.
   void close() {
     {

@@ -36,9 +36,13 @@ void BlockHandle::release() {
 
 BlockCache::~BlockCache() {
   // Callers should flush() explicitly; this is a last-resort write-back so
-  // data is never silently lost.  Entries still pinned here are leaked
-  // BlockHandles: persist them, then detach them so the straggling handle
-  // can release safely — but never silently.
+  // data is never silently lost.  Write-behind requests already handed to
+  // the engine must land before the files can be closed, and unadopted
+  // prefetches are folded in so their accounting isn't dropped.
+  drain_async();
+  // Entries still pinned here are leaked BlockHandles: persist them, then
+  // detach them so the straggling handle can release safely — but never
+  // silently.
   std::uint64_t leaked = 0;
   for (auto& [key, entry] : map_) {
     write_back(*entry);
@@ -58,11 +62,85 @@ BlockCache::~BlockCache() {
 }
 
 std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
-                                         Writer writer) {
+                                         Writer writer, Locator locator) {
   MSSG_CHECK(block_size > 0);
   MSSG_CHECK(stores_.size() < (1u << 15));
-  stores_.push_back(Store{block_size, std::move(reader), std::move(writer)});
+  stores_.push_back(Store{block_size, std::move(reader), std::move(writer),
+                          std::move(locator)});
   return static_cast<std::uint16_t>(stores_.size() - 1);
+}
+
+void BlockCache::enable_async_io() {
+  if (engine_ != nullptr || capacity_bytes_ == 0) return;
+  engine_ = std::make_unique<IoEngine>();
+}
+
+std::size_t BlockCache::prefetch_async(std::uint16_t store,
+                                       std::span<const std::uint64_t> blocks) {
+  MSSG_CHECK(store < stores_.size());
+  MSSG_CHECK(engine_ != nullptr);
+  const Store& s = stores_[store];
+  MSSG_CHECK(s.locator != nullptr);
+
+  poll_async();
+  std::vector<IoRequest> batch;
+  for (const std::uint64_t block : blocks) {
+    MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(store) << kStoreShift) | block;
+    // Skip anything already cached or in flight; a key with a pending
+    // write-behind must not be re-read from disk concurrently (get()
+    // handles it by draining first).
+    if (map_.contains(key) || pending_reads_.contains(key) ||
+        pending_writes_.contains(key)) {
+      continue;
+    }
+    const std::optional<AsyncTarget> target = s.locator(block, false);
+    if (!target.has_value()) continue;  // sync reader resolves without disk
+
+    IoRequest req;
+    req.kind = IoRequest::Kind::kRead;
+    req.file = target->file;
+    req.offset = target->offset;
+    req.buffer.resize(s.block_size);
+    req.key = key;
+    batch.push_back(std::move(req));
+    pending_reads_.insert(key);
+    // The miss happens here, at issue time, exactly as the synchronous
+    // prefetch loop would have counted it — get() later sees a hit.
+    if (stats_ != nullptr) {
+      ++stats_->prefetch_issued;
+      ++stats_->cache_misses;
+    }
+  }
+  const std::size_t issued = batch.size();
+  if (issued != 0) engine_->submit(std::move(batch));
+  return issued;
+}
+
+void BlockCache::poll_async() {
+  if (engine_ == nullptr || !engine_->has_completions()) return;
+  std::vector<IoRequest> done = engine_->poll_completions(stats_);
+  bool adopted = false;
+  for (IoRequest& req : done) {
+    if (req.kind == IoRequest::Kind::kWrite) {
+      auto it = pending_writes_.find(req.key);
+      MSSG_CHECK(it != pending_writes_.end());
+      if (--it->second == 0) pending_writes_.erase(it);
+      continue;
+    }
+    // Adopt a finished read as a clean, unpinned resident entry.
+    MSSG_CHECK(pending_reads_.erase(req.key) == 1);
+    MSSG_CHECK(!map_.contains(req.key));
+    auto entry = std::make_unique<detail::CacheEntry>();
+    entry->key = req.key;
+    entry->data = std::move(req.buffer);
+    entry->prefetched = true;
+    make_resident(*entry);
+    map_.emplace(req.key, std::move(entry));
+    adopted = true;
+  }
+  if (adopted) evict_to_capacity();
 }
 
 BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
@@ -71,7 +149,24 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(store) << kStoreShift) | block;
 
+  poll_async();
   auto it = map_.find(key);
+  if (it == map_.end() && engine_ != nullptr) {
+    if (pending_reads_.contains(key)) {
+      // The prefetch covering this block is still in flight: wait for it
+      // and adopt, so the block is read from disk exactly once.
+      do {
+        engine_->wait_for_completion();
+        poll_async();
+      } while (pending_reads_.contains(key));
+      it = map_.find(key);  // rarely absent: adopted then instantly evicted
+    } else if (pending_writes_.contains(key)) {
+      // A write-behind of this block's last contents has not landed yet;
+      // reading the file now could return stale bytes.
+      drain_async();
+    }
+  }
+
   if (it != map_.end()) {
     detail::CacheEntry& entry = *it->second;
     // With caching disabled (capacity 0) the map can only hold blocks
@@ -83,8 +178,10 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
         ++stats_->cache_misses;
       } else {
         ++stats_->cache_hits;
+        if (entry.prefetched) ++stats_->prefetch_hits;
       }
     }
+    entry.prefetched = false;
     if (entry.resident && entry.pins == 0) {
       // Remove from the LRU while pinned.
       lru_.erase(entry.lru_pos);
@@ -95,7 +192,11 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
     return BlockHandle(this, &entry);
   }
 
-  if (stats_ != nullptr) ++stats_->cache_misses;
+  // Synchronous miss: the caller stalls on the store's reader.
+  if (stats_ != nullptr) {
+    ++stats_->cache_misses;
+    ++stats_->read_stalls;
+  }
   auto entry = std::make_unique<detail::CacheEntry>();
   entry->key = key;
   entry->data.resize(stores_[store].block_size);
@@ -117,11 +218,15 @@ void BlockCache::unpin(detail::CacheEntry* entry) {
     return;
   }
 
-  lru_.push_front(entry->key);
-  entry->lru_pos = lru_.begin();
-  entry->resident = true;
-  resident_bytes_ += entry->data.size();
+  make_resident(*entry);
   evict_to_capacity();
+}
+
+void BlockCache::make_resident(detail::CacheEntry& entry) {
+  lru_.push_front(entry.key);
+  entry.lru_pos = lru_.begin();
+  entry.resident = true;
+  resident_bytes_ += entry.data.size();
 }
 
 void BlockCache::write_back(detail::CacheEntry& entry) {
@@ -134,6 +239,7 @@ void BlockCache::write_back(detail::CacheEntry& entry) {
 }
 
 void BlockCache::evict_to_capacity() {
+  std::vector<IoRequest> write_behind;
   while (resident_bytes_ > capacity_bytes_ && !lru_.empty()) {
     const std::uint64_t victim_key = lru_.back();
     lru_.pop_back();
@@ -141,14 +247,51 @@ void BlockCache::evict_to_capacity() {
     MSSG_CHECK(it != map_.end());
     detail::CacheEntry& victim = *it->second;
     MSSG_CHECK(victim.pins == 0);
-    write_back(victim);
-    resident_bytes_ -= victim.data.size();
+    const auto store = static_cast<std::uint16_t>(victim_key >> kStoreShift);
+    const std::uint64_t block =
+        victim_key & ((std::uint64_t{1} << kStoreShift) - 1);
+
+    bool deferred = false;
+    if (victim.dirty && engine_ != nullptr &&
+        stores_[store].locator != nullptr) {
+      // The locator runs here, on the owning thread, so any store
+      // metadata update (file creation, allocation bitmap) is done
+      // before the payload leaves for the worker.
+      if (std::optional<AsyncTarget> target =
+              stores_[store].locator(block, true)) {
+        IoRequest req;
+        req.kind = IoRequest::Kind::kWrite;
+        req.file = target->file;
+        req.offset = target->offset;
+        req.buffer = std::move(victim.data);
+        req.key = victim_key;
+        write_behind.push_back(std::move(req));
+        ++pending_writes_[victim_key];
+        deferred = true;
+      }
+    }
+    if (!deferred) write_back(victim);
+
+    resident_bytes_ -= stores_[store].block_size;
     if (stats_ != nullptr) ++stats_->cache_evictions;
     map_.erase(it);
+  }
+  if (!write_behind.empty()) engine_->submit(std::move(write_behind));
+}
+
+void BlockCache::drain_async() {
+  if (engine_ == nullptr) return;
+  // Adoption can evict, and eviction can submit new write-behind
+  // requests, so loop until the engine is truly quiet.
+  while (!pending_reads_.empty() || !pending_writes_.empty() ||
+         engine_->has_completions()) {
+    engine_->drain();
+    poll_async();
   }
 }
 
 void BlockCache::flush() {
+  drain_async();
   for (auto& [key, entry] : map_) write_back(*entry);
 }
 
@@ -161,6 +304,20 @@ void BlockCache::drop_clean() {
     map_.erase(map_it);
     lru_it = lru_.erase(lru_it);
   }
+}
+
+int BlockCache::pin_count(std::uint16_t store, std::uint64_t block) const {
+  MSSG_CHECK(store < stores_.size());
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(store) << kStoreShift) | block;
+  const auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second->pins;
+}
+
+MetricsSnapshot BlockCache::async_metrics() const {
+  // Unadopted completions stay queued for the next poll_async(); the
+  // engine's own registry is quiescent once drained.
+  return engine_ == nullptr ? MetricsSnapshot{} : engine_->metrics();
 }
 
 }  // namespace mssg

@@ -9,18 +9,35 @@
 // every dirty unpin writes through.
 //
 // Single-threaded by design: each simulated cluster node owns its own
-// GraphDB instance and cache.
+// GraphDB instance and cache.  enable_async_io() attaches a background
+// IoEngine without weakening that rule — the owning thread resolves each
+// block to a (File*, offset) via the store's Locator at submit time, so
+// the worker thread only ever performs positional I/O on shared fds:
+//
+//  - prefetch_async() submits a sorted read batch for blocks the caller
+//    will need soon; get() adopts finished buffers (or waits for the
+//    in-flight one) instead of re-reading, and never reads a block twice;
+//  - eviction hands dirty victims to the engine as write-behind requests,
+//    keeping the disk write off the caller's critical path; a get() of a
+//    block whose write is still in flight drains first, so readers can
+//    never observe stale bytes.
+//
+// flush() and the destructor drain the engine, so the durability
+// contract ("flush persists everything") is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/error.hpp"
+#include "storage/io_engine.hpp"
 #include "storage/io_stats.hpp"
 
 namespace mssg {
@@ -37,6 +54,8 @@ struct CacheEntry {
   bool resident = false;
   bool orphaned = false;  // cache destroyed while still pinned; the
                           // surviving handle owns (and frees) the entry
+  bool prefetched = false;  // loaded by async read-ahead and not yet
+                            // claimed by a get() (prefetch-hit marker)
 };
 }  // namespace detail
 
@@ -77,11 +96,26 @@ class BlockHandle {
   detail::CacheEntry* entry_ = nullptr;
 };
 
+/// Where a block lives on disk, for direct positional I/O by the engine
+/// worker.  The File must stay open until the cache is flushed/destroyed.
+struct AsyncTarget {
+  const File* file = nullptr;
+  std::uint64_t offset = 0;
+};
+
 class BlockCache {
  public:
   using Reader = std::function<void(std::uint64_t block, std::span<std::byte>)>;
   using Writer =
       std::function<void(std::uint64_t block, std::span<const std::byte>)>;
+  /// Resolves a block to its on-disk location — called on the OWNING
+  /// thread at submit time, so it may freely mutate store metadata
+  /// (create/extend files, set allocation bitmaps).  Returning nullopt
+  /// means the block cannot be handled asynchronously (e.g. a grDB block
+  /// that was never written reads as 0xFF without touching disk); such
+  /// blocks fall back to the synchronous Reader/Writer.
+  using Locator = std::function<std::optional<AsyncTarget>(
+      std::uint64_t block, bool for_write)>;
 
   /// `capacity_bytes` bounds the total size of unpinned resident blocks;
   /// zero disables caching (write-through / read-through).
@@ -91,16 +125,36 @@ class BlockCache {
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 
-  /// Writes back all dirty blocks.  Entries still pinned here indicate a
-  /// leaked BlockHandle: each is logged, counted in
-  /// `IoStats::cache_pin_leaks` (debug builds additionally assert), and
-  /// handed over to its handle, which frees it on release — so a leaked
-  /// handle is detected loudly instead of silently masked.
+  /// Writes back all dirty blocks (draining the I/O engine first).
+  /// Entries still pinned here indicate a leaked BlockHandle: each is
+  /// logged, counted in `IoStats::cache_pin_leaks` (debug builds
+  /// additionally assert), and handed over to its handle, which frees it
+  /// on release — so a leaked handle is detected loudly instead of
+  /// silently masked.
   ~BlockCache();
 
   /// Registers a backing store.  Returns the store id used in get().
+  /// `locator` is optional; stores without one never use the async path.
   std::uint16_t register_store(std::size_t block_size, Reader reader,
-                               Writer writer);
+                               Writer writer, Locator locator = nullptr);
+
+  /// Starts the background I/O engine (idempotent).  No-op when the
+  /// cache is disabled (capacity 0): with nothing retained between
+  /// unpins there is nothing to prefetch into or write behind from.
+  void enable_async_io();
+
+  [[nodiscard]] bool async_enabled() const { return engine_ != nullptr; }
+
+  /// Submits one sorted read batch for every listed block not already
+  /// cached or in flight.  Returns the number of requests issued.
+  /// Requires async I/O enabled and a Locator on the store.
+  std::size_t prefetch_async(std::uint16_t store,
+                             std::span<const std::uint64_t> blocks);
+
+  /// Adopts finished async requests into the cache (non-blocking).
+  /// Called automatically by get()/flush(); exposed for overlap loops
+  /// that want to fold in completions while waiting on something else.
+  void poll_async();
 
   /// Fetches a block, loading it from the store on a miss.
   BlockHandle get(std::uint16_t store, std::uint64_t block);
@@ -110,6 +164,15 @@ class BlockCache {
 
   /// Writes back and drops every unpinned block.
   void drop_clean();
+
+  /// Current pin count of a block (0 when not cached) — lets stores
+  /// refuse operations on in-use blocks (e.g. Pager::free_page).
+  [[nodiscard]] int pin_count(std::uint16_t store, std::uint64_t block) const;
+
+  /// Drains the engine and snapshots its internal metrics
+  /// (span.io.engine.batch, io.engine.queue_depth, ...) without
+  /// resetting them.  Empty snapshot when async I/O is off.
+  [[nodiscard]] MetricsSnapshot async_metrics() const;
 
   [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
@@ -121,6 +184,7 @@ class BlockCache {
     std::size_t block_size = 0;
     Reader reader;
     Writer writer;
+    Locator locator;
   };
 
   static constexpr int kStoreShift = 48;
@@ -128,6 +192,10 @@ class BlockCache {
   void unpin(detail::CacheEntry* entry);
   void write_back(detail::CacheEntry& entry);
   void evict_to_capacity();
+  /// Blocks until no async request is queued, running, or unadopted.
+  void drain_async();
+  /// Inserts an adopted/unpinned entry at the LRU front.
+  void make_resident(detail::CacheEntry& entry);
 
   std::size_t capacity_bytes_;
   IoStats* stats_;
@@ -135,6 +203,10 @@ class BlockCache {
   std::unordered_map<std::uint64_t, std::unique_ptr<detail::CacheEntry>> map_;
   std::list<std::uint64_t> lru_;  // front = most recently used
   std::size_t resident_bytes_ = 0;
+  std::unique_ptr<IoEngine> engine_;
+  std::unordered_set<std::uint64_t> pending_reads_;
+  // key -> in-flight write-behind count (re-eviction can stack writes).
+  std::unordered_map<std::uint64_t, std::uint32_t> pending_writes_;
 };
 
 }  // namespace mssg

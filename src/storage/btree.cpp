@@ -267,6 +267,22 @@ int BTree::height() const {
   }
 }
 
+PageId BTree::leaf_page(const BTreeKey& key) const {
+  const int h = height();
+  if (h == 0) return kInvalidPage;
+  PageId page = root();
+  for (int level = 1; level < h; ++level) {
+    auto handle = pager_.pin(page);
+    auto data = handle.data();
+    if (page_type(data) != kInternal) {
+      throw StorageError("btree: corrupt page type on descent (page " +
+                         std::to_string(page) + ")");
+    }
+    page = internal_child(data, internal_descend_index(data, key));
+  }
+  return page;
+}
+
 PageId BTree::find_leaf(const BTreeKey& key) const {
   PageId page = root();
   MSSG_CHECK(page != kInvalidPage);

@@ -74,6 +74,12 @@ class BTree {
   /// Height of the tree (0 for empty, 1 for a lone leaf).
   [[nodiscard]] int height() const;
 
+  /// The leaf page that does / would contain `key`, or kInvalidPage for
+  /// an empty tree.  Descends internal pages only — the leaf itself is
+  /// never pinned, so callers can hand the page to async read-ahead
+  /// without faulting it into the cache first.
+  [[nodiscard]] PageId leaf_page(const BTreeKey& key) const;
+
   void flush() { pager_.flush(); }
 
  private:

@@ -46,8 +46,8 @@ File File::open_readonly(const std::filesystem::path& path, IoStats* stats) {
   return File(fd, stats);
 }
 
-std::size_t File::read_at(std::uint64_t offset,
-                          std::span<std::byte> buffer) const {
+std::size_t File::read_at(std::uint64_t offset, std::span<std::byte> buffer,
+                          IoStats* stats) const {
   MSSG_CHECK(is_open());
   std::size_t done = 0;
   while (done < buffer.size()) {
@@ -63,15 +63,15 @@ std::size_t File::read_at(std::uint64_t offset,
   if (done < buffer.size()) {
     std::memset(buffer.data() + done, 0, buffer.size() - done);
   }
-  if (stats_ != nullptr) {
-    ++stats_->reads;
-    stats_->bytes_read += buffer.size();
+  if (stats != nullptr) {
+    ++stats->reads;
+    stats->bytes_read += buffer.size();
   }
   return done;
 }
 
-void File::write_at(std::uint64_t offset,
-                    std::span<const std::byte> buffer) const {
+void File::write_at(std::uint64_t offset, std::span<const std::byte> buffer,
+                    IoStats* stats) const {
   MSSG_CHECK(is_open());
   std::size_t done = 0;
   while (done < buffer.size()) {
@@ -83,9 +83,9 @@ void File::write_at(std::uint64_t offset,
     }
     done += static_cast<std::size_t>(n);
   }
-  if (stats_ != nullptr) {
-    ++stats_->writes;
-    stats_->bytes_written += buffer.size();
+  if (stats != nullptr) {
+    ++stats->writes;
+    stats->bytes_written += buffer.size();
   }
 }
 

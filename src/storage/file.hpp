@@ -34,10 +34,24 @@ class File {
   /// Reads exactly buffer.size() bytes at `offset`.  Bytes beyond EOF
   /// read as zero (grDB files are sparse: blocks are addressed before
   /// they are first written).  Returns the number of real bytes read.
-  std::size_t read_at(std::uint64_t offset, std::span<std::byte> buffer) const;
+  std::size_t read_at(std::uint64_t offset, std::span<std::byte> buffer) const {
+    return read_at(offset, buffer, stats_);
+  }
+
+  /// read_at accounting into an explicit stats block instead of the one
+  /// bound at open().  The IoEngine worker uses this so cross-thread I/O
+  /// never touches the owning node's (non-thread-safe) IoStats.
+  std::size_t read_at(std::uint64_t offset, std::span<std::byte> buffer,
+                      IoStats* stats) const;
 
   /// Writes exactly buffer.size() bytes at `offset`, extending the file.
-  void write_at(std::uint64_t offset, std::span<const std::byte> buffer) const;
+  void write_at(std::uint64_t offset, std::span<const std::byte> buffer) const {
+    write_at(offset, buffer, stats_);
+  }
+
+  /// write_at with explicit accounting (see the read_at overload).
+  void write_at(std::uint64_t offset, std::span<const std::byte> buffer,
+                IoStats* stats) const;
 
   [[nodiscard]] std::uint64_t size() const;
   void truncate(std::uint64_t new_size) const;

@@ -1,0 +1,115 @@
+#include "storage/io_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mssg {
+
+IoEngine::IoEngine() : worker_([this] { worker_loop(); }) {}
+
+IoEngine::~IoEngine() {
+  {
+    std::unique_lock lock(mutex_);
+    // stop_ lets the worker exit only once the queue is empty, so every
+    // accepted write-behind request still reaches disk.
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void IoEngine::submit(std::vector<IoRequest> batch) {
+  if (batch.empty()) return;
+  // Sort on the submitting thread: the worker then issues the batch in
+  // ascending file-offset order.  Stable, so two writes to the same
+  // offset land in submission order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const IoRequest& a, const IoRequest& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.offset < b.offset;
+                   });
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(batch));
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<IoRequest> IoEngine::poll_completions(IoStats* stats) {
+  std::vector<IoRequest> done;
+  std::unique_lock lock(mutex_);
+  done.swap(completed_);
+  if (stats != nullptr) *stats += worker_stats_;
+  worker_stats_.reset();
+  completions_ready_.store(0, std::memory_order_release);
+  return done;
+}
+
+void IoEngine::wait_for_completion() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return !completed_.empty() || (queue_.empty() && !busy_);
+  });
+}
+
+void IoEngine::drain() const {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+MetricsSnapshot IoEngine::metrics() const {
+  drain();
+  // After drain() the worker is idle (observed under the mutex), so the
+  // registry is quiescent and safe to read from this thread.
+  return metrics_.snapshot();
+}
+
+std::size_t IoEngine::queue_depth() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+void IoEngine::worker_loop() {
+  for (;;) {
+    std::vector<IoRequest> batch;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      metrics_.histogram("io.engine.queue_depth").record(queue_.size());
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+
+    IoStats local;
+    {
+      TraceSpan span = metrics_.span("io.engine.batch");
+      metrics_.histogram("io.engine.batch_requests").record(batch.size());
+      for (IoRequest& req : batch) {
+        if (req.file == nullptr) continue;  // resolved without disk I/O
+        if (req.kind == IoRequest::Kind::kRead) {
+          req.file->read_at(req.offset, req.buffer, &local);
+        } else {
+          req.file->write_at(req.offset, req.buffer, &local);
+        }
+      }
+    }
+
+    {
+      std::unique_lock lock(mutex_);
+      completed_.insert(completed_.end(),
+                        std::make_move_iterator(batch.begin()),
+                        std::make_move_iterator(batch.end()));
+      worker_stats_ += local;
+      busy_ = false;
+      completions_ready_.store(completed_.size(), std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace mssg

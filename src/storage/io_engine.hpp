@@ -1,0 +1,118 @@
+// Background I/O engine — the asynchronous disk path of one simulated
+// cluster node.  FlashGraph-style: callers batch block requests, the
+// engine sorts each batch by (file, offset) so the disk sees ascending
+// offsets ("sorting the pre-fetch disk accesses by file offsets to
+// reduce the seek overhead", §4.2), and a single worker thread issues
+// them while the owning thread keeps computing.  Two request kinds:
+//
+//  - read-ahead: the block cache submits the next fringe's blocks and
+//    adopts the filled buffers later (completion handoff);
+//  - write-behind: the block cache hands over evicted-dirty payloads so
+//    eviction never blocks the caller's critical path.
+//
+// Threading contract (the reason the rest of the storage layer can stay
+// "single-threaded by design"): the worker touches ONLY the File objects
+// named in requests, via the explicit-stats read_at/write_at overloads
+// (positional I/O on a shared fd is thread-safe).  All store metadata —
+// cache maps, grDB level bitmaps, file-handle tables — is resolved by
+// the owning thread at submit time.  Completions, I/O accounting, and
+// the engine's own metrics flow back to the owning thread through
+// poll_completions()/metrics(); the queue mutex orders the handoff.
+//
+// drain() (and the destructor) block until every submitted request has
+// executed, so flush-time durability is preserved: nothing the engine
+// accepted is lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "storage/file.hpp"
+#include "storage/io_stats.hpp"
+
+namespace mssg {
+
+/// One block-sized request.  `key` is an opaque caller tag (the block
+/// cache stores its map key there) returned untouched with the
+/// completion.  The File must outlive the request; drain before closing
+/// or destroying the target file.
+struct IoRequest {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+
+  Kind kind = Kind::kRead;
+  const File* file = nullptr;
+  std::uint64_t offset = 0;
+  std::vector<std::byte> buffer;  ///< read: destination; write: payload
+  std::uint64_t key = 0;
+};
+
+class IoEngine {
+ public:
+  /// Starts the worker thread.
+  IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  /// Drains all queued requests (write-behind durability), then joins
+  /// the worker.  Unpolled completions are discarded.
+  ~IoEngine();
+
+  /// Queues a batch.  The batch is stably sorted by (file, offset)
+  /// before issue, so same-offset writes keep submission order.  Batches
+  /// execute in submission order; one TraceSpan is recorded per batch.
+  void submit(std::vector<IoRequest> batch);
+
+  /// True when poll_completions() would return something (lock-free).
+  [[nodiscard]] bool has_completions() const {
+    return completions_ready_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Takes every finished request, in execution order, and folds the
+  /// worker's I/O accounting into `stats` (dropped when null).  Owning
+  /// thread only.
+  std::vector<IoRequest> poll_completions(IoStats* stats);
+
+  /// Blocks until at least one unpolled completion exists or the engine
+  /// is idle (whichever first).
+  void wait_for_completion();
+
+  /// Blocks until every submitted request has executed.  Completions
+  /// still need polling afterwards.  Logically const: observes the queue
+  /// without altering any request.
+  void drain() const;
+
+  /// Drains, then snapshots the engine's internal metrics (monotonic, no
+  /// reset): "span.io.engine.batch" (+ duration histogram) per batch and
+  /// the "io.engine.queue_depth" / "io.engine.batch_requests" histograms.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Batches not yet picked up by the worker (approximate; for tests).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes the worker
+  // mutable like the mutex: drain() is logically const but waits here.
+  mutable std::condition_variable done_cv_;  ///< completion / idleness
+  std::deque<std::vector<IoRequest>> queue_;
+  std::vector<IoRequest> completed_;
+  IoStats worker_stats_;  ///< worker accounting awaiting poll (guarded)
+  // Touched by the worker between batches and by the owning thread only
+  // after drain() — the mutex handoff on busy_ orders the accesses.
+  MetricsRegistry metrics_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> completions_ready_{0};
+  std::thread worker_;
+};
+
+}  // namespace mssg

@@ -29,6 +29,11 @@ struct IoStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_pin_leaks = 0;  ///< blocks still pinned when their
                                       ///< cache was destroyed (handle leaks)
+  std::uint64_t prefetch_issued = 0;  ///< blocks submitted for async read-ahead
+  std::uint64_t prefetch_hits = 0;    ///< get() misses avoided by a prefetch
+  std::uint64_t read_stalls = 0;      ///< get() calls that had to read the
+                                      ///< block synchronously (blocking I/O on
+                                      ///< the caller's critical path)
 
   void reset() { *this = IoStats{}; }
 
@@ -42,6 +47,9 @@ struct IoStats {
     cache_misses += other.cache_misses;
     cache_evictions += other.cache_evictions;
     cache_pin_leaks += other.cache_pin_leaks;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_hits += other.prefetch_hits;
+    read_stalls += other.read_stalls;
     return *this;
   }
 
@@ -69,6 +77,9 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add(p + ".cache_misses", s.cache_misses);
   snap.add(p + ".cache_evictions", s.cache_evictions);
   snap.add(p + ".cache_pin_leaks", s.cache_pin_leaks);
+  snap.add(p + ".prefetch_issued", s.prefetch_issued);
+  snap.add(p + ".prefetch_hits", s.prefetch_hits);
+  snap.add(p + ".read_stalls", s.read_stalls);
 }
 
 }  // namespace mssg

@@ -1,13 +1,16 @@
 #include "storage/pager.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace mssg {
 
 Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
-             std::size_t cache_capacity_bytes, IoStats* stats)
+             std::size_t cache_capacity_bytes, IoStats* stats, bool async_io)
     : page_size_(page_size),
       file_(File::open(path, stats)),
       stats_(stats),
@@ -20,7 +23,13 @@ Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
       },
       [this](std::uint64_t block, std::span<const std::byte> in) {
         file_.write_at(block * page_size_, in);
+      },
+      // Pages map 1:1 to file offsets, so the locator never needs store
+      // metadata; past-EOF reads zero-fill exactly like the sync reader.
+      [this](std::uint64_t block, bool) -> std::optional<AsyncTarget> {
+        return AsyncTarget{&file_, block * page_size_};
       });
+  if (async_io) cache_.enable_async_io();
   // A non-empty file must carry a valid header — even one shorter than
   // our page size (that means it was created with a smaller page size,
   // which load_header rejects explicitly).
@@ -50,6 +59,25 @@ void Pager::load_header() {
   page_count_ = h.page_count;
   free_head_ = h.free_head;
   std::memcpy(user_meta_, h.user, sizeof(user_meta_));
+
+  // Rebuild the free-list mirror, refusing a corrupt list up front: a
+  // page reached twice means a cycle, and recycling it would hand the
+  // same page to two owners.
+  free_set_.clear();
+  PageId p = free_head_;
+  std::array<std::byte, sizeof(PageId)> next{};
+  while (p != kInvalidPage) {
+    if (p >= page_count_) {
+      throw StorageError("pager: free list points past the file (page " +
+                         std::to_string(p) + ")");
+    }
+    if (!free_set_.insert(p).second) {
+      throw StorageError("pager: free list cycle at page " +
+                         std::to_string(p));
+    }
+    file_.read_at(p * page_size_, next);
+    std::memcpy(&p, next.data(), sizeof(p));
+  }
 }
 
 void Pager::store_header() {
@@ -69,6 +97,14 @@ PageId Pager::allocate() {
   PageId page;
   if (free_head_ != kInvalidPage) {
     page = free_head_;
+    // The mirror must agree with the list head; a missing entry means a
+    // page is on the list twice (cycle) and this allocate would alias a
+    // page already handed out.  Fail loudly instead of corrupting it.
+    if (free_set_.erase(page) == 0) {
+      throw StorageError("pager: free list corruption — page " +
+                         std::to_string(page) +
+                         " recycled twice (cyclic free list)");
+    }
     {
       auto handle = cache_.get(store_id_, page);
       std::uint64_t next;
@@ -89,16 +125,36 @@ PageId Pager::allocate() {
 
 void Pager::free_page(PageId page) {
   MSSG_CHECK(page != kInvalidPage && page < page_count_);
+  if (free_set_.contains(page)) {
+    throw StorageError("pager: double free of page " + std::to_string(page));
+  }
+  if (const int pins = cache_.pin_count(store_id_, page); pins > 0) {
+    throw StorageError("pager: freeing page " + std::to_string(page) +
+                       " while still pinned " + std::to_string(pins) + "x");
+  }
   auto handle = cache_.get(store_id_, page);
   auto data = handle.mutable_data();
   std::memcpy(data.data(), &free_head_, sizeof(free_head_));
   free_head_ = page;
+  free_set_.insert(page);
   header_dirty_ = true;
 }
 
 BlockHandle Pager::pin(PageId page) {
   MSSG_CHECK(page != kInvalidPage && page < page_count_);
   return cache_.get(store_id_, page);
+}
+
+void Pager::prefetch(std::span<const PageId> pages) {
+  if (!cache_.async_enabled()) return;
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(pages.size());
+  for (const PageId page : pages) {
+    if (page != kInvalidPage && page < page_count_) blocks.push_back(page);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  cache_.prefetch_async(store_id_, blocks);
 }
 
 std::uint64_t Pager::meta(int slot) const {

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <span>
+#include <unordered_set>
 
 #include "storage/block_cache.hpp"
 #include "storage/file.hpp"
@@ -17,9 +19,12 @@ inline constexpr PageId kInvalidPage = 0;  // page 0 is the header
 class Pager {
  public:
   /// Opens (or creates) a paged file.  `cache_capacity_bytes` sizes the
-  /// page cache; zero means write-through (no caching).
+  /// page cache; zero means write-through (no caching).  `async_io`
+  /// attaches the background IoEngine for prefetch() read-ahead and
+  /// write-behind eviction.
   Pager(const std::filesystem::path& path, std::size_t page_size,
-        std::size_t cache_capacity_bytes, IoStats* stats = nullptr);
+        std::size_t cache_capacity_bytes, IoStats* stats = nullptr,
+        bool async_io = false);
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -29,14 +34,28 @@ class Pager {
   [[nodiscard]] PageId page_count() const { return page_count_; }
 
   /// Allocates a page (recycling freed pages first).  Contents are
-  /// zeroed.
+  /// zeroed.  Throws StorageError if the on-disk free list is corrupt
+  /// (a page appearing twice would hand the same page to two owners).
   PageId allocate();
 
-  /// Returns a page to the free list.
+  /// Returns a page to the free list.  Throws StorageError on a double
+  /// free or when the page is still pinned — either would corrupt a
+  /// live page once the slot is recycled.
   void free_page(PageId page);
 
   /// Pins a page in the cache.
   BlockHandle pin(PageId page);
+
+  /// Issues sorted async read-ahead for the given pages (no-op without
+  /// async I/O — callers warm synchronously in that case).
+  void prefetch(std::span<const PageId> pages);
+
+  [[nodiscard]] bool async_enabled() const { return cache_.async_enabled(); }
+
+  /// Engine-internal metrics (see BlockCache::async_metrics).
+  [[nodiscard]] MetricsSnapshot async_metrics() const {
+    return cache_.async_metrics();
+  }
 
   /// User metadata slots persisted in the header (8 available).
   static constexpr int kMetaSlots = 8;
@@ -68,6 +87,8 @@ class Pager {
   std::uint16_t store_id_;
   PageId page_count_ = 1;  // header occupies page 0
   PageId free_head_ = kInvalidPage;
+  std::unordered_set<PageId> free_set_;  // mirror of the free list, for
+                                         // double-free / cycle detection
   std::uint64_t user_meta_[kMetaSlots] = {};
   bool header_dirty_ = false;
 };

@@ -66,6 +66,33 @@ INSTANTIATE_TEST_SUITE_P(
       return name.substr(0, name.find('('));
     });
 
+TEST(ForEachVertexDeterminism, StreamBackendVisitsInAscendingOrder) {
+  // Regression: StreamDB used to iterate an unordered_set, so an
+  // early-exit visitor (CC seeding, k-th vertex sampling) saw a
+  // run-dependent prefix and downstream counters stopped being a pure
+  // function of the seed.
+  TempDir dir;
+  auto db = make_db(Backend::kStream, dir);
+  db->store_edges(
+      std::vector<Edge>{{70, 1}, {3, 2}, {41, 3}, {9, 4}, {1000, 5}, {5, 6}});
+  db->finalize_ingest();
+
+  std::vector<VertexId> order;
+  db->for_each_vertex([&](VertexId v) {
+    order.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(order, (std::vector<VertexId>{3, 5, 9, 41, 70, 1000}));
+
+  // An early exit therefore always observes the same (smallest) prefix.
+  std::vector<VertexId> prefix;
+  db->for_each_vertex([&](VertexId v) {
+    prefix.push_back(v);
+    return prefix.size() < 3;
+  });
+  EXPECT_EQ(prefix, (std::vector<VertexId>{3, 5, 9}));
+}
+
 // ---- Connected components ---------------------------------------------------
 
 /// Reference: count components over non-isolated vertices via BFS.

@@ -259,6 +259,21 @@ TEST(Ingestion, ImbalanceReportsLoadRatio) {
   EXPECT_DOUBLE_EQ(report.imbalance(), 1.0);
 }
 
+TEST(Ingestion, ImbalanceEdgeCases) {
+  IngestReport report;
+  // All backends empty is vacuously balanced — regression: this used to
+  // report 0.0, which read as "better than perfectly balanced".
+  report.per_backend = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(report.imbalance(), 1.0);
+  // No backends at all behaves the same.
+  report.per_backend = {};
+  EXPECT_DOUBLE_EQ(report.imbalance(), 1.0);
+  // A starved backend (min == 0, max > 0): the ratio degenerates to max
+  // rather than dividing by zero.
+  report.per_backend = {40, 0};
+  EXPECT_DOUBLE_EQ(report.imbalance(), 40.0);
+}
+
 TEST(Ingestion, DiskBackendIngestIsDurable) {
   TempDir dir;
   {

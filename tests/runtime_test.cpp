@@ -128,6 +128,24 @@ TEST(Comm, AllgatherCollectsAllContributions) {
   });
 }
 
+TEST(Comm, AllgatherReleasesScratchSlots) {
+  // Regression: the gather slots used to retain every rank's last
+  // contribution until the next collective, pinning one buffer per rank
+  // for the lifetime of the world (megabytes on fringe-sized payloads).
+  CommWorld world(4);
+  run_cluster(world, [](Communicator& comm) {
+    const std::vector<std::byte> big(64 * 1024,
+                                     std::byte(0x40 + comm.rank()));
+    const auto all = comm.allgather(big);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[r].size(), big.size());
+      EXPECT_EQ(all[r][0], std::byte(0x40 + r));
+    }
+  });
+  EXPECT_EQ(world.gather_slot_bytes(), 0u);
+}
+
 TEST(Comm, BarrierOrdersPhases) {
   constexpr int kRanks = 8;
   std::atomic<int> phase1{0};

@@ -18,6 +18,9 @@ JOBS="${JOBS:-$(nproc)}"
 FILTER='Mailbox.*:Comm.*:CommStress.*:Stream.*:StreamBackpressure.*'
 FILTER+=':FilterGraph.*:*ParallelBfs*:PipelinedExtreme.*:FileIngestion.*'
 FILTER+=':GrdbTorture.*:BlockCache.*:Metrics*.*'
+# PR 2: the async I/O engine is the one place a second thread touches
+# storage — every engine/cache/prefetch suite runs under both sanitizers.
+FILTER+=':IoEngine.*:AsyncIo.*:PagerFreeList.*:*BfsAsyncEquivalence*'
 
 run_preset() {
   local preset="$1" build_dir="$2"
