@@ -1,0 +1,102 @@
+// Ablation A10 — wire format and chunk coalescing in the comm hot path.
+//
+// Three wire configurations of the same pipelined search bucket, on grDB
+// and BerkeleyDB backends:
+//
+//   raw      — fixed-width 8-byte GIDs, chatty threshold-64 chunks: the
+//              pre-codec runtime's wire.
+//   codec    — sort+delta+LEB128 vertex codec, same chunk trigger: the
+//              bytes shrink, the message count does not.
+//   coalesce — codec plus an 8 KiB chunk watermark: fewer, fatter chunks
+//              carrying the same payload.
+//
+// Headline counters (per query, measured as before/after deltas on the
+// shared cluster's CommWorld):
+//   wire_bytes_per_query — comm.bytes_sent delta / queries
+//   wire_msgs_per_query  — comm.messages_sent delta / queries
+//   payload_ratio        — comm.payload_bytes_raw / payload_bytes_encoded
+// BFS work counters (levels, vertices expanded, distances) are identical
+// across all three by construction — the codec changes how fringes are
+// shipped, never what the search computes (BfsWireEquivalence asserts
+// this bit-for-bit in the test suite).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace mssg;
+
+void run_wire_bucket(benchmark::State& state, const bench::Workload& w,
+                     const bench::ClusterSpec& spec, Metadata distance,
+                     const BfsOptions& options) {
+  auto& ready = bench::cluster_for(w, spec);
+  const auto pairs = w.pairs_with_distance(distance);
+  if (pairs.empty()) {
+    state.SkipWithError("no query pairs at this path length");
+    return;
+  }
+  const MetricsSnapshot before = ready.cluster->metrics_snapshot();
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    for (const auto& pair : pairs) {
+      const auto result = ready.cluster->bfs(pair.src, pair.dst, options);
+      if (result.distance != pair.distance) {
+        state.SkipWithError("BFS distance mismatch — result invalid");
+        return;
+      }
+      ++queries;
+    }
+  }
+  const MetricsSnapshot after = ready.cluster->metrics_snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  const double q = queries == 0 ? 1 : static_cast<double>(queries);
+  state.counters["wire_bytes_per_query"] =
+      static_cast<double>(delta("comm.bytes_sent")) / q;
+  state.counters["wire_msgs_per_query"] =
+      static_cast<double>(delta("comm.messages_sent")) / q;
+  const auto encoded = delta("comm.payload_bytes_encoded");
+  state.counters["payload_ratio"] =
+      encoded == 0 ? 0
+                   : static_cast<double>(delta("comm.payload_bytes_raw")) /
+                         static_cast<double>(encoded);
+}
+
+void register_variant(const bench::Workload& w, Backend backend,
+                      const char* mode, WireFormat wire,
+                      std::size_t watermark) {
+  bench::ClusterSpec spec;
+  spec.backend = backend;
+  spec.backend_nodes = 8;
+
+  BfsOptions options;
+  options.pipelined = true;
+  options.pipeline_threshold = 64;  // chatty on purpose: A10's baseline
+  options.wire = wire;
+  options.chunk_watermark_bytes = watermark;
+
+  const std::string name =
+      "AblationWire/" + bench::short_name(backend) + "/" + mode;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&w, spec, options](benchmark::State& state) {
+        run_wire_bucket(state, w, spec, /*distance=*/5, options);
+      })
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_from_env(0.25);
+  const auto& w = bench::workload(pubmed_s(scale));
+
+  for (const Backend backend : {Backend::kGrDB, Backend::kKVStore}) {
+    register_variant(w, backend, "raw", WireFormat::kRaw, 0);
+    register_variant(w, backend, "codec", WireFormat::kDelta, 0);
+    register_variant(w, backend, "coalesce", WireFormat::kDelta, 8 << 10);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

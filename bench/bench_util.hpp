@@ -226,6 +226,12 @@ inline void report_metrics(benchmark::State& state,
       static_cast<double>(snap.counter("comm.messages_sent"));
   state.counters["comm_bytes"] =
       static_cast<double>(snap.counter("comm.bytes_sent"));
+  state.counters["comm_payload_raw"] =
+      static_cast<double>(snap.counter("comm.payload_bytes_raw"));
+  state.counters["comm_payload_encoded"] =
+      static_cast<double>(snap.counter("comm.payload_bytes_encoded"));
+  state.counters["comm_bcast_copies_avoided"] =
+      static_cast<double>(snap.counter("comm.broadcast_copies_avoided"));
 }
 
 /// Snapshot-and-report convenience for benches that drive an MssgCluster.

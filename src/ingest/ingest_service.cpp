@@ -1,11 +1,11 @@
 #include "ingest/ingest_service.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/vertex_codec.hpp"
 #include "runtime/filter.hpp"
 
 namespace mssg {
@@ -23,19 +23,10 @@ double IngestReport::imbalance() const {
 
 namespace {
 
-std::vector<std::byte> pack_edges(std::span<const Edge> edges) {
-  std::vector<std::byte> buffer(edges.size() * sizeof(Edge));
-  if (!buffer.empty()) {
-    std::memcpy(buffer.data(), edges.data(), buffer.size());
-  }
-  return buffer;
-}
-
-std::span<const Edge> unpack_edges(std::span<const std::byte> buffer) {
-  MSSG_CHECK(buffer.size() % sizeof(Edge) == 0);
-  return {reinterpret_cast<const Edge*>(buffer.data()),
-          buffer.size() / sizeof(Edge)};
-}
+// Edge blocks ship through the pair codec (common/vertex_codec.hpp):
+// after hash-mod routing every bucket shares its destination backend, so
+// sorted (src, dst) pairs delta-encode tightly.  Sorting a block is safe
+// — store_edges ingests a set, and routing already decides placement.
 
 /// Front-end ingestion node: window the stream, partition, distribute.
 class FrontEndFilter final : public Filter {
@@ -58,7 +49,7 @@ class FrontEndFilter final : public Filter {
     std::vector<Edge> window;
     std::vector<Edge> block;
     std::vector<Rank> targets;
-    std::vector<std::vector<Edge>> outgoing(backends);
+    std::vector<std::vector<VertexPair>> outgoing(backends);
 
     while (source.next_block(options_.window_edges, window)) {
       const TraceSpan window_span = reg.span("ingest.window");
@@ -78,11 +69,15 @@ class FrontEndFilter final : public Filter {
       for (std::size_t i = 0; i < block.size(); ++i) {
         MSSG_CHECK(targets[i] >= 0 &&
                    static_cast<std::size_t>(targets[i]) < backends);
-        outgoing[targets[i]].push_back(block[i]);
+        outgoing[targets[i]].emplace_back(block[i].src, block[i].dst);
       }
       for (std::size_t b = 0; b < backends; ++b) {
         if (outgoing[b].empty()) continue;
-        ctx.output("edges", static_cast<int>(b)).put(pack_edges(outgoing[b]));
+        const std::size_t raw_bytes = raw_pair_wire_bytes(outgoing[b].size());
+        std::vector<std::byte> encoded = encode_pair_set(outgoing[b]);
+        reg.counter("ingest.payload_bytes_raw") += raw_bytes;
+        reg.counter("ingest.payload_bytes_encoded") += encoded.size();
+        ctx.output("edges", static_cast<int>(b)).put(std::move(encoded));
       }
     }
   }
@@ -108,6 +103,7 @@ class BackEndFilter final : public Filter {
     DataStream& in = ctx.input("edges");
     std::uint64_t count = 0;
     std::vector<Edge> batch;
+    std::vector<VertexPair> decoded;
     // Overlap storage with stream drain: store_edges runs while the
     // front-end keeps the bounded stream filled, then try_get() scoops
     // up everything that arrived in the meantime so the next store call
@@ -119,8 +115,10 @@ class BackEndFilter final : public Filter {
       batch.clear();
       std::uint64_t buffers = 0;
       do {
-        const auto edges = unpack_edges(*buffer);
-        batch.insert(batch.end(), edges.begin(), edges.end());
+        decode_pair_set(*buffer, decoded);
+        for (const auto& [src, dst] : decoded) {
+          batch.push_back(Edge{src, dst});
+        }
         ++buffers;
       } while ((buffer = in.try_get()));
 

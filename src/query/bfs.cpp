@@ -1,11 +1,11 @@
 #include "query/bfs.hpp"
 
-#include <cstring>
 #include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/vertex_codec.hpp"
 #include "graphdb/stream_db.hpp"
 
 namespace mssg {
@@ -15,20 +15,6 @@ namespace {
 constexpr int kFringeTag = 100;    // one message per peer per level (Alg 1)
 constexpr int kChunkTag = 101;     // eager chunks (Alg 2)
 constexpr int kLevelEndTag = 102;  // per-level chunk-stream terminator
-
-std::vector<std::byte> pack_vertices(std::span<const VertexId> vertices) {
-  std::vector<std::byte> buffer(vertices.size() * sizeof(VertexId));
-  if (!buffer.empty()) {
-    std::memcpy(buffer.data(), vertices.data(), buffer.size());
-  }
-  return buffer;
-}
-
-std::span<const VertexId> unpack_vertices(std::span<const std::byte> buffer) {
-  MSSG_CHECK(buffer.size() % sizeof(VertexId) == 0);
-  return {reinterpret_cast<const VertexId*>(buffer.data()),
-          buffer.size() / sizeof(VertexId)};
-}
 
 /// Shared per-query state and helpers for both algorithms.
 class BfsRun {
@@ -63,6 +49,23 @@ class BfsRun {
   void poll_chunks(Metadata next_level);
   void merge_candidate(VertexId u, Metadata next_level);
 
+  /// Encodes a fringe/bucket for the wire (sorting it in place — the
+  /// receiver merges a set) and records the compression outcome.
+  [[nodiscard]] PayloadBuffer pack_fringe(std::vector<VertexId>& vertices);
+
+  /// Decodes a fringe payload into the scratch vector and returns it.
+  const std::vector<VertexId>& unpack_fringe(std::span<const std::byte> buffer);
+
+  /// Algorithm 2 eager-send trigger: byte watermark when configured,
+  /// legacy vertex-count threshold otherwise.
+  [[nodiscard]] bool bucket_full(const std::vector<VertexId>& bucket) const {
+    if (options_.chunk_watermark_bytes > 0) {
+      return raw_vertex_wire_bytes(bucket.size()) >=
+             options_.chunk_watermark_bytes;
+    }
+    return bucket.size() >= options_.pipeline_threshold;
+  }
+
   /// Publishes the finished stats into this rank's registry (no-op when
   /// instrumentation is off).  Counter names are the MetricsSnapshot
   /// schema documented in DESIGN.md.
@@ -79,7 +82,27 @@ class BfsRun {
   bool found_ = false;
   std::vector<VertexId> next_fringe_;
   std::vector<std::vector<VertexId>> buckets_;  // per destination rank
+  std::vector<VertexId> decode_scratch_;        // reused across unpacks
 };
+
+PayloadBuffer BfsRun::pack_fringe(std::vector<VertexId>& vertices) {
+  const std::size_t raw_bytes = raw_vertex_wire_bytes(vertices.size());
+  std::vector<std::byte> encoded = encode_vertex_set(vertices, options_.wire);
+  comm_.record_payload_encoding(raw_bytes, encoded.size());
+  if (options_.metrics != nullptr) {
+    options_.metrics->histogram("codec.encode_bytes").record(encoded.size());
+  }
+  return PayloadBuffer(std::move(encoded));
+}
+
+const std::vector<VertexId>& BfsRun::unpack_fringe(
+    std::span<const std::byte> buffer) {
+  decode_vertex_set(buffer, decode_scratch_);
+  if (options_.metrics != nullptr) {
+    options_.metrics->histogram("codec.decode_bytes").record(buffer.size());
+  }
+  return decode_scratch_;
+}
 
 template <typename Discover>
 void BfsRun::expand_fringe(const std::vector<VertexId>& fringe,
@@ -142,8 +165,8 @@ bool BfsRun::discover_pipelined(VertexId u, Metadata next_level) {
     // The broadcast queue is bucket 0 in Algorithm 2's notation
     // ("N_0 will be the broadcast queue").
     buckets_[0].push_back(u);
-    if (buckets_[0].size() >= options_.pipeline_threshold) {
-      comm_.broadcast(kChunkTag, pack_vertices(buckets_[0]));
+    if (bucket_full(buckets_[0])) {
+      comm_.broadcast(kChunkTag, pack_fringe(buckets_[0]));
       stats_.fringe_messages += comm_.size() - 1;
       buckets_[0].clear();
     }
@@ -154,8 +177,8 @@ bool BfsRun::discover_pipelined(VertexId u, Metadata next_level) {
       ++stats_.discovered_owned;
     } else {
       buckets_[q].push_back(u);
-      if (buckets_[q].size() >= options_.pipeline_threshold) {
-        comm_.send(q, kChunkTag, pack_vertices(buckets_[q]));
+      if (bucket_full(buckets_[q])) {
+        comm_.send(q, kChunkTag, pack_fringe(buckets_[q]));
         ++stats_.fringe_messages;
         buckets_[q].clear();
       }
@@ -177,7 +200,7 @@ void BfsRun::merge_candidate(VertexId u, Metadata next_level) {
 
 void BfsRun::poll_chunks(Metadata next_level) {
   while (auto msg = comm_.try_recv(kChunkTag)) {
-    for (const VertexId u : unpack_vertices(msg->payload)) {
+    for (const VertexId u : unpack_fringe(msg->payload)) {
       merge_candidate(u, next_level);
     }
   }
@@ -232,13 +255,13 @@ BfsStats BfsRun::execute() {
       // Flush residual buckets, then terminate this level's chunk stream.
       if (!options_.map_known) {
         if (!buckets_[0].empty()) {
-          comm_.broadcast(kChunkTag, pack_vertices(buckets_[0]));
+          comm_.broadcast(kChunkTag, pack_fringe(buckets_[0]));
           stats_.fringe_messages += p - 1;
         }
       } else {
         for (Rank q = 0; q < p; ++q) {
           if (q == comm_.rank() || buckets_[q].empty()) continue;
-          comm_.send(q, kChunkTag, pack_vertices(buckets_[q]));
+          comm_.send(q, kChunkTag, pack_fringe(buckets_[q]));
           ++stats_.fringe_messages;
         }
       }
@@ -252,7 +275,7 @@ BfsStats BfsRun::execute() {
           ++ends;
         } else {
           MSSG_CHECK(msg.tag == kChunkTag);
-          for (const VertexId u : unpack_vertices(msg.payload)) {
+          for (const VertexId u : unpack_fringe(msg.payload)) {
             merge_candidate(u, levcnt);
           }
         }
@@ -271,13 +294,15 @@ BfsStats BfsRun::execute() {
       // Bulk exchange: exactly one fringe message to every peer.
       if (!options_.map_known) {
         // next_fringe_ currently holds only the locally discovered part;
-        // broadcast it and merge everyone else's.
-        comm_.broadcast(kFringeTag, pack_vertices(next_fringe_));
+        // broadcast it (one shared payload, p-1 references) and merge
+        // everyone else's.  pack_fringe sorts it in place — canonical
+        // order for the wire and for next level's expansion alike.
+        comm_.broadcast(kFringeTag, pack_fringe(next_fringe_));
         stats_.fringe_messages += p - 1;
       } else {
         for (Rank q = 0; q < p; ++q) {
           if (q == comm_.rank()) continue;
-          comm_.send(q, kFringeTag, pack_vertices(buckets_[q]));
+          comm_.send(q, kFringeTag, pack_fringe(buckets_[q]));
           ++stats_.fringe_messages;
         }
       }
@@ -291,7 +316,7 @@ BfsStats BfsRun::execute() {
         const std::size_t merged_from = next_fringe_.size();
         // Directed sends: we own every received u.  Broadcast mode:
         // everyone merges everyone's discoveries.  Same merge either way.
-        for (const VertexId u : unpack_vertices(msg.payload)) {
+        for (const VertexId u : unpack_fringe(msg.payload)) {
           merge_candidate(u, levcnt);
         }
         // Each peer's contribution reads ahead while the next peer's

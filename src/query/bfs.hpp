@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/vertex_codec.hpp"
 #include "graphdb/graphdb.hpp"
 #include "runtime/comm.hpp"
 
@@ -34,6 +35,17 @@ struct BfsOptions {
   bool pipelined = false;
   /// Chunk size (vertices) that triggers an eager send in Algorithm 2.
   std::size_t pipeline_threshold = 1024;
+  /// Wire format for fringe/chunk payloads (common/vertex_codec.hpp).
+  /// kRaw is the ablation baseline; both formats deliver identical
+  /// canonical (sorted) vertex order, so the search's work counters do
+  /// not depend on this knob.
+  WireFormat wire = WireFormat::kDelta;
+  /// Algorithm 2 coalescing watermark, in raw payload bytes.  When
+  /// nonzero, an eager chunk is sent once a bucket's un-encoded size
+  /// reaches this many bytes, replacing the pipeline_threshold count
+  /// trigger — fewer, fatter messages with the same total payload.
+  /// 0 keeps the legacy per-vertex-count trigger.
+  std::size_t chunk_watermark_bytes = 0;
   /// Hint the next fringe to the GraphDB before expanding it, letting
   /// grDB warm its cache in file-offset order (§4.2 future work).
   bool prefetch = false;

@@ -1,11 +1,11 @@
 #include "query/bidirectional_bfs.hpp"
 
-#include <cstring>
 #include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/vertex_codec.hpp"
 
 namespace mssg {
 
@@ -13,20 +13,6 @@ namespace {
 
 constexpr int kBidirFringeTag = 120;
 constexpr std::uint64_t kNoMeeting = ~std::uint64_t{0};
-
-std::vector<std::byte> pack_vertices(std::span<const VertexId> vertices) {
-  std::vector<std::byte> buffer(vertices.size() * sizeof(VertexId));
-  if (!buffer.empty()) {
-    std::memcpy(buffer.data(), vertices.data(), buffer.size());
-  }
-  return buffer;
-}
-
-std::span<const VertexId> unpack_vertices(std::span<const std::byte> buffer) {
-  MSSG_CHECK(buffer.size() % sizeof(VertexId) == 0);
-  return {reinterpret_cast<const VertexId*>(buffer.data()),
-          buffer.size() / sizeof(VertexId)};
-}
 
 }  // namespace
 
@@ -60,6 +46,16 @@ BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
   std::vector<std::vector<VertexId>> buckets(p);
   std::vector<VertexId> next_frontier;
   std::vector<VertexId> neighbors;
+  std::vector<VertexId> decode_scratch;
+
+  // Same wire discipline as bfs.cpp: encode (sorting the bucket — the
+  // receiver merges a set) and account the compression outcome.
+  const auto pack_fringe = [&](std::vector<VertexId>& bucket) {
+    const std::size_t raw_bytes = raw_vertex_wire_bytes(bucket.size());
+    std::vector<std::byte> encoded = encode_vertex_set(bucket, options.wire);
+    comm.record_payload_encoding(raw_bytes, encoded.size());
+    return PayloadBuffer(std::move(encoded));
+  };
 
   const auto check_meeting = [&](VertexId u, int side) {
     const auto other = level[1 - side].find(u);
@@ -107,14 +103,15 @@ BfsStats bidirectional_oocbfs(Communicator& comm, GraphDB& db, VertexId src,
 
     for (Rank q = 0; q < p; ++q) {
       if (q == comm.rank()) continue;
-      comm.send(q, kBidirFringeTag, pack_vertices(buckets[q]));
+      comm.send(q, kBidirFringeTag, pack_fringe(buckets[q]));
       ++stats.fringe_messages;
     }
     // Rank-ordered merge for deterministic counters (see bfs.cpp).
     for (Rank q = 0; q < p; ++q) {
       if (q == comm.rank()) continue;
       const Message msg = comm.recv(kBidirFringeTag, q);
-      for (const VertexId u : unpack_vertices(msg.payload)) {
+      decode_vertex_set(msg.payload, decode_scratch);
+      for (const VertexId u : decode_scratch) {
         if (level[side].contains(u)) continue;
         level[side].emplace(u, next_depth);
         check_meeting(u, side);

@@ -1,10 +1,10 @@
 #include "query/connected_components.hpp"
 
-#include <cstring>
 #include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/vertex_codec.hpp"
 
 namespace mssg {
 
@@ -12,25 +12,10 @@ namespace {
 
 constexpr int kLabelTag = 110;
 
-struct LabelUpdate {
-  VertexId vertex;
-  VertexId label;
-};
-
-std::vector<std::byte> pack_updates(std::span<const LabelUpdate> updates) {
-  std::vector<std::byte> buffer(updates.size() * sizeof(LabelUpdate));
-  if (!buffer.empty()) {
-    std::memcpy(buffer.data(), updates.data(), buffer.size());
-  }
-  return buffer;
-}
-
-std::span<const LabelUpdate> unpack_updates(
-    std::span<const std::byte> buffer) {
-  MSSG_CHECK(buffer.size() % sizeof(LabelUpdate) == 0);
-  return {reinterpret_cast<const LabelUpdate*>(buffer.data()),
-          buffer.size() / sizeof(LabelUpdate)};
-}
+// A label update is the (vertex, candidate-label) pair; shipping it
+// through the pair codec delta-encodes both components.  Sorting the
+// bucket is safe: min-label relaxation is order-independent, and the
+// per-round next_frontier is sort+uniqued before use.
 
 }  // namespace
 
@@ -52,9 +37,10 @@ CcStats parallel_connected_components(Communicator& comm, GraphDB& db) {
   CcStats stats;
   stats.vertices = comm.allreduce_sum(label.size());
 
-  std::vector<std::vector<LabelUpdate>> buckets(p);
+  std::vector<std::vector<VertexPair>> buckets(p);
   std::vector<VertexId> next_frontier;
   std::vector<VertexId> neighbors;
+  std::vector<VertexPair> decode_scratch;
 
   // Relaxes u to `candidate`; returns true when the label shrank.  A
   // neighbor-of-a-neighbor we have never stored still gets a label entry
@@ -82,7 +68,7 @@ CcStats parallel_connected_components(Communicator& comm, GraphDB& db) {
         if (owner(u) == comm.rank()) {
           if (relax(u, current)) next_frontier.push_back(u);
         } else {
-          buckets[owner(u)].push_back(LabelUpdate{u, current});
+          buckets[owner(u)].emplace_back(u, current);
         }
       }
     }
@@ -91,13 +77,17 @@ CcStats parallel_connected_components(Communicator& comm, GraphDB& db) {
     // exactly p-1).
     for (Rank q = 0; q < p; ++q) {
       if (q == comm.rank()) continue;
-      comm.send(q, kLabelTag, pack_updates(buckets[q]));
+      const std::size_t raw_bytes = raw_pair_wire_bytes(buckets[q].size());
+      std::vector<std::byte> encoded = encode_pair_set(buckets[q]);
+      comm.record_payload_encoding(raw_bytes, encoded.size());
+      comm.send(q, kLabelTag, std::move(encoded));
     }
     for (int received = 0; received < p - 1; ++received) {
       const Message msg = comm.recv(kLabelTag);
-      for (const auto& update : unpack_updates(msg.payload)) {
-        if (relax(update.vertex, update.label)) {
-          next_frontier.push_back(update.vertex);
+      decode_pair_set(msg.payload, decode_scratch);
+      for (const auto& [vertex, candidate] : decode_scratch) {
+        if (relax(vertex, candidate)) {
+          next_frontier.push_back(vertex);
         }
       }
     }

@@ -27,10 +27,22 @@ std::uint64_t CommWorld::messages_sent() const {
 std::uint64_t CommWorld::bytes_sent() const {
   return bytes_sent_.load(std::memory_order_relaxed);
 }
+std::uint64_t CommWorld::payload_bytes_raw() const {
+  return payload_bytes_raw_.load(std::memory_order_relaxed);
+}
+std::uint64_t CommWorld::payload_bytes_encoded() const {
+  return payload_bytes_encoded_.load(std::memory_order_relaxed);
+}
+std::uint64_t CommWorld::broadcast_copies_avoided() const {
+  return broadcast_copies_avoided_.load(std::memory_order_relaxed);
+}
 
 void CommWorld::publish_metrics(MetricsSnapshot& snap) const {
   snap.add("comm.messages_sent", messages_sent());
   snap.add("comm.bytes_sent", bytes_sent());
+  snap.add("comm.payload_bytes_raw", payload_bytes_raw());
+  snap.add("comm.payload_bytes_encoded", payload_bytes_encoded());
+  snap.add("comm.broadcast_copies_avoided", broadcast_copies_avoided());
 }
 
 void CommWorld::barrier_wait() {
@@ -46,64 +58,81 @@ void CommWorld::barrier_wait() {
                    [&] { return barrier_generation_ != my_generation; });
 }
 
-void Communicator::send(Rank dest, int tag,
-                        std::vector<std::byte> payload) const {
+void Communicator::send(Rank dest, int tag, PayloadBuffer payload) const {
   MSSG_CHECK(dest >= 0 && dest < size());
   world_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
   world_->bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   world_->mailboxes_[dest]->push(Message{tag, rank_, std::move(payload)});
 }
 
-void Communicator::broadcast(int tag,
-                             const std::vector<std::byte>& payload) const {
+void Communicator::broadcast(int tag, PayloadBuffer payload) const {
+  if (size() <= 1) return;
+  // Enqueue references to the one shared buffer; every peer after the
+  // first would have required a deep copy under the owned-vector wire.
   for (Rank r = 0; r < size(); ++r) {
     if (r == rank_) continue;
     send(r, tag, payload);
   }
+  world_->broadcast_copies_avoided_.fetch_add(
+      static_cast<std::uint64_t>(size() - 1), std::memory_order_relaxed);
+}
+
+void Communicator::record_payload_encoding(std::size_t raw_bytes,
+                                           std::size_t encoded_bytes) const {
+  world_->payload_bytes_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  world_->payload_bytes_encoded_.fetch_add(encoded_bytes,
+                                           std::memory_order_relaxed);
 }
 
 std::uint64_t Communicator::allreduce_sum(std::uint64_t value) const {
-  world_->reduce_slots_[rank_] = value;
+  world_->reduce_slots_[rank_].value = value;
   barrier();
   std::uint64_t total = 0;
-  for (int r = 0; r < size(); ++r) total += world_->reduce_slots_[r];
+  for (int r = 0; r < size(); ++r) total += world_->reduce_slots_[r].value;
   barrier();
   return total;
 }
 
 std::uint64_t Communicator::allreduce_max(std::uint64_t value) const {
-  world_->reduce_slots_[rank_] = value;
+  world_->reduce_slots_[rank_].value = value;
   barrier();
   std::uint64_t best = 0;
   for (int r = 0; r < size(); ++r) {
-    best = std::max(best, world_->reduce_slots_[r]);
+    best = std::max(best, world_->reduce_slots_[r].value);
   }
   barrier();
   return best;
 }
 
 std::uint64_t Communicator::allreduce_min(std::uint64_t value) const {
-  world_->reduce_slots_[rank_] = value;
+  world_->reduce_slots_[rank_].value = value;
   barrier();
   std::uint64_t best = ~std::uint64_t{0};
   for (int r = 0; r < size(); ++r) {
-    best = std::min(best, world_->reduce_slots_[r]);
+    best = std::min(best, world_->reduce_slots_[r].value);
   }
   barrier();
   return best;
 }
 
-std::vector<std::vector<std::byte>> Communicator::allgather(
-    std::vector<std::byte> contribution) const {
+std::vector<PayloadBuffer> Communicator::allgather(
+    PayloadBuffer contribution) const {
+  // Each rank deposits its payload exactly once; the fan-out to the
+  // other p-1 ranks is reference sharing, not wire traffic, so the
+  // collective charges one message of contribution-size bytes per rank.
+  world_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  world_->bytes_sent_.fetch_add(contribution.size(),
+                                std::memory_order_relaxed);
   world_->gather_slots_[rank_] = std::move(contribution);
   barrier();
-  std::vector<std::vector<std::byte>> all = world_->gather_slots_;
+  std::vector<PayloadBuffer> all = world_->gather_slots_;
   barrier();
-  // The second barrier guarantees every rank has copied the slots, so
-  // this rank's payload can be released now instead of staying alive
-  // until the next collective.  Only rank r touches slot r outside the
-  // two barriers, so no synchronization beyond them is needed.
-  std::vector<std::byte>().swap(world_->gather_slots_[rank_]);
+  // The second barrier guarantees every rank has taken its references,
+  // so this rank's slot can drop its reference now instead of pinning
+  // the payload until the next collective.  Only rank r touches slot r
+  // outside the two barriers, so no synchronization beyond them is
+  // needed.
+  world_->gather_slots_[rank_] = PayloadBuffer();
   return all;
 }
 

@@ -6,6 +6,11 @@
 // framework needs (barrier, broadcast, allreduce, allgather).  Message
 // counts and synchronization structure are identical to the MPI runs;
 // only the wire is simulated.
+//
+// Payloads are shared immutable PayloadBuffers (runtime/payload.hpp):
+// broadcast builds the payload once and enqueues p-1 references, and
+// allgather hands every rank references into the shared slot table, so
+// a B-byte collective costs O(B) memory total instead of O(p*B).
 #pragma once
 
 #include <atomic>
@@ -43,13 +48,23 @@ class CommWorld {
   [[nodiscard]] std::uint64_t messages_sent() const;
   [[nodiscard]] std::uint64_t bytes_sent() const;
 
-  /// Adds the traffic counters to a merged snapshot
-  /// ("comm.messages_sent" / "comm.bytes_sent").
+  /// Wire-codec accounting (see common/vertex_codec.hpp): what the
+  /// shipped payloads would have cost raw vs what they cost encoded, and
+  /// how many broadcast deep copies the shared PayloadBuffer replaced
+  /// with references.
+  [[nodiscard]] std::uint64_t payload_bytes_raw() const;
+  [[nodiscard]] std::uint64_t payload_bytes_encoded() const;
+  [[nodiscard]] std::uint64_t broadcast_copies_avoided() const;
+
+  /// Adds the traffic counters to a merged snapshot ("comm.messages_sent",
+  /// "comm.bytes_sent", "comm.payload_bytes_raw",
+  /// "comm.payload_bytes_encoded", "comm.broadcast_copies_avoided").
   void publish_metrics(MetricsSnapshot& snap) const;
 
   /// Bytes currently retained in the allgather scratch slots.  Zero when
-  /// no collective is in flight (slots are released once every rank has
-  /// copied out); only meaningful between cluster runs (quiescent).
+  /// no collective is in flight (slots release their references once
+  /// every rank has copied out); only meaningful between cluster runs
+  /// (quiescent).
   [[nodiscard]] std::size_t gather_slot_bytes() const {
     std::size_t total = 0;
     for (const auto& slot : gather_slots_) total += slot.size();
@@ -61,6 +76,16 @@ class CommWorld {
 
   void barrier_wait();
 
+  // One allreduce slot per rank, padded to a cache line: every rank
+  // writes its own slot and reads all of them inside every collective,
+  // so adjacent uint64_t entries would false-share a line across all
+  // rank threads.
+  struct alignas(64) ReduceSlot {
+    std::uint64_t value = 0;
+  };
+  static_assert(sizeof(ReduceSlot) == 64,
+                "reduce slots must each own a full cache line");
+
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
@@ -71,14 +96,17 @@ class CommWorld {
   std::uint64_t barrier_generation_ = 0;
 
   // Scratch for allreduce/allgather: one slot per rank.
-  std::vector<std::uint64_t> reduce_slots_;
-  std::vector<std::vector<std::byte>> gather_slots_;
+  std::vector<ReduceSlot> reduce_slots_;
+  std::vector<PayloadBuffer> gather_slots_;
 
   // Traffic counters.  Monotonic sums read by monitoring code while
   // senders run; relaxed atomics — no ordering is implied between them,
   // only that each read sees a valid total.
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> payload_bytes_raw_{0};
+  std::atomic<std::uint64_t> payload_bytes_encoded_{0};
+  std::atomic<std::uint64_t> broadcast_copies_avoided_{0};
 };
 
 /// A rank's endpoint.  Cheap to copy; all state lives in the CommWorld.
@@ -87,11 +115,23 @@ class Communicator {
   [[nodiscard]] Rank rank() const { return rank_; }
   [[nodiscard]] int size() const { return world_->size(); }
 
-  /// Non-blocking (infinitely buffered) point-to-point send.
-  void send(Rank dest, int tag, std::vector<std::byte> payload) const;
+  /// Non-blocking (infinitely buffered) point-to-point send.  The
+  /// payload converts from std::vector<std::byte> (one allocation) or
+  /// passes through as an already-shared buffer (zero).
+  void send(Rank dest, int tag, PayloadBuffer payload) const;
 
-  /// Sends the same payload to every other rank (self excluded).
-  void broadcast(int tag, const std::vector<std::byte>& payload) const;
+  /// Sends the same payload to every other rank (self excluded).  The
+  /// payload is allocated exactly once; each peer's mailbox receives a
+  /// reference ("comm.broadcast_copies_avoided" counts the p-1 deep
+  /// copies this replaces).  Wire accounting still charges the payload
+  /// once per peer — the simulated interconnect ships it p-1 times.
+  void broadcast(int tag, PayloadBuffer payload) const;
+
+  /// Records one encoded payload's compression outcome into the world's
+  /// codec counters.  Called by the query/ingest layers next to their
+  /// encode_*_set calls (the communicator itself is payload-agnostic).
+  void record_payload_encoding(std::size_t raw_bytes,
+                               std::size_t encoded_bytes) const;
 
   /// Blocking selective receive.
   [[nodiscard]] Message recv(int tag = kAnyTag, Rank source = kAnyRank) const {
@@ -119,9 +159,13 @@ class Communicator {
   }
 
   /// Collective: every rank contributes a byte buffer, all ranks receive
-  /// all buffers (indexed by rank).
-  [[nodiscard]] std::vector<std::vector<std::byte>> allgather(
-      std::vector<std::byte> contribution) const;
+  /// all buffers (indexed by rank) as shared references — a p-rank
+  /// allgather of B bytes costs O(B) total, not O(p*B).  Traffic
+  /// accounting charges each rank's contribution once (one message, B
+  /// bytes): the shared-memory collective deposits each payload a single
+  /// time, unlike broadcast's per-peer wire fan-out.
+  [[nodiscard]] std::vector<PayloadBuffer> allgather(
+      PayloadBuffer contribution) const;
 
  private:
   friend class CommWorld;

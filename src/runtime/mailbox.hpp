@@ -3,6 +3,17 @@
 // interconnect is infinitely buffered, which matches the non-blocking
 // DataCutter stream sends the pipelined BFS relies on ("sending a small
 // message ... is a non-blocking operation").
+//
+// Wakeup protocol: each blocked recv registers a stack-allocated waiter
+// node (its tag/source filter plus a private condition variable) on an
+// intrusive list.  push() walks that list and signals exactly the first
+// still-sleeping waiter whose filter matches the new message — no
+// notify_all thundering herd, and a waiter only rescans the deque when
+// mail it can actually take has arrived (a woken waiter whose message
+// was stolen by a concurrent try_recv re-registers and sleeps again).
+// Messages pushed while every matching waiter is already signalled stay
+// queued and are found by the front-scan every recv performs before
+// sleeping, so no wakeup is ever lost.
 #pragma once
 
 #include <condition_variable>
@@ -17,11 +28,18 @@ namespace mssg {
 class Mailbox {
  public:
   void push(Message msg) {
-    {
-      std::lock_guard lock(mutex_);
-      queue_.push_back(std::move(msg));
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+    const Message& arrived = queue_.back();
+    for (Waiter* w = waiters_; w != nullptr; w = w->next) {
+      if (w->signalled || !matches(arrived, w->tag, w->source)) continue;
+      w->signalled = true;
+      // Notify under the lock: the waiter node lives on the receiver's
+      // stack and is destroyed once recv returns, which it cannot do
+      // while we hold the mutex.
+      w->cv.notify_one();
+      break;  // one message serves exactly one recv
     }
-    cv_.notify_all();
   }
 
   /// Blocks until a matching message arrives.
@@ -29,7 +47,11 @@ class Mailbox {
     std::unique_lock lock(mutex_);
     while (true) {
       if (auto msg = take_matching(tag, source)) return std::move(*msg);
-      cv_.wait(lock);
+      Waiter self(tag, source);
+      self.next = waiters_;
+      waiters_ = &self;
+      self.cv.wait(lock, [&] { return self.signalled; });
+      unlink(&self);
     }
   }
 
@@ -54,6 +76,15 @@ class Mailbox {
   }
 
  private:
+  struct Waiter {
+    Waiter(int tag_, Rank source_) : tag(tag_), source(source_) {}
+    int tag;
+    Rank source;
+    std::condition_variable cv;
+    bool signalled = false;
+    Waiter* next = nullptr;
+  };
+
   static bool matches(const Message& msg, int tag, Rank source) {
     return (tag == kAnyTag || msg.tag == tag) &&
            (source == kAnyRank || msg.source == source);
@@ -70,9 +101,18 @@ class Mailbox {
     return std::nullopt;
   }
 
+  void unlink(Waiter* node) {
+    for (Waiter** slot = &waiters_; *slot != nullptr; slot = &(*slot)->next) {
+      if (*slot == node) {
+        *slot = node->next;
+        return;
+      }
+    }
+  }
+
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
   std::deque<Message> queue_;
+  Waiter* waiters_ = nullptr;  // guarded by mutex_
 };
 
 }  // namespace mssg

@@ -1,12 +1,13 @@
 // Message envelope for the simulated cluster.  Mirrors the MPI model the
 // thesis' prototype used underneath DataCutter: a tagged byte payload
-// with a source rank.
+// with a source rank.  The payload is a shared immutable PayloadBuffer,
+// so fan-out (broadcast, allgather) enqueues references, not copies.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hpp"
+#include "runtime/payload.hpp"
 
 namespace mssg {
 
@@ -17,7 +18,7 @@ inline constexpr Rank kAnyRank = -1;
 struct Message {
   int tag = 0;
   Rank source = -1;
-  std::vector<std::byte> payload;
+  PayloadBuffer payload;
 };
 
 }  // namespace mssg

@@ -1,0 +1,65 @@
+// Shared immutable payload buffer for the runtime's message layer.
+//
+// The simulated wire used to deep-copy every payload per hop: broadcast
+// copied the fringe once per peer, allgather copied the full slot table
+// once per rank.  PayloadBuffer makes a payload a refcounted immutable
+// byte array instead: building one costs a single allocation, and every
+// further hop (broadcast fan-out, mailbox enqueue, allgather slot read)
+// moves or copies a shared_ptr.  Immutability is what makes the sharing
+// race-free — after construction no byte is ever written, so concurrent
+// readers on receiver ranks need no synchronization beyond the refcount
+// (tsan-verified by the sanitizer CI).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mssg {
+
+class PayloadBuffer {
+ public:
+  /// Empty payload (e.g. level-end markers); no allocation.
+  PayloadBuffer() = default;
+
+  /// Adopts the vector's storage.  Implicit on purpose: every
+  /// pre-existing call site builds a std::vector<std::byte> payload, and
+  /// wrapping it is the "exactly one allocation" the zero-copy contract
+  /// counts (the shared_ptr control block; the byte storage moves).
+  PayloadBuffer(std::vector<std::byte> bytes)
+      : bytes_(bytes.empty()
+                   ? nullptr
+                   : std::make_shared<const std::vector<std::byte>>(
+                         std::move(bytes))) {}
+
+  [[nodiscard]] std::span<const std::byte> span() const {
+    return bytes_ ? std::span<const std::byte>(*bytes_)
+                  : std::span<const std::byte>();
+  }
+  operator std::span<const std::byte>() const { return span(); }
+
+  [[nodiscard]] const std::byte* data() const {
+    return bytes_ ? bytes_->data() : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::byte operator[](std::size_t i) const {
+    return (*bytes_)[i];
+  }
+
+  /// Number of live references to the underlying bytes (0 when empty).
+  /// Test/diagnostic hook for the one-allocation broadcast contract.
+  [[nodiscard]] long use_count() const { return bytes_ ? bytes_.use_count() : 0; }
+
+  /// True when both views share the same underlying storage.
+  [[nodiscard]] bool shares_storage_with(const PayloadBuffer& other) const {
+    return bytes_ != nullptr && bytes_ == other.bytes_;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::byte>> bytes_;
+};
+
+}  // namespace mssg

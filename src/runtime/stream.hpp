@@ -3,6 +3,10 @@
 // bound provides back-pressure so a fast producer (e.g. an edge reader)
 // cannot outrun a slow consumer (e.g. a MySQL-backed writer) without
 // blocking — the behaviour the thesis' ingestion experiments depend on.
+//
+// Buffers are shared immutable PayloadBuffers (runtime/payload.hpp):
+// a producer that fans one block out to several consumer streams
+// enqueues references to a single allocation, same as the message layer.
 #pragma once
 
 #include <condition_variable>
@@ -10,7 +14,8 @@
 #include <deque>
 #include <mutex>
 #include <optional>
-#include <vector>
+
+#include "runtime/payload.hpp"
 
 namespace mssg {
 
@@ -23,7 +28,7 @@ class DataStream {
 
   /// Blocks while the stream is full.  Buffers pushed after close() are
   /// dropped (the consumer has finished).
-  void put(std::vector<std::byte> buffer) {
+  void put(PayloadBuffer buffer) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [&] { return queue_.size() < capacity_ || closed_; });
@@ -34,11 +39,11 @@ class DataStream {
 
   /// Blocks until a buffer is available; returns nullopt at end-of-stream
   /// (closed and drained).
-  std::optional<std::vector<std::byte>> get() {
+  std::optional<PayloadBuffer> get() {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
-    std::vector<std::byte> buffer = std::move(queue_.front());
+    PayloadBuffer buffer = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
     return buffer;
@@ -48,10 +53,10 @@ class DataStream {
   /// nullopt otherwise (including at end-of-stream).  Lets a consumer
   /// coalesce everything that arrived while it was busy without ever
   /// waiting on the producer.
-  std::optional<std::vector<std::byte>> try_get() {
+  std::optional<PayloadBuffer> try_get() {
     std::lock_guard lock(mutex_);
     if (queue_.empty()) return std::nullopt;
-    std::vector<std::byte> buffer = std::move(queue_.front());
+    PayloadBuffer buffer = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
     return buffer;
@@ -77,7 +82,7 @@ class DataStream {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<std::vector<std::byte>> queue_;
+  std::deque<PayloadBuffer> queue_;
   bool closed_ = false;
 };
 

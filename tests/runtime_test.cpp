@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <span>
 #include <cstring>
 #include <numeric>
@@ -65,6 +66,51 @@ TEST(Mailbox, ProbeDoesNotConsume) {
   EXPECT_TRUE(box.probe(4));
   EXPECT_TRUE(box.probe(4));
   EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, TargetedWakeupServesSelectiveBlockedReceivers) {
+  // Two receivers block on different tags; each push must wake exactly
+  // the matching one (the old notify_all + rescan woke everyone for
+  // every message).  Delivery order is intentionally inverted vs the
+  // receiver start order.
+  Mailbox box;
+  std::string got1, got2;
+  std::thread r1([&] { got1 = string_of(box.recv(1).payload); });
+  std::thread r2([&] { got2 = string_of(box.recv(2).payload); });
+  // Give both receivers time to register as waiters.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.push({2, 0, payload_of("two")});
+  box.push({1, 0, payload_of("one")});
+  r1.join();
+  r2.join();
+  EXPECT_EQ(got1, "one");
+  EXPECT_EQ(got2, "two");
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+// ---- PayloadBuffer ---------------------------------------------------------
+
+TEST(PayloadBuffer, DefaultIsEmptyWithoutAllocation) {
+  const PayloadBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_TRUE(empty.span().empty());
+}
+
+TEST(PayloadBuffer, AdoptsVectorStorageAndSharesByReference) {
+  PayloadBuffer a = payload_of("shared bytes");
+  EXPECT_EQ(a.size(), 12u);
+  EXPECT_EQ(a.use_count(), 1);
+  const PayloadBuffer b = a;  // reference, not copy
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(string_of(b), "shared bytes");
+  // Distinct buffers with equal content do not share storage.
+  const PayloadBuffer c = payload_of("shared bytes");
+  EXPECT_FALSE(a.shares_storage_with(c));
 }
 
 // ---- Communicator ----------------------------------------------------------
@@ -146,6 +192,62 @@ TEST(Comm, AllgatherReleasesScratchSlots) {
   EXPECT_EQ(world.gather_slot_bytes(), 0u);
 }
 
+TEST(Comm, BroadcastSharesOnePayloadAllocation) {
+  // The zero-copy contract: a broadcast of B bytes to p-1 peers is one
+  // payload allocation; every mailbox holds a reference to it.
+  constexpr int kRanks = 5;
+  CommWorld world(kRanks);
+  std::vector<PayloadBuffer> received(kRanks);
+  run_cluster(world, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.broadcast(30, payload_of("one allocation"));
+    } else {
+      received[comm.rank()] = comm.recv(30).payload;
+    }
+  });
+  for (int r = 2; r < kRanks; ++r) {
+    EXPECT_TRUE(received[1].shares_storage_with(received[r]));
+  }
+  EXPECT_EQ(received[1].use_count(), kRanks - 1);
+  EXPECT_EQ(world.broadcast_copies_avoided(), kRanks - 1u);
+  // The simulated wire still charges the payload once per peer.
+  EXPECT_EQ(world.messages_sent(), kRanks - 1u);
+  EXPECT_EQ(world.bytes_sent(), (kRanks - 1u) * 14u);
+}
+
+TEST(Comm, AllgatherChargesEachContributionOnceNotPerRank) {
+  // Collective accounting regression: the shared-slot allgather deposits
+  // each rank's payload a single time, so p ranks contributing B bytes
+  // cost p messages and sum(B) bytes — not p^2 and p*sum(B).
+  constexpr int kRanks = 4;
+  CommWorld world(kRanks);
+  run_cluster(world, [](Communicator& comm) {
+    const std::vector<std::byte> contribution(
+        static_cast<std::size_t>(comm.rank() + 1) * 10, std::byte{0x5a});
+    const auto all = comm.allgather(contribution);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+  });
+  EXPECT_EQ(world.messages_sent(), static_cast<std::uint64_t>(kRanks));
+  EXPECT_EQ(world.bytes_sent(), 10u + 20u + 30u + 40u);
+}
+
+TEST(Comm, AllgatherReturnsSharedBufferReferences) {
+  // Every rank's view of slot r references rank r's single allocation:
+  // O(B) total memory for the collective, not O(p*B).
+  constexpr int kRanks = 3;
+  std::vector<std::vector<PayloadBuffer>> views(kRanks);
+  run_cluster(kRanks, [&](Communicator& comm) {
+    views[comm.rank()] =
+        comm.allgather(payload_of("rank" + std::to_string(comm.rank())));
+  });
+  for (int slot = 0; slot < kRanks; ++slot) {
+    EXPECT_EQ(string_of(views[0][slot]), "rank" + std::to_string(slot));
+    for (int viewer = 1; viewer < kRanks; ++viewer) {
+      EXPECT_TRUE(views[0][slot].shares_storage_with(views[viewer][slot]));
+    }
+  }
+}
+
 TEST(Comm, BarrierOrdersPhases) {
   constexpr int kRanks = 8;
   std::atomic<int> phase1{0};
@@ -201,7 +303,7 @@ TEST(Comm, TrafficCountersReadableWhileSendersRun) {
     for (int i = 0; i < kMessages; ++i) {
       comm.send(peer, 1, payload_of("12345678"));
     }
-    for (int i = 0; i < kMessages; ++i) comm.recv(1);
+    for (int i = 0; i < kMessages; ++i) (void)comm.recv(1);
   });
   done.store(true, std::memory_order_release);
   monitor.join();

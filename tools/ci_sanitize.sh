@@ -21,6 +21,10 @@ FILTER+=':GrdbTorture.*:BlockCache.*:Metrics*.*'
 # PR 2: the async I/O engine is the one place a second thread touches
 # storage — every engine/cache/prefetch suite runs under both sanitizers.
 FILTER+=':IoEngine.*:AsyncIo.*:PagerFreeList.*:*BfsAsyncEquivalence*'
+# PR 3: shared zero-copy payload buffers cross threads by design, and the
+# mailbox wakeup protocol uses per-waiter condition variables — the codec
+# and wire-equivalence suites must stay clean under both sanitizers.
+FILTER+=':PayloadBuffer.*:VertexCodec.*:BfsWireEquivalence.*'
 
 run_preset() {
   local preset="$1" build_dir="$2"
