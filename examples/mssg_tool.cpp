@@ -15,6 +15,11 @@
 // Every cluster command accepts --metrics: after the result it prints
 // the merged MetricsSnapshot (io.*, comm.*, bfs.*, ingest.*, ...) as a
 // single JSON line on stdout.
+//
+// Every cluster command also accepts --fault-spec "<rules>" to arm a
+// deterministic storage fault (crash-recovery drills from the shell):
+//   mssg_tool ingest e.txt dir --fault-spec "path=dir,op=write,nth=40,kill"
+// See storage/fault_injector.hpp for the rule grammar.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -23,6 +28,7 @@
 #include "gen/stats.hpp"
 #include "ingest/edge_source.hpp"
 #include "mssg/mssg.hpp"
+#include "storage/fault_injector.hpp"
 
 namespace {
 
@@ -58,6 +64,12 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
       args.scale = std::stod(next());
     } else if (flag == "--model") {
       args.model = next();
+    } else if (flag == "--fault-spec") {
+      // Arm a deterministic storage fault, e.g.
+      //   --fault-spec "path=grdb,op=write,kind=torn,nth=3,bytes=512,kill"
+      // (see storage/fault_injector.hpp for the grammar).  Used to
+      // exercise crash recovery from the command line.
+      FaultInjector::instance().parse_spec(next());
     } else if (flag == "--backend") {
       const auto name = next();
       if (name == "grdb") {

@@ -133,6 +133,12 @@ struct GraphDBConfig {
   /// Use an external-memory metadata/visited store instead of in-memory
   /// (Figures 5.8/5.9 discussion).
   bool external_metadata = false;
+  /// Crash-safe flushes: page stores keep an undo+redo write-ahead
+  /// journal so reopening after a crash at any point recovers the last
+  /// flush()-committed state (DESIGN.md "Durability & recovery").
+  /// Turning it off gives the journal-ablation baseline (EXPERIMENTS.md
+  /// A11); checksum trailers stay on either way.
+  bool journal = true;
   /// Upper bound on vertex ids this node may see (sizes the external
   /// metadata file and grDB's level 0; in-memory stores grow lazily).
   VertexId max_vertices = 1u << 20;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/crc32c.hpp"
 #include "common/serial.hpp"
 
 namespace mssg {
@@ -13,6 +14,9 @@ using grdb::EntryKind;
 
 namespace {
 constexpr std::uint64_t kMetaMagic = 0x4d535347'67724442ull;  // "MSSGgrDB"
+// Journal tag of the grdb.meta snapshot.  Block tags are the cache keys
+// (level << 48 | block); no level reaches 0xFFFF, so this can't collide.
+constexpr std::uint64_t kMetaTag = ~std::uint64_t{0};
 }
 
 // ---- SubblockRef -----------------------------------------------------------
@@ -60,6 +64,7 @@ GrDB::GrDB(const GraphDBConfig& config,
         },
         [this, l](std::uint64_t block, std::span<const std::byte> in) {
           Level& lvl = levels_[l];
+          maybe_log_undo(l, block);
           if (block >= lvl.initialized.size()) {
             lvl.initialized.resize(block + 1);
           }
@@ -75,6 +80,9 @@ GrDB::GrDB(const GraphDBConfig& config,
                   bool for_write) -> std::optional<AsyncTarget> {
           Level& lvl = levels_[l];
           if (for_write) {
+            // Undo capture happens here, at submit time on the owning
+            // thread, before the payload can reach the worker.
+            maybe_log_undo(l, block);
             if (block >= lvl.initialized.size()) {
               lvl.initialized.resize(block + 1);
             }
@@ -89,8 +97,39 @@ GrDB::GrDB(const GraphDBConfig& config,
           return AsyncTarget{&ensure_file(l, block / n),
                              lvl.spec.block_bytes * (block % n)};
         });
+    // Integrity hooks: grDB's geometry packs sub-blocks exactly (no
+    // in-page trailer slack), so checksums live in a sidecar table that
+    // save_meta persists.  Seal records, verify compares.
+    cache_.set_store_hooks(
+        level.store_id,
+        {[this, l](std::uint64_t block, std::span<std::byte> data) {
+           Level& lvl = levels_[l];
+           if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
+           lvl.block_crc[block] = crc32c(data);
+         },
+         [this, l](std::uint64_t block, std::span<std::byte> data) {
+           const Level& lvl = levels_[l];
+           // Only disk-backed blocks have a recorded CRC; the reader's
+           // all-0xFF synthesis for uninitialized blocks never had one.
+           if (block >= lvl.initialized.size() ||
+               !lvl.initialized.test(block) ||
+               block >= lvl.block_crc.size()) {
+             return;
+           }
+           if (crc32c(data) != lvl.block_crc[block]) {
+             ++stats_.checksum_failures;
+             throw StorageError("grDB: level " + std::to_string(l) +
+                                " block " + std::to_string(block) +
+                                " failed sidecar checksum");
+           }
+         },
+         /*usable_bytes=*/0});
   }
   if (config.async_io) cache_.enable_async_io();
+  if (config.journal) {
+    journal_ = std::make_unique<WriteJournal>(dir_ / "grdb", &stats_);
+    recover(/*allow_rollback=*/true);
+  }
   if (std::filesystem::exists(dir_ / "grdb.meta")) load_meta();
 }
 
@@ -115,12 +154,126 @@ File& GrDB::ensure_file(int level, std::uint64_t file_index) {
   return *lvl.files[file_index];
 }
 
-void GrDB::flush() {
-  cache_.flush();
-  if (any_data_) save_meta();
+void GrDB::maybe_log_undo(int level, std::uint64_t block) {
+  if (journal_ == nullptr || in_flush_) return;
+  Level& lvl = levels_[level];
+  const bool was_initialized =
+      block < lvl.initialized.size() && lvl.initialized.test(block);
+  if (!was_initialized) {
+    lvl.fresh.insert(block);
+    return;
+  }
+  if (lvl.fresh.contains(block)) return;
+  const std::uint64_t tag =
+      (static_cast<std::uint64_t>(level) << 48) | block;
+  if (journal_->undo_logged(tag)) return;
+  std::vector<std::byte> old(lvl.spec.block_bytes);
+  const std::uint64_t n = options_.geometry.blocks_per_file(level);
+  ensure_file(level, block / n)
+      .read_at(lvl.spec.block_bytes * (block % n), old);
+  journal_->undo_record(tag, old);
 }
 
-void GrDB::save_meta() {
+void GrDB::clear_fresh() {
+  for (Level& level : levels_) level.fresh.clear();
+}
+
+void GrDB::sync_level_files() {
+  for (Level& level : levels_) {
+    for (const auto& file : level.files) {
+      if (file != nullptr && file->is_open()) file->sync();
+    }
+  }
+}
+
+void GrDB::recover(bool allow_rollback) {
+  WriteJournal::Recovery rec = journal_->plan_recovery();
+  if (rec.action == WriteJournal::Action::kNone) return;
+  if (rec.action == WriteJournal::Action::kRollBack && !allow_rollback) {
+    // Mid-life flush: the uncommitted epoch's pre-images stay armed; the
+    // flush about to run supersedes it (and trims on success).
+    return;
+  }
+  for (const WriteJournal::Record& r : rec.records) {
+    if (r.tag == kMetaTag) {
+      write_meta_file(r.payload);
+      continue;
+    }
+    const int level = static_cast<int>(r.tag >> 48);
+    const std::uint64_t block = r.tag & ((std::uint64_t{1} << 48) - 1);
+    MSSG_CHECK(level < static_cast<int>(levels_.size()));
+    MSSG_CHECK(r.payload.size() == levels_[level].spec.block_bytes);
+    const std::uint64_t n = options_.geometry.blocks_per_file(level);
+    ensure_file(level, block / n)
+        .write_at(levels_[level].spec.block_bytes * (block % n), r.payload);
+  }
+  sync_level_files();
+  journal_->trim();
+  clear_fresh();
+}
+
+void GrDB::flush() {
+  if (journal_ == nullptr) {
+    cache_.flush();
+    if (any_data_) save_meta();
+    return;
+  }
+
+  // Write-behind payloads must be on disk (and any deferred async error
+  // surfaced) before dirty pages are enumerated.
+  cache_.drain_pending();
+  // A previous flush may have died between redo-commit and trim; finish
+  // its in-place phase first so epochs never interleave.
+  recover(/*allow_rollback=*/false);
+
+  std::size_t dirty = 0;
+  cache_.for_each_dirty(
+      [&dirty](std::uint16_t, std::uint64_t, std::span<std::byte>) {
+        ++dirty;
+      });
+  if (dirty == 0 && !dirty_since_flush_ && !journal_->dirty_epoch()) return;
+
+  // 1. Redo-log post-images of every dirty block.  Bitmap and sidecar
+  // CRC are brought up to date HERE, before the meta snapshot below, so
+  // a roll-forward restores blocks and the metadata that makes them
+  // reachable as one atomic unit.
+  journal_->redo_begin();
+  cache_.for_each_dirty(
+      [this](std::uint16_t store, std::uint64_t block,
+             std::span<std::byte> data) {
+        Level& lvl = levels_[store];
+        if (block >= lvl.initialized.size()) lvl.initialized.resize(block + 1);
+        lvl.initialized.set(block);
+        if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
+        lvl.block_crc[block] = crc32c(data);
+        journal_->redo_record(
+            (static_cast<std::uint64_t>(store) << 48) | block, data);
+      });
+  const std::vector<std::byte> meta_bytes = encode_meta();
+  journal_->redo_record(kMetaTag, meta_bytes);
+  // 2. This epoch's eviction writes become durable BEFORE the commit
+  // record — a post-commit crash replays only the redo records.
+  sync_level_files();
+  // 3. Commit: the flush is logically done from here on.
+  journal_->redo_commit();
+  clear_fresh();  // the epoch's "never committed" blocks just committed
+  // 4. In-place phase (no undo capture — the redo log covers us now).
+  in_flush_ = true;
+  try {
+    cache_.flush();
+    write_meta_file(meta_bytes);
+    sync_level_files();
+  } catch (...) {
+    in_flush_ = false;
+    throw;
+  }
+  in_flush_ = false;
+  // 5. Retire the epoch.
+  journal_->trim();
+  dirty_since_flush_ = false;
+}
+
+std::vector<std::byte> GrDB::encode_meta() const {
   ByteWriter writer;
   writer.put_u64(kMetaMagic);
   writer.put_u64(options_.geometry.max_file_bytes);
@@ -138,11 +291,22 @@ void GrDB::save_meta() {
       if (level.initialized.test(b)) bits[b / 8] |= std::uint8_t(1u << (b % 8));
     }
     writer.put_vector(bits);
+    writer.put_vector(level.block_crc);
   }
-  const auto bytes = writer.take();
+  return writer.take();
+}
+
+void GrDB::write_meta_file(std::span<const std::byte> bytes) {
   File meta = File::open(dir_ / "grdb.meta", &stats_);
   meta.truncate(0);
   meta.write_at(0, bytes);
+  meta.sync();
+}
+
+void GrDB::save_meta() {
+  // Non-journaled path: best-effort overwrite (a crash inside this
+  // sequence is exactly what journal mode exists to survive).
+  write_meta_file(encode_meta());
 }
 
 void GrDB::load_meta() {
@@ -174,6 +338,7 @@ void GrDB::load_meta() {
     for (std::uint64_t b = 0; b < extent; ++b) {
       if ((bits[b / 8] >> (b % 8)) & 1) level.initialized.set(b);
     }
+    level.block_crc = reader.get_vector<std::uint32_t>();
   }
   any_data_ = true;
 }
@@ -231,6 +396,15 @@ std::vector<std::pair<int, std::uint64_t>> GrDB::chain_of(VertexId v) {
   std::vector<std::pair<int, std::uint64_t>> chain;
   find_tail(v, &chain);
   return chain;
+}
+
+void GrDB::poke_entry(int level, std::uint64_t subblock, std::uint64_t index,
+                      std::uint64_t value) {
+  MSSG_CHECK(level >= 0 && level < static_cast<int>(levels_.size()));
+  SubblockRef ref = pin_subblock(level, subblock);
+  MSSG_CHECK(index < ref.entries);
+  ref.set(index, value);
+  dirty_since_flush_ = true;
 }
 
 std::uint64_t GrDB::allocated_subblocks(int level) const {
@@ -328,6 +502,7 @@ void GrDB::store_edges(std::span<const Edge> edges) {
 void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
   if (neighbors.empty()) return;
   any_data_ = true;
+  dirty_since_flush_ = true;
   max_vertex_ = std::max(max_vertex_, v);
   const int last_level = static_cast<int>(levels_.size()) - 1;
 
@@ -435,7 +610,15 @@ GrDB::VerifyReport GrDB::verify() {
                  std::to_string(hop_limit) + " sub-blocks (cycle?)");
         break;
       }
-      SubblockRef ref = pin_subblock(level, subblock);
+      SubblockRef ref;
+      try {
+        ref = pin_subblock(level, subblock);
+      } catch (const Error& e) {
+        // A block that cannot even be read (sidecar checksum failure,
+        // I/O error) is a finding, not a reason for the fsck to die.
+        complain("vertex " + std::to_string(v) + ": " + e.what());
+        break;
+      }
       bool saw_empty = false;
       std::uint64_t next_subblock = 0;
       int next_level = -1;
@@ -540,6 +723,7 @@ std::vector<int> optimal_levels(std::uint64_t degree,
 
 std::uint64_t GrDB::defragment() {
   if (!any_data_) return 0;
+  dirty_since_flush_ = true;
   std::uint64_t rewritten = 0;
   std::vector<VertexId> neighbors;
   std::vector<std::pair<int, std::uint64_t>> chain;

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -24,6 +25,7 @@
 #include "graphdb/grdb/format.hpp"
 #include "storage/block_cache.hpp"
 #include "storage/file.hpp"
+#include "storage/journal.hpp"
 
 namespace mssg {
 
@@ -72,6 +74,13 @@ class GrDB final : public GraphDB {
   [[nodiscard]] std::vector<std::pair<int, std::uint64_t>> chain_of(
       VertexId v);
 
+  /// Overwrites one raw entry THROUGH the cache (so the block's sidecar
+  /// CRC reseals legitimately on flush) — a fault-injection hook letting
+  /// tests plant structurally invalid chains that verify() must catch.
+  /// Out-of-band on-disk patching is caught earlier, by the checksum.
+  void poke_entry(int level, std::uint64_t subblock, std::uint64_t index,
+                  std::uint64_t value);
+
   /// Structural integrity report from verify().
   struct VerifyReport {
     std::uint64_t chains_checked = 0;
@@ -98,6 +107,14 @@ class GrDB final : public GraphDB {
     std::uint64_t alloc = 0;  ///< next-unallocated sub-block (levels >= 1)
     std::vector<std::uint64_t> free_list;
     DynamicBitset initialized;  ///< blocks that exist on disk / in cache
+    // Sidecar CRC32C per block (grDB's geometry packs sub-blocks exactly,
+    // leaving no room for an in-page trailer); persisted in grdb.meta and
+    // checked on every disk read of an initialized block.
+    std::vector<std::uint32_t> block_crc;
+    // Blocks first initialized in the CURRENT journal epoch: they need no
+    // undo pre-image — rolling back the committed meta's initialized
+    // bitmap already makes their on-disk bytes unreachable.
+    std::unordered_set<std::uint64_t> fresh;
     std::vector<std::unique_ptr<File>> files;
   };
 
@@ -126,17 +143,32 @@ class GrDB final : public GraphDB {
 
   void load_meta();
   void save_meta();
+  [[nodiscard]] std::vector<std::byte> encode_meta() const;
+  void write_meta_file(std::span<const std::byte> bytes);
+  void sync_level_files();
+  /// Logs an undo pre-image for (level, block) if this is its first
+  /// in-place overwrite of the epoch (no-op for fresh blocks, outside
+  /// journal mode, and during flush's post-commit phase).
+  void maybe_log_undo(int level, std::uint64_t block);
+  /// Replays a pending journal epoch (ctor: both directions; flush
+  /// start: committed roll-forward only).
+  void recover(bool allow_rollback);
+  void clear_fresh();
 
   GrDBOptions options_;
   std::filesystem::path dir_;
   IoStats stats_;
-  // levels_ (the File handles) is declared before cache_ so the cache —
-  // whose destructor drains the async engine and writes dirty blocks
-  // back through those files — is destroyed first.
+  // levels_ (the File handles) and journal_ are declared before cache_
+  // so the cache — whose destructor drains the async engine and writes
+  // dirty blocks back through those files, capturing undo pre-images
+  // into the journal — is destroyed first.
   std::vector<Level> levels_;
+  std::unique_ptr<WriteJournal> journal_;
   BlockCache cache_;
   VertexId max_vertex_ = 0;
   bool any_data_ = false;
+  bool in_flush_ = false;  // post-commit in-place phase: skip undo capture
+  bool dirty_since_flush_ = false;
 };
 
 }  // namespace mssg

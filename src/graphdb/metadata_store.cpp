@@ -11,6 +11,7 @@ ExternalMetadata::ExternalMetadata(const std::filesystem::path& path,
                                    std::size_t cache_bytes, IoStats* stats)
     : file_(File::open(path, stats)),
       cache_(cache_bytes, stats),
+      stats_(stats),
       max_vertices_(max_vertices) {
   store_id_ = cache_.register_store(
       kPageBytes,
@@ -20,6 +21,26 @@ ExternalMetadata::ExternalMetadata(const std::filesystem::path& path,
       [this](std::uint64_t block, std::span<const std::byte> in) {
         file_.write_at(block * kPageBytes, in);
       });
+  cache_.set_store_hooks(
+      store_id_,
+      {[](std::uint64_t, std::span<std::byte> page) {
+         page_checksum::seal(page);
+       },
+       // Self-repair instead of throwing: visited state is per-query
+       // scratch, so a page that fails verification resets to zero —
+       // its stamp (0) can never match generation_ (>= 1), so it reads
+       // as fill.  The corruption is still counted.
+       [this](std::uint64_t, std::span<std::byte> page) {
+         using page_checksum::State;
+         const State state = page_checksum::verify(page);
+         if (state == State::kValid || state == State::kZero) return;
+         if (stats_ != nullptr) {
+           ++stats_->checksum_failures;
+           if (state == State::kTorn) ++stats_->checksum_torn;
+         }
+         std::memset(page.data(), 0, page.size());
+       },
+       kUsableBytes});
 }
 
 Metadata ExternalMetadata::get(VertexId v) {

@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "storage/block_cache.hpp"
+#include "storage/checksum.hpp"
 #include "storage/file.hpp"
 
 namespace mssg {
@@ -59,6 +60,13 @@ class InMemoryMetadata final : public MetadataStore {
 /// unwritten pages read back as the fill pattern only when fill is
 /// representable by a repeated byte; arbitrary fills use a generation
 /// tag per page instead (see implementation).
+///
+/// Durability: pages carry the standard checksum trailer, but the store
+/// deliberately opts OUT of journaling — visited state is scratch data
+/// reconstructible by re-running the query, so a page that fails
+/// verification after a crash is simply reset to zero (stamp 0 never
+/// matches `generation_`, which starts at 1) and reads as fill.  The
+/// corruption is still counted in `storage.checksum_failures`.
 class ExternalMetadata final : public MetadataStore {
  public:
   ExternalMetadata(const std::filesystem::path& path, VertexId max_vertices,
@@ -70,7 +78,9 @@ class ExternalMetadata final : public MetadataStore {
 
  private:
   static constexpr std::size_t kPageBytes = 4096;
-  static constexpr std::size_t kPerPage = kPageBytes / sizeof(Metadata) - 1;
+  static constexpr std::size_t kUsableBytes =
+      page_checksum::usable_bytes(kPageBytes);
+  static constexpr std::size_t kPerPage = kUsableBytes / sizeof(Metadata) - 1;
 
   // Each page carries a generation stamp in its last Metadata slot; pages
   // whose stamp predates the last clear() read as all-fill.
@@ -78,6 +88,7 @@ class ExternalMetadata final : public MetadataStore {
 
   File file_;
   BlockCache cache_;
+  IoStats* stats_;
   std::uint16_t store_id_;
   VertexId max_vertices_;
   Metadata fill_ = kUnvisited;

@@ -112,7 +112,8 @@ RelationalDB::RelationalDB(const GraphDBConfig& config,
                            std::unique_ptr<MetadataStore> metadata)
     : GraphDB(std::move(metadata)),
       pager_(config.dir / "relational.db", kPageBytes,
-             config.cache_enabled ? config.cache_bytes : 0, &stats_),
+             config.cache_enabled ? config.cache_bytes : 0, &stats_,
+             /*async_io=*/false, config.journal),
       index_(pager_, /*meta_base=*/0),
       heap_(pager_, /*meta_base=*/2),
       backend_(index_, heap_),

@@ -3,16 +3,76 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc32c.hpp"
 #include "common/error.hpp"
 
 namespace mssg {
+
+namespace {
+// One commit slot: [length u64][seq u64][crc u32][pad u32].  Two slots
+// alternate by seq parity so a torn slot write can only clobber the
+// OLDER commit — the newer one stays valid.
+constexpr std::size_t kSlotBytes = 24;
+
+std::uint32_t slot_crc(std::uint64_t length, std::uint64_t seq) {
+  std::byte buf[16];
+  std::memcpy(buf, &length, 8);
+  std::memcpy(buf + 8, &seq, 8);
+  return crc32c(std::span<const std::byte>(buf, sizeof(buf)));
+}
+}  // namespace
 
 StreamDB::StreamDB(const GraphDBConfig& config,
                    std::unique_ptr<MetadataStore> metadata)
     : GraphDB(std::move(metadata)),
       log_(File::open(config.dir / "stream.log", &stats_)) {
   log_bytes_ = log_.size();
+  if (config.journal) {
+    commit_ = File::open(config.dir / "stream.commit", &stats_);
+    if (const auto committed = read_committed_length()) {
+      // A crash can leave a torn tail past the committed length (or, if
+      // the commit-slot write itself died, past the previous commit);
+      // everything before it is intact, so reopen just ignores the tail.
+      log_bytes_ = std::min(log_bytes_, *committed);
+    } else {
+      // No valid commit yet: fall back to whole edges only.
+      log_bytes_ -= log_bytes_ % sizeof(Edge);
+    }
+  } else {
+    log_bytes_ -= log_bytes_ % sizeof(Edge);
+  }
   write_buffer_.reserve(kWriteBufferEdges);
+}
+
+std::optional<std::uint64_t> StreamDB::read_committed_length() {
+  std::byte slots[2 * kSlotBytes] = {};
+  commit_.read_at(0, slots);  // short/empty file reads as zeros
+  std::optional<std::uint64_t> best;
+  for (int s = 0; s < 2; ++s) {
+    std::uint64_t length = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&length, slots + s * kSlotBytes, 8);
+    std::memcpy(&seq, slots + s * kSlotBytes + 8, 8);
+    std::memcpy(&crc, slots + s * kSlotBytes + 16, 4);
+    if (seq == 0 || crc != slot_crc(length, seq)) continue;
+    if (seq >= commit_seq_) {
+      commit_seq_ = seq;
+      best = length;
+    }
+  }
+  return best;
+}
+
+void StreamDB::write_commit_slot(std::uint64_t length) {
+  const std::uint64_t seq = ++commit_seq_;
+  std::byte slot[kSlotBytes] = {};
+  std::memcpy(slot, &length, 8);
+  std::memcpy(slot + 8, &seq, 8);
+  const std::uint32_t crc = slot_crc(length, seq);
+  std::memcpy(slot + 16, &crc, 4);
+  commit_.write_at((seq % 2) * kSlotBytes, slot);
+  commit_.sync();
 }
 
 void StreamDB::store_edges(std::span<const Edge> edges) {
@@ -26,6 +86,12 @@ void StreamDB::flush() {
   if (write_buffer_.empty()) return;
   const auto bytes = std::as_bytes(std::span(write_buffer_));
   log_.write_at(log_bytes_, bytes);
+  if (commit_.is_open()) {
+    // Order matters: the appended edges must be durable before the
+    // commit slot can claim them.
+    log_.sync();
+    write_commit_slot(log_bytes_ + bytes.size());
+  }
   log_bytes_ += bytes.size();
   write_buffer_.clear();
 }

@@ -9,9 +9,18 @@
 // at once": get_adjacency_batch() is that API, and the BFS analysis
 // detects and uses it.  Single-vertex get_adjacency() works (a full scan
 // per call) to honour the GraphDB contract.
+//
+// Durability: a dual-slot commit sidecar ("stream.commit") records the
+// committed log length.  flush() appends + syncs the log, then commits
+// the new length into the older slot (CRC-guarded, newest valid seq
+// wins) — so a crash anywhere leaves a readable committed prefix and a
+// torn tail that reopen simply ignores.  With `journal` off the sidecar
+// is not written and reopen falls back to the file size rounded down to
+// whole edges.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,10 +58,16 @@ class StreamDB final : public GraphDB {
   static constexpr std::size_t kScanBufferBytes = 1u << 20;
 
   void scan(const std::function<void(const Edge&)>& visit);
+  /// Reads both commit slots and returns the committed log length from
+  /// the newest valid one (nullopt when neither validates).
+  [[nodiscard]] std::optional<std::uint64_t> read_committed_length();
+  void write_commit_slot(std::uint64_t length);
 
   IoStats stats_;
   File log_;
+  File commit_;  ///< dual-slot commit sidecar (invalid when journal off)
   std::uint64_t log_bytes_ = 0;
+  std::uint64_t commit_seq_ = 0;  ///< seq of the newest valid slot
   std::vector<Edge> write_buffer_;
 };
 

@@ -1,6 +1,8 @@
 #include "storage/block_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <exception>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -45,7 +47,14 @@ BlockCache::~BlockCache() {
   // silently.
   std::uint64_t leaked = 0;
   for (auto& [key, entry] : map_) {
-    write_back(*entry);
+    // A destructor cannot throw; a store that fails here (dying disk,
+    // fault-injected kill) loses this block's last version, exactly as a
+    // crashed process would have.  Callers wanting the error must
+    // flush() explicitly.
+    try {
+      write_back(*entry);
+    } catch (...) {
+    }
     if (entry->pins != 0) {
       ++leaked;
       MSSG_LOG(kWarn) << "BlockCache destroyed with block " << entry->key
@@ -66,8 +75,14 @@ std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
   MSSG_CHECK(block_size > 0);
   MSSG_CHECK(stores_.size() < (1u << 15));
   stores_.push_back(Store{block_size, std::move(reader), std::move(writer),
-                          std::move(locator)});
+                          std::move(locator), StoreHooks{}});
   return static_cast<std::uint16_t>(stores_.size() - 1);
+}
+
+void BlockCache::set_store_hooks(std::uint16_t store, StoreHooks hooks) {
+  MSSG_CHECK(store < stores_.size());
+  MSSG_CHECK(hooks.usable_bytes <= stores_[store].block_size);
+  stores_[store].hooks = std::move(hooks);
 }
 
 void BlockCache::enable_async_io() {
@@ -127,14 +142,31 @@ void BlockCache::poll_async() {
       auto it = pending_writes_.find(req.key);
       MSSG_CHECK(it != pending_writes_.end());
       if (--it->second == 0) pending_writes_.erase(it);
+      if (!req.error.empty() && deferred_error_.empty()) {
+        deferred_error_ = "async write-behind failed: " + req.error;
+      }
       continue;
     }
-    // Adopt a finished read as a clean, unpinned resident entry.
     MSSG_CHECK(pending_reads_.erase(req.key) == 1);
+    // A failed or checksum-bad prefetch is simply dropped: a real get()
+    // of the block falls back to the synchronous reader and surfaces the
+    // error on the owning thread, where it can actually be handled.
+    if (!req.error.empty()) continue;
+    const auto store = static_cast<std::uint16_t>(req.key >> kStoreShift);
+    if (stores_[store].hooks.verify != nullptr) {
+      try {
+        stores_[store].hooks.verify(
+            req.key & ((std::uint64_t{1} << kStoreShift) - 1), req.buffer);
+      } catch (...) {
+        continue;
+      }
+    }
+    // Adopt a finished read as a clean, unpinned resident entry.
     MSSG_CHECK(!map_.contains(req.key));
     auto entry = std::make_unique<detail::CacheEntry>();
     entry->key = req.key;
     entry->data = std::move(req.buffer);
+    entry->usable = usable_of(store);
     entry->prefetched = true;
     make_resident(*entry);
     map_.emplace(req.key, std::move(entry));
@@ -150,6 +182,7 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
       (static_cast<std::uint64_t>(store) << kStoreShift) | block;
 
   poll_async();
+  maybe_rethrow();
   auto it = map_.find(key);
   if (it == map_.end() && engine_ != nullptr) {
     if (pending_reads_.contains(key)) {
@@ -164,6 +197,7 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
       // A write-behind of this block's last contents has not landed yet;
       // reading the file now could return stale bytes.
       drain_async();
+      maybe_rethrow();
     }
   }
 
@@ -201,9 +235,55 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
   entry->key = key;
   entry->data.resize(stores_[store].block_size);
   stores_[store].reader(block, entry->data);
+  if (stores_[store].hooks.verify != nullptr) {
+    stores_[store].hooks.verify(block, entry->data);
+  }
+  entry->usable = usable_of(store);
   entry->pins = 1;
   detail::CacheEntry* raw = entry.get();
   map_.emplace(key, std::move(entry));
+  return BlockHandle(this, raw);
+}
+
+BlockHandle BlockCache::create(std::uint16_t store, std::uint64_t block) {
+  MSSG_CHECK(store < stores_.size());
+  MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(store) << kStoreShift) | block;
+
+  poll_async();
+  maybe_rethrow();
+  if (engine_ != nullptr &&
+      (pending_reads_.contains(key) || pending_writes_.contains(key))) {
+    drain_async();
+    maybe_rethrow();
+  }
+
+  detail::CacheEntry* raw = nullptr;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    detail::CacheEntry& entry = *it->second;
+    MSSG_CHECK(entry.pins == 0);  // zeroing under a live handle is misuse
+    if (entry.resident) {
+      lru_.erase(entry.lru_pos);
+      entry.resident = false;
+      resident_bytes_ -= entry.data.size();
+    }
+    entry.pins = 1;
+    raw = &entry;
+  } else {
+    if (stats_ != nullptr) ++stats_->cache_misses;  // an access, no disk read
+    auto entry = std::make_unique<detail::CacheEntry>();
+    entry->key = key;
+    entry->data.resize(stores_[store].block_size);
+    entry->pins = 1;
+    raw = entry.get();
+    map_.emplace(key, std::move(entry));
+  }
+  std::fill(raw->data.begin(), raw->data.end(), std::byte{0});
+  raw->usable = usable_of(store);
+  raw->dirty = true;
+  raw->prefetched = false;
   return BlockHandle(this, raw);
 }
 
@@ -212,14 +292,25 @@ void BlockCache::unpin(detail::CacheEntry* entry) {
   if (--entry->pins > 0) return;
 
   if (capacity_bytes_ == 0) {
-    // Cache disabled: write through and drop immediately.
-    write_back(*entry);
+    // Cache disabled: write through and drop immediately.  unpin runs
+    // inside BlockHandle's destructor, so a write failure cannot
+    // propagate here — it is parked and rethrown by the next
+    // get()/flush()/drain_pending().
+    try {
+      write_back(*entry);
+    } catch (const std::exception& e) {
+      if (deferred_error_.empty()) deferred_error_ = e.what();
+    }
     map_.erase(entry->key);
     return;
   }
 
   make_resident(*entry);
-  evict_to_capacity();
+  try {
+    evict_to_capacity();
+  } catch (const std::exception& e) {
+    if (deferred_error_.empty()) deferred_error_ = e.what();
+  }
 }
 
 void BlockCache::make_resident(detail::CacheEntry& entry) {
@@ -234,6 +325,9 @@ void BlockCache::write_back(detail::CacheEntry& entry) {
   const auto store = static_cast<std::uint16_t>(entry.key >> kStoreShift);
   const std::uint64_t block =
       entry.key & ((std::uint64_t{1} << kStoreShift) - 1);
+  if (stores_[store].hooks.seal != nullptr) {
+    stores_[store].hooks.seal(block, entry.data);
+  }
   stores_[store].writer(block, entry.data);
   entry.dirty = false;
 }
@@ -251,26 +345,38 @@ void BlockCache::evict_to_capacity() {
     const std::uint64_t block =
         victim_key & ((std::uint64_t{1} << kStoreShift) - 1);
 
-    bool deferred = false;
-    if (victim.dirty && engine_ != nullptr &&
-        stores_[store].locator != nullptr) {
-      // The locator runs here, on the owning thread, so any store
-      // metadata update (file creation, allocation bitmap) is done
-      // before the payload leaves for the worker.
-      if (std::optional<AsyncTarget> target =
-              stores_[store].locator(block, true)) {
-        IoRequest req;
-        req.kind = IoRequest::Kind::kWrite;
-        req.file = target->file;
-        req.offset = target->offset;
-        req.buffer = std::move(victim.data);
-        req.key = victim_key;
-        write_behind.push_back(std::move(req));
-        ++pending_writes_[victim_key];
-        deferred = true;
+    // Eviction happens on unpin paths (handle destructors included), so
+    // a failing store must not unwind out of here: the victim's last
+    // version is lost — as on a dying disk — and the error is parked for
+    // the next get()/flush()/drain_pending().
+    try {
+      bool deferred = false;
+      if (victim.dirty && engine_ != nullptr &&
+          stores_[store].locator != nullptr) {
+        // The locator runs here, on the owning thread, so any store
+        // metadata update (file creation, allocation bitmap) is done
+        // before the payload leaves for the worker.
+        if (std::optional<AsyncTarget> target =
+                stores_[store].locator(block, true)) {
+          if (stores_[store].hooks.seal != nullptr) {
+            stores_[store].hooks.seal(block, victim.data);
+          }
+          IoRequest req;
+          req.kind = IoRequest::Kind::kWrite;
+          req.file = target->file;
+          req.offset = target->offset;
+          req.buffer = std::move(victim.data);
+          req.key = victim_key;
+          write_behind.push_back(std::move(req));
+          ++pending_writes_[victim_key];
+          deferred = true;
+        }
       }
+      if (!deferred) write_back(victim);
+    } catch (const std::exception& e) {
+      if (deferred_error_.empty()) deferred_error_ = e.what();
+      victim.dirty = false;  // its contents die with this crash epoch
     }
-    if (!deferred) write_back(victim);
 
     resident_bytes_ -= stores_[store].block_size;
     if (stats_ != nullptr) ++stats_->cache_evictions;
@@ -290,8 +396,38 @@ void BlockCache::drain_async() {
   }
 }
 
+void BlockCache::maybe_rethrow() {
+  if (deferred_error_.empty()) return;
+  const std::string message = std::move(deferred_error_);
+  deferred_error_.clear();
+  throw StorageError(message);
+}
+
+void BlockCache::drain_pending() {
+  drain_async();
+  maybe_rethrow();
+}
+
+void BlockCache::for_each_dirty(
+    const std::function<void(std::uint16_t, std::uint64_t,
+                             std::span<std::byte>)>& fn) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map_.size());
+  for (const auto& [key, entry] : map_) {
+    if (entry->dirty) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());  // deterministic journal order
+  for (const std::uint64_t key : keys) {
+    const auto it = map_.find(key);
+    if (it == map_.end() || !it->second->dirty) continue;
+    fn(static_cast<std::uint16_t>(key >> kStoreShift),
+       key & ((std::uint64_t{1} << kStoreShift) - 1), it->second->data);
+  }
+}
+
 void BlockCache::flush() {
   drain_async();
+  maybe_rethrow();
   for (auto& [key, entry] : map_) write_back(*entry);
 }
 

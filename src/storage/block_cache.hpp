@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -48,6 +49,8 @@ namespace detail {
 struct CacheEntry {
   std::uint64_t key = 0;          // (store << 48) | block
   std::vector<std::byte> data;
+  std::size_t usable = 0;  // bytes exposed through handles (0 = all);
+                           // the tail holds the store's checksum trailer
   bool dirty = false;
   int pins = 0;
   std::list<std::uint64_t>::iterator lru_pos;  // valid iff resident
@@ -56,6 +59,10 @@ struct CacheEntry {
                           // surviving handle owns (and frees) the entry
   bool prefetched = false;  // loaded by async read-ahead and not yet
                             // claimed by a get() (prefetch-hit marker)
+
+  [[nodiscard]] std::size_t usable_size() const {
+    return usable == 0 ? data.size() : usable;
+  }
 };
 }  // namespace detail
 
@@ -72,17 +79,18 @@ class BlockHandle {
 
   [[nodiscard]] bool valid() const { return entry_ != nullptr; }
 
-  /// Read-only view of the block contents.
+  /// Read-only view of the block contents (the store's usable prefix —
+  /// a checksum trailer, when the store has one, stays hidden).
   [[nodiscard]] std::span<const std::byte> data() const {
     MSSG_CHECK(valid());
-    return entry_->data;
+    return std::span<const std::byte>(entry_->data).first(entry_->usable_size());
   }
 
   /// Mutable view; marks the block dirty.
   [[nodiscard]] std::span<std::byte> mutable_data() {
     MSSG_CHECK(valid());
     entry_->dirty = true;
-    return entry_->data;
+    return std::span<std::byte>(entry_->data).first(entry_->usable_size());
   }
 
  private:
@@ -138,6 +146,21 @@ class BlockCache {
   std::uint16_t register_store(std::size_t block_size, Reader reader,
                                Writer writer, Locator locator = nullptr);
 
+  /// Optional per-store integrity hooks.  `seal` runs on the full
+  /// physical block right before any disk write (sync write-back and
+  /// async write-behind alike); `verify` runs right after any disk read
+  /// — it may throw, or repair the block in place (self-healing stores
+  /// like the visited structure reset a corrupt page instead of dying).
+  /// `usable_bytes` (0 = whole block) caps what BlockHandle exposes, so
+  /// a trailing checksum region never leaks into store payloads.
+  struct StoreHooks {
+    std::function<void(std::uint64_t block, std::span<std::byte>)> seal;
+    std::function<void(std::uint64_t block, std::span<std::byte>)> verify;
+    std::size_t usable_bytes = 0;
+  };
+
+  void set_store_hooks(std::uint16_t store, StoreHooks hooks);
+
   /// Starts the background I/O engine (idempotent).  No-op when the
   /// cache is disabled (capacity 0): with nothing retained between
   /// unpins there is nothing to prefetch into or write behind from.
@@ -158,6 +181,25 @@ class BlockCache {
 
   /// Fetches a block, loading it from the store on a miss.
   BlockHandle get(std::uint16_t store, std::uint64_t block);
+
+  /// Like get(), but for a block the caller is about to fully
+  /// initialize: the entry is zero-filled and marked dirty WITHOUT
+  /// consulting the store's reader.  Fresh-extent pages must come
+  /// through here — reading them could surface a previous crash's torn
+  /// garbage (or trip `verify`) for bytes nobody ever committed.
+  BlockHandle create(std::uint16_t store, std::uint64_t block);
+
+  /// Visits every dirty resident block in ascending key order with its
+  /// FULL physical span (trailer included) — what a journal records as
+  /// redo images.  Call drain_pending() first if async write-behind may
+  /// be in flight (in-flight payloads are not resident).
+  void for_each_dirty(
+      const std::function<void(std::uint16_t store, std::uint64_t block,
+                               std::span<std::byte> data)>& fn);
+
+  /// Drains the async engine (if any) and rethrows the first deferred
+  /// write-behind error as StorageError.
+  void drain_pending();
 
   /// Writes back all dirty blocks (keeps them resident).
   void flush();
@@ -185,6 +227,7 @@ class BlockCache {
     Reader reader;
     Writer writer;
     Locator locator;
+    StoreHooks hooks;
   };
 
   static constexpr int kStoreShift = 48;
@@ -196,6 +239,12 @@ class BlockCache {
   void drain_async();
   /// Inserts an adopted/unpinned entry at the LRU front.
   void make_resident(detail::CacheEntry& entry);
+  /// Throws StorageError if an async write-behind failed earlier.
+  void maybe_rethrow();
+  [[nodiscard]] std::size_t usable_of(std::uint16_t store) const {
+    const Store& s = stores_[store];
+    return s.hooks.usable_bytes != 0 ? s.hooks.usable_bytes : s.block_size;
+  }
 
   std::size_t capacity_bytes_;
   IoStats* stats_;
@@ -207,6 +256,10 @@ class BlockCache {
   std::unordered_set<std::uint64_t> pending_reads_;
   // key -> in-flight write-behind count (re-eviction can stack writes).
   std::unordered_map<std::uint64_t, std::uint32_t> pending_writes_;
+  // First error from an async write-behind (the worker cannot throw into
+  // this thread) or from a write during handle release (a destructor
+  // cannot throw at all); rethrown by get()/flush()/drain_pending().
+  std::string deferred_error_;
 };
 
 }  // namespace mssg

@@ -1,0 +1,128 @@
+// Page checksum trailers.  Every Pager / ExternalMetadata page reserves
+// its last few bytes for a trailer of per-sector CRC32C values plus a
+// self-checked footer; the usable payload is what the layers above see.
+//
+// The sector granularity is what lets a verification failure be
+// *attributed*: a write torn at a byte boundary leaves a contiguous run
+// of stale sectors touching one end of the page (the disk either wrote a
+// prefix or kept a suffix), while bit rot flips isolated sectors in the
+// middle.  The distinction feeds the storage.checksum_failures /
+// storage.checksum_torn counters (DESIGN.md "Durability & recovery").
+//
+// Trailer layout, at the physical end of the page:
+//
+//   [u32 sector_crc[n]]  [u16 marker][u16 reserved][u32 tag]
+//
+// where n = number of kSectorBytes sectors covering the usable area and
+// tag = crc32c(sector_crc[] || marker || reserved).  Sealing is a pure
+// function of the payload, so double-sealing (journal copy + in-place
+// write) produces identical bytes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/crc32c.hpp"
+#include "common/error.hpp"
+
+namespace mssg::page_checksum {
+
+inline constexpr std::size_t kSectorBytes = 256;
+inline constexpr std::uint16_t kMarker = 0xC5C5;
+inline constexpr std::size_t kFooterBytes = 8;  // marker + reserved + tag
+
+/// Trailer size for a physical page size (fixed point of the
+/// sectors-cover-usable relation; converges in <= 2 steps for any
+/// power-of-two page >= 256).
+constexpr std::size_t trailer_bytes(std::size_t page_bytes) {
+  std::size_t sectors = (page_bytes + kSectorBytes - 1) / kSectorBytes;
+  for (;;) {
+    const std::size_t usable = page_bytes - (4 * sectors + kFooterBytes);
+    const std::size_t need = (usable + kSectorBytes - 1) / kSectorBytes;
+    if (need == sectors) return 4 * sectors + kFooterBytes;
+    sectors = need;
+  }
+}
+
+constexpr std::size_t usable_bytes(std::size_t page_bytes) {
+  return page_bytes - trailer_bytes(page_bytes);
+}
+
+constexpr std::size_t sector_count(std::size_t page_bytes) {
+  return (trailer_bytes(page_bytes) - kFooterBytes) / 4;
+}
+
+/// Computes and writes the trailer over the full physical page.
+/// Idempotent: same payload => same trailer bytes.
+inline void seal(std::span<std::byte> page) {
+  const std::size_t usable = usable_bytes(page.size());
+  const std::size_t sectors = sector_count(page.size());
+  std::byte* trailer = page.data() + usable;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    const std::size_t begin = s * kSectorBytes;
+    const std::size_t length = std::min(kSectorBytes, usable - begin);
+    const std::uint32_t crc = crc32c(page.subspan(begin, length));
+    std::memcpy(trailer + 4 * s, &crc, sizeof(crc));
+  }
+  std::uint16_t marker = kMarker;
+  std::uint16_t reserved = 0;
+  std::memcpy(trailer + 4 * sectors, &marker, sizeof(marker));
+  std::memcpy(trailer + 4 * sectors + 2, &reserved, sizeof(reserved));
+  const std::uint32_t tag =
+      crc32c(std::span<const std::byte>(trailer, 4 * sectors + 4));
+  std::memcpy(trailer + 4 * sectors + 4, &tag, sizeof(tag));
+}
+
+enum class State {
+  kValid,   ///< trailer present and every sector matches
+  kZero,    ///< whole page zero — never sealed (sparse / fresh extent)
+  kTorn,    ///< mismatch run touching a page end, or footer torn
+  kBitRot,  ///< isolated interior sector mismatch under a valid footer
+};
+
+/// Verifies a full physical page against its trailer.
+inline State verify(std::span<const std::byte> page) {
+  const std::size_t usable = usable_bytes(page.size());
+  const std::size_t sectors = sector_count(page.size());
+  const std::byte* trailer = page.data() + usable;
+
+  std::uint16_t marker;
+  std::memcpy(&marker, trailer + 4 * sectors, sizeof(marker));
+  std::uint32_t tag;
+  std::memcpy(&tag, trailer + 4 * sectors + 4, sizeof(tag));
+  const std::uint32_t expect_tag =
+      crc32c(std::span<const std::byte>(trailer, 4 * sectors + 4));
+
+  if (marker != kMarker || tag != expect_tag) {
+    // Unsealed is legal only for an all-zero page (a read past EOF or a
+    // never-written page of a sparse file).
+    const bool all_zero = std::all_of(page.begin(), page.end(), [](auto b) {
+      return b == std::byte{0};
+    });
+    return all_zero ? State::kZero : State::kTorn;
+  }
+
+  std::size_t first_bad = sectors, last_bad = sectors, bad = 0;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    const std::size_t begin = s * kSectorBytes;
+    const std::size_t length = std::min(kSectorBytes, usable - begin);
+    std::uint32_t stored;
+    std::memcpy(&stored, trailer + 4 * s, sizeof(stored));
+    if (crc32c(page.subspan(begin, length)) != stored) {
+      if (bad == 0) first_bad = s;
+      last_bad = s;
+      ++bad;
+    }
+  }
+  if (bad == 0) return State::kValid;
+  // A tear leaves one contiguous stale run anchored at either end of the
+  // page; anything else is attributed to bit rot.
+  const bool contiguous = last_bad - first_bad + 1 == bad;
+  const bool touches_end = first_bad == 0 || last_bad == sectors - 1;
+  return contiguous && touches_end ? State::kTorn : State::kBitRot;
+}
+
+}  // namespace mssg::page_checksum

@@ -1,0 +1,130 @@
+#include "storage/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::add_rule(Rule rule) {
+  std::lock_guard lock(mutex_);
+  rules_.push_back(Armed{std::move(rule)});
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mutex_);
+  rules_.clear();
+  triggered_ = 0;
+  op_counts_[0] = op_counts_[1] = op_counts_[2] = op_counts_[3] = 0;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered() const {
+  std::lock_guard lock(mutex_);
+  return triggered_;
+}
+
+std::uint64_t FaultInjector::op_count(Op op) const {
+  std::lock_guard lock(mutex_);
+  return op_counts_[static_cast<int>(op)];
+}
+
+std::uint64_t FaultInjector::apply(Op op, const std::string& path,
+                                   std::uint64_t size) {
+  std::lock_guard lock(mutex_);
+  std::uint64_t allowed = size;
+  for (Armed& armed : rules_) {
+    const Rule& rule = armed.rule;
+    if (path.find(rule.path_substring) == std::string::npos) continue;
+
+    // A fired kill rule poisons every later mutation on its paths — the
+    // "process died here" simulation the crash sweep relies on.
+    if (armed.fired && rule.kill && op != Op::kRead) {
+      throw StorageError("fault injection: dead after kill point (" +
+                         path + ")");
+    }
+    const bool matches =
+        rule.op == op || (rule.op == Op::kMutate && op != Op::kRead);
+    if (!matches) continue;
+
+    ++op_counts_[static_cast<int>(op)];
+    if (armed.fired || armed.seen++ != rule.nth) continue;
+    armed.fired = true;
+    ++triggered_;
+    switch (rule.kind) {
+      case Kind::kFail:
+        throw StorageError("fault injection: " +
+                           std::string(op == Op::kSync ? "sync" : "op") +
+                           " failed (" + path + ")");
+      case Kind::kTorn:
+        allowed = std::min(allowed, rule.tear_bytes);
+        break;
+      case Kind::kShortRead:
+        allowed = std::min(allowed, rule.tear_bytes);
+        break;
+    }
+  }
+  return allowed;
+}
+
+void FaultInjector::parse_spec(const std::string& spec) {
+  Rule rule;
+  bool have_path = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    if (item == "kill") {
+      rule.kill = true;
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw UsageError("fault spec: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "path") {
+      rule.path_substring = value;
+      have_path = true;
+    } else if (key == "op") {
+      if (value == "read") rule.op = Op::kRead;
+      else if (value == "write") rule.op = Op::kWrite;
+      else if (value == "sync") rule.op = Op::kSync;
+      else if (value == "mutate") rule.op = Op::kMutate;
+      else throw UsageError("fault spec: unknown op '" + value + "'");
+    } else if (key == "kind") {
+      if (value == "fail") rule.kind = Kind::kFail;
+      else if (value == "torn") rule.kind = Kind::kTorn;
+      else if (value == "short") rule.kind = Kind::kShortRead;
+      else throw UsageError("fault spec: unknown kind '" + value + "'");
+    } else if (key == "nth" || key == "bytes") {
+      std::uint64_t parsed = 0;
+      try {
+        std::size_t used = 0;
+        parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw UsageError("fault spec: bad number for " + key + ": '" + value +
+                         "'");
+      }
+      (key == "nth" ? rule.nth : rule.tear_bytes) = parsed;
+    } else {
+      throw UsageError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  if (!have_path) throw UsageError("fault spec: missing path=<substring>");
+  add_rule(std::move(rule));
+}
+
+}  // namespace mssg

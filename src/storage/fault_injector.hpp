@@ -1,0 +1,93 @@
+// Deterministic fault injection for the File layer.
+//
+// A process-global, thread-safe rule table consulted by every
+// File::read_at / write_at / sync (gated on one relaxed atomic so the
+// disabled hot path costs a single load).  Rules match by path substring
+// and operation kind and trigger on the Nth matching operation:
+//
+//   kFail       the op throws StorageError
+//   kTorn       a write lands only its first `tear_bytes` bytes, then
+//               throws (the classic torn page)
+//   kShortRead  a read delivers only `tear_bytes` real bytes; the rest
+//               zero-fills (a truncated file)
+//
+// A rule with `kill` set makes the injector *sticky* once triggered:
+// every later write/sync on the matching paths fails too, simulating a
+// process that died at that point — the crash-recovery sweep arms one
+// kill rule per successive operation index and reopens after each.
+//
+// Tests drive this directly; mssg_tool exposes it via --fault-spec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mssg {
+
+class FaultInjector {
+ public:
+  /// kMutate is a rule-side wildcard matching both writes and syncs —
+  /// the crash sweep counts them with one shared index so every durable
+  /// mutation is a kill point.
+  enum class Op : std::uint8_t { kRead, kWrite, kSync, kMutate };
+  enum class Kind : std::uint8_t { kFail, kTorn, kShortRead };
+
+  struct Rule {
+    std::string path_substring;  ///< matches any path containing this
+    Op op = Op::kWrite;
+    Kind kind = Kind::kFail;
+    std::uint64_t nth = 0;         ///< trigger on the Nth matching op (0-based)
+    std::uint64_t tear_bytes = 0;  ///< kTorn / kShortRead: bytes that land
+    bool kill = false;             ///< sticky: all later writes/syncs fail
+  };
+
+  /// The process-wide injector (File consults exactly this instance).
+  static FaultInjector& instance();
+
+  void add_rule(Rule rule);
+
+  /// Removes every rule and resets all counters (disarms the injector).
+  void clear();
+
+  /// Rules fired so far (a sticky rule counts once, at its trigger).
+  [[nodiscard]] std::uint64_t triggered() const;
+
+  /// Matching operations observed for a given op kind, across all rules.
+  [[nodiscard]] std::uint64_t op_count(Op op) const;
+
+  /// Parses and arms one rule from a spec string of comma-separated
+  /// key=value pairs: "path=<substr>,op=read|write|sync,
+  /// kind=fail|torn|short,nth=<N>[,bytes=<M>][,kill]".
+  /// Throws UsageError on malformed specs.
+  void parse_spec(const std::string& spec);
+
+  /// Fast-path gate for File (true iff any rule is armed).
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by File before an operation of `size` bytes on `path`.
+  /// Returns the number of bytes the operation may transfer (== size
+  /// normally; smaller for a torn write / short read).  Throws
+  /// StorageError for kFail and for any write/sync after a kill rule
+  /// fired.
+  std::uint64_t apply(Op op, const std::string& path, std::uint64_t size);
+
+ private:
+  struct Armed {
+    Rule rule;
+    std::uint64_t seen = 0;  ///< matching ops observed so far
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> rules_;
+  std::uint64_t triggered_ = 0;
+  std::uint64_t op_counts_[4] = {};
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace mssg

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "storage/fault_injector.hpp"
 
 namespace mssg {
 
@@ -21,13 +22,15 @@ namespace {
 
 File::File(File&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      stats_(std::exchange(other.stats_, nullptr)) {}
+      stats_(std::exchange(other.stats_, nullptr)),
+      path_(std::move(other.path_)) {}
 
 File& File::operator=(File&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     stats_ = std::exchange(other.stats_, nullptr);
+    path_ = std::move(other.path_);
   }
   return *this;
 }
@@ -37,21 +40,28 @@ File::~File() { close(); }
 File File::open(const std::filesystem::path& path, IoStats* stats) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("open", path);
-  return File(fd, stats);
+  return File(fd, stats, path.string());
 }
 
 File File::open_readonly(const std::filesystem::path& path, IoStats* stats) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) throw_errno("open (read-only)", path);
-  return File(fd, stats);
+  return File(fd, stats, path.string());
 }
 
 std::size_t File::read_at(std::uint64_t offset, std::span<std::byte> buffer,
                           IoStats* stats) const {
   MSSG_CHECK(is_open());
+  std::size_t want = buffer.size();
+  if (FaultInjector::instance().enabled()) {
+    // A short read delivers a prefix; the remainder zero-fills below,
+    // exactly like a read past EOF of a truncated file.
+    want = static_cast<std::size_t>(FaultInjector::instance().apply(
+        FaultInjector::Op::kRead, path_, want));
+  }
   std::size_t done = 0;
-  while (done < buffer.size()) {
-    const ssize_t n = ::pread(fd_, buffer.data() + done, buffer.size() - done,
+  while (done < want) {
+    const ssize_t n = ::pread(fd_, buffer.data() + done, want - done,
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -73,9 +83,14 @@ std::size_t File::read_at(std::uint64_t offset, std::span<std::byte> buffer,
 void File::write_at(std::uint64_t offset, std::span<const std::byte> buffer,
                     IoStats* stats) const {
   MSSG_CHECK(is_open());
+  std::size_t allow = buffer.size();
+  if (FaultInjector::instance().enabled()) {
+    allow = static_cast<std::size_t>(FaultInjector::instance().apply(
+        FaultInjector::Op::kWrite, path_, allow));
+  }
   std::size_t done = 0;
-  while (done < buffer.size()) {
-    const ssize_t n = ::pwrite(fd_, buffer.data() + done, buffer.size() - done,
+  while (done < allow) {
+    const ssize_t n = ::pwrite(fd_, buffer.data() + done, allow - done,
                                static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -85,7 +100,14 @@ void File::write_at(std::uint64_t offset, std::span<const std::byte> buffer,
   }
   if (stats != nullptr) {
     ++stats->writes;
-    stats->bytes_written += buffer.size();
+    stats->bytes_written += done;
+  }
+  if (allow < buffer.size()) {
+    // The torn prefix is on disk; the caller sees the write fail, as a
+    // crashed process would have (it never got to observe anything).
+    throw StorageError("fault injection: torn write (" + path_ + ": " +
+                       std::to_string(allow) + "/" +
+                       std::to_string(buffer.size()) + " bytes)");
   }
 }
 
@@ -100,6 +122,11 @@ std::uint64_t File::size() const {
 
 void File::truncate(std::uint64_t new_size) const {
   MSSG_CHECK(is_open());
+  if (FaultInjector::instance().enabled()) {
+    // A truncate mutates durable state like a write does, so it is a
+    // kill point too (journal trims go through here).
+    FaultInjector::instance().apply(FaultInjector::Op::kWrite, path_, 0);
+  }
   if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     throw StorageError(std::string("ftruncate failed: ") +
                        std::strerror(errno));
@@ -108,6 +135,9 @@ void File::truncate(std::uint64_t new_size) const {
 
 void File::sync() const {
   MSSG_CHECK(is_open());
+  if (FaultInjector::instance().enabled()) {
+    FaultInjector::instance().apply(FaultInjector::Op::kSync, path_, 0);
+  }
   if (::fdatasync(fd_) != 0) {
     throw StorageError(std::string("fdatasync failed: ") +
                        std::strerror(errno));

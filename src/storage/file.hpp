@@ -1,11 +1,17 @@
 // RAII wrapper over a POSIX file descriptor with positional I/O.
 // All GraphDB backends do random block access, so the interface is
 // pread/pwrite-shaped rather than stream-shaped.
+//
+// Every operation consults the process-global FaultInjector (one relaxed
+// atomic load when disarmed), which is how the crash-recovery and
+// torn-write suites simulate dying disks without touching this layer's
+// callers.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <span>
+#include <string>
 
 #include "storage/io_stats.hpp"
 
@@ -58,11 +64,17 @@ class File {
   void sync() const;
   void close();
 
+  /// The path this File was opened with (empty for a default-constructed
+  /// File) — what fault-injection rules match against.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
  private:
-  File(int fd, IoStats* stats) : fd_(fd), stats_(stats) {}
+  File(int fd, IoStats* stats, std::string path)
+      : fd_(fd), stats_(stats), path_(std::move(path)) {}
 
   int fd_ = -1;
   IoStats* stats_ = nullptr;
+  std::string path_;
 };
 
 }  // namespace mssg

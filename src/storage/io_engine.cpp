@@ -1,6 +1,7 @@
 #include "storage/io_engine.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 namespace mssg {
@@ -91,10 +92,18 @@ void IoEngine::worker_loop() {
       metrics_.histogram("io.engine.batch_requests").record(batch.size());
       for (IoRequest& req : batch) {
         if (req.file == nullptr) continue;  // resolved without disk I/O
-        if (req.kind == IoRequest::Kind::kRead) {
-          req.file->read_at(req.offset, req.buffer, &local);
-        } else {
-          req.file->write_at(req.offset, req.buffer, &local);
+        // An exception must not escape this thread (std::terminate) nor
+        // be swallowed: record it on the request so poll_completions()
+        // hands the failure back to the owning thread.
+        try {
+          if (req.kind == IoRequest::Kind::kRead) {
+            req.file->read_at(req.offset, req.buffer, &local);
+          } else {
+            req.file->write_at(req.offset, req.buffer, &local);
+          }
+        } catch (const std::exception& e) {
+          req.error = e.what();
+          if (req.error.empty()) req.error = "async I/O failed";
         }
       }
     }

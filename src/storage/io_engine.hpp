@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,6 +51,9 @@ struct IoRequest {
   std::uint64_t offset = 0;
   std::vector<std::byte> buffer;  ///< read: destination; write: payload
   std::uint64_t key = 0;
+  std::string error;  ///< non-empty if the worker's I/O threw; the
+                      ///< completion then carries the failure back to
+                      ///< the owning thread instead of killing the worker
 };
 
 class IoEngine {

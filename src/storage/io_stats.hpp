@@ -34,6 +34,12 @@ struct IoStats {
   std::uint64_t read_stalls = 0;      ///< get() calls that had to read the
                                       ///< block synchronously (blocking I/O on
                                       ///< the caller's critical path)
+  std::uint64_t checksum_failures = 0;  ///< pages whose CRC trailer / sidecar
+                                        ///< CRC failed verification
+  std::uint64_t checksum_torn = 0;      ///< the subset attributed to a torn
+                                        ///< write (vs bit rot)
+  std::uint64_t journal_records = 0;    ///< undo/redo records appended
+  std::uint64_t journal_replays = 0;    ///< records applied during recovery
 
   void reset() { *this = IoStats{}; }
 
@@ -50,6 +56,10 @@ struct IoStats {
     prefetch_issued += other.prefetch_issued;
     prefetch_hits += other.prefetch_hits;
     read_stalls += other.read_stalls;
+    checksum_failures += other.checksum_failures;
+    checksum_torn += other.checksum_torn;
+    journal_records += other.journal_records;
+    journal_replays += other.journal_replays;
     return *this;
   }
 
@@ -80,6 +90,13 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add(p + ".prefetch_issued", s.prefetch_issued);
   snap.add(p + ".prefetch_hits", s.prefetch_hits);
   snap.add(p + ".read_stalls", s.read_stalls);
+  // Durability counters live under a fixed "storage." prefix — their
+  // names are part of the observability contract (DESIGN.md "Durability
+  // & recovery") regardless of which io.* namespace a node publishes to.
+  snap.add("storage.checksum_failures", s.checksum_failures);
+  snap.add("storage.checksum_torn", s.checksum_torn);
+  snap.add("storage.journal_records", s.journal_records);
+  snap.add("storage.journal_replays", s.journal_replays);
 }
 
 }  // namespace mssg

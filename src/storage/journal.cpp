@@ -1,0 +1,161 @@
+#include "storage/journal.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32c.hpp"
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4D5353474A524E4Cull;  // "MSSGJRNL"
+constexpr std::uint64_t kHeaderBytes = 8;
+constexpr std::uint64_t kRecordOverhead = 8 + 8 + 4;  // tag + size + crc
+// Sanity bound on one record's payload when parsing: journals hold dirty
+// pages and metadata blobs, never gigabytes.  Anything larger is garbage
+// (and would otherwise drive a huge allocation off a corrupt length).
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 30;
+
+void put_u64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
+
+std::uint64_t get_u64(const std::byte* src) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+WriteJournal::WriteJournal(const std::filesystem::path& base, IoStats* stats)
+    : undo_(File::open(base.string() + ".undo", stats)),
+      redo_(File::open(base.string() + ".redo", stats)),
+      stats_(stats) {
+  undo_bytes_ = init_file(undo_);
+  redo_bytes_ = init_file(redo_);
+}
+
+std::uint64_t WriteJournal::init_file(File& file) {
+  const std::uint64_t size = file.size();
+  if (size >= kHeaderBytes) return size;  // may hold records — keep them
+  std::byte magic[kHeaderBytes];
+  put_u64(magic, kMagic);
+  file.write_at(0, magic);
+  return kHeaderBytes;
+}
+
+void WriteJournal::append(File& file, std::uint64_t& bytes, std::uint64_t tag,
+                          std::span<const std::byte> payload) {
+  std::vector<std::byte> buf(16 + payload.size() + 4);
+  put_u64(buf.data(), tag);
+  put_u64(buf.data() + 8, payload.size());
+  std::copy(payload.begin(), payload.end(), buf.begin() + 16);
+  const std::uint32_t crc =
+      crc32c(std::span<const std::byte>(buf.data(), 16 + payload.size()));
+  std::memcpy(buf.data() + 16 + payload.size(), &crc, 4);
+  file.write_at(bytes, buf);
+  bytes += buf.size();
+  if (stats_ != nullptr) ++stats_->journal_records;
+}
+
+void WriteJournal::undo_record(std::uint64_t tag,
+                               std::span<const std::byte> payload) {
+  MSSG_CHECK(tag != kCommitTag);
+  if (!undo_logged_.insert(tag).second) return;
+  append(undo_, undo_bytes_, tag, payload);
+  // The pre-image must be durable before the caller overwrites in place,
+  // or a crash could lose both the old and the new version of the block.
+  undo_.sync();
+}
+
+void WriteJournal::redo_begin() {
+  redo_.truncate(kHeaderBytes);
+  redo_bytes_ = kHeaderBytes;
+  redo_count_ = 0;
+}
+
+void WriteJournal::redo_record(std::uint64_t tag,
+                               std::span<const std::byte> payload) {
+  MSSG_CHECK(tag != kCommitTag);
+  append(redo_, redo_bytes_, tag, payload);
+  ++redo_count_;
+}
+
+void WriteJournal::redo_commit() {
+  // First sync: the records themselves.  Second sync: the commit record,
+  // which only means anything once everything before it is durable.
+  redo_.sync();
+  std::byte count[8];
+  put_u64(count, redo_count_);
+  append(redo_, redo_bytes_, kCommitTag, count);
+  redo_.sync();
+}
+
+WriteJournal::Parsed WriteJournal::parse(const File& file) {
+  Parsed out;
+  const std::uint64_t size = file.size();
+  if (size < kHeaderBytes) return out;
+  std::vector<std::byte> buf(size);
+  file.read_at(0, buf, nullptr);
+  if (get_u64(buf.data()) != kMagic) return out;
+
+  std::uint64_t pos = kHeaderBytes;
+  while (pos + kRecordOverhead <= size) {
+    const std::uint64_t tag = get_u64(buf.data() + pos);
+    const std::uint64_t len = get_u64(buf.data() + pos + 8);
+    if (len > kMaxPayload || len > size - pos - kRecordOverhead) break;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, buf.data() + pos + 16 + len, 4);
+    const std::uint32_t actual =
+        crc32c(std::span<const std::byte>(buf.data() + pos, 16 + len));
+    if (stored != actual) break;  // torn tail — everything before it is good
+    if (tag == kCommitTag) {
+      out.committed = len == 8 && get_u64(buf.data() + pos + 16) ==
+                                      static_cast<std::uint64_t>(
+                                          out.records.size());
+      break;  // the commit record is terminal by construction
+    }
+    Record rec;
+    rec.tag = tag;
+    rec.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(pos + 16),
+                       buf.begin() + static_cast<std::ptrdiff_t>(pos + 16 + len));
+    out.records.push_back(std::move(rec));
+    pos += kRecordOverhead + len;
+  }
+  return out;
+}
+
+WriteJournal::Recovery WriteJournal::plan_recovery() {
+  Recovery out;
+  Parsed redo = parse(redo_);
+  if (redo.committed) {
+    out.action = Action::kRollForward;
+    out.records = std::move(redo.records);
+  } else {
+    Parsed undo = parse(undo_);
+    if (!undo.records.empty()) {
+      out.action = Action::kRollBack;
+      std::reverse(undo.records.begin(), undo.records.end());
+      out.records = std::move(undo.records);
+    }
+  }
+  if (stats_ != nullptr) stats_->journal_replays += out.records.size();
+  return out;
+}
+
+void WriteJournal::trim() {
+  // Undo first: dying between the two truncates leaves a committed redo,
+  // whose roll-forward is idempotent.  The reverse order could leave only
+  // the undo log and roll back a committed epoch.
+  undo_.truncate(kHeaderBytes);
+  undo_.sync();
+  undo_bytes_ = kHeaderBytes;
+  undo_logged_.clear();
+  redo_.truncate(kHeaderBytes);
+  redo_.sync();
+  redo_bytes_ = kHeaderBytes;
+  redo_count_ = 0;
+}
+
+}  // namespace mssg

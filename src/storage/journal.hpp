@@ -1,0 +1,119 @@
+// Undo+redo write-ahead journal for crash-safe page stores.
+//
+// A WriteJournal pairs two sidecar files next to a data file:
+//
+//   <base>.undo  pre-images, captured (and fdatasync'd) before the first
+//                in-place overwrite of each block in an epoch.  Replayed
+//                in reverse they roll the data file back to the last
+//                committed state.
+//   <base>.redo  post-images of everything a flush() intends to write,
+//                terminated by a commit record.  Once the commit record
+//                is durable, the flush is logically done: replaying the
+//                redo records forward reproduces it even if the process
+//                dies mid-way through the in-place writes.
+//
+// Record format (native endianness — journals are node-local scratch,
+// never shipped):  [u64 tag][u64 size][payload][u32 crc32c(header+payload)].
+// The commit record uses the reserved kCommitTag and carries the count
+// of preceding records, so a torn commit can never validate against the
+// wrong epoch.  Both files start with an 8-byte magic; a file without it
+// parses as empty.
+//
+// Recovery decision (plan_recovery):
+//   redo has a valid commit record  ->  roll FORWARD (redo records)
+//   else undo has any valid records ->  roll BACK (returned pre-reversed)
+//   else                            ->  nothing to do
+// The caller applies the records to the data file, syncs it, then calls
+// trim().  trim() clears undo before redo: a crash between the two
+// leaves a committed redo behind, and rolling forward an already-applied
+// epoch is idempotent — the dangerous order (rollback of a committed
+// epoch) can never happen.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/file.hpp"
+
+namespace mssg {
+
+class WriteJournal {
+ public:
+  /// Tag reserved for the redo commit record; data tags must not use it.
+  static constexpr std::uint64_t kCommitTag = 0x4A524E4C'434D5431ull;
+
+  struct Record {
+    std::uint64_t tag = 0;
+    std::vector<std::byte> payload;
+  };
+
+  enum class Action : std::uint8_t { kNone, kRollForward, kRollBack };
+
+  struct Recovery {
+    Action action = Action::kNone;
+    /// In application order: forward order for roll-forward, already
+    /// reversed for roll-back.
+    std::vector<Record> records;
+  };
+
+  /// Opens (creating if absent) `<base>.undo` and `<base>.redo`.
+  WriteJournal(const std::filesystem::path& base, IoStats* stats);
+
+  /// True if `tag` already has a pre-image this epoch.
+  [[nodiscard]] bool undo_logged(std::uint64_t tag) const {
+    return undo_logged_.contains(tag);
+  }
+
+  /// Captures a pre-image for `tag` (no-op if one exists this epoch) and
+  /// makes it durable before returning — callers overwrite in place only
+  /// after this returns.
+  void undo_record(std::uint64_t tag, std::span<const std::byte> payload);
+
+  /// True if any pre-image was captured since the last trim(): the data
+  /// file may diverge from its committed state, so a flush must run even
+  /// if no cache pages are dirty.
+  [[nodiscard]] bool dirty_epoch() const { return !undo_logged_.empty(); }
+
+  /// Starts a redo epoch (discards any stale uncommitted redo records).
+  void redo_begin();
+
+  /// Appends one post-image; not durable until redo_commit().
+  void redo_record(std::uint64_t tag, std::span<const std::byte> payload);
+
+  /// Makes the epoch's redo records durable, then appends and syncs the
+  /// commit record.  After this returns the flush is recoverable.
+  void redo_commit();
+
+  /// Inspects both files and decides what (if anything) must be replayed
+  /// to restore the data file to its last committed state.
+  Recovery plan_recovery();
+
+  /// Empties both journals (undo first — see file comment) and resets
+  /// the epoch.  Call after the data file's recovered/flushed state has
+  /// been synced.
+  void trim();
+
+ private:
+  struct Parsed {
+    std::vector<Record> records;
+    bool committed = false;
+  };
+
+  static std::uint64_t init_file(File& file);
+  void append(File& file, std::uint64_t& bytes, std::uint64_t tag,
+              std::span<const std::byte> payload);
+  static Parsed parse(const File& file);
+
+  File undo_;
+  File redo_;
+  std::uint64_t undo_bytes_ = 0;
+  std::uint64_t redo_bytes_ = 0;
+  std::uint64_t redo_count_ = 0;  ///< records in the current redo epoch
+  std::unordered_set<std::uint64_t> undo_logged_;
+  IoStats* stats_ = nullptr;
+};
+
+}  // namespace mssg

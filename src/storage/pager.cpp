@@ -1,35 +1,57 @@
 #include "storage/pager.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
+#include "storage/checksum.hpp"
 
 namespace mssg {
 
 Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
-             std::size_t cache_capacity_bytes, IoStats* stats, bool async_io)
+             std::size_t cache_capacity_bytes, IoStats* stats, bool async_io,
+             bool journal)
     : page_size_(page_size),
+      usable_(page_checksum::usable_bytes(page_size)),
       file_(File::open(path, stats)),
       stats_(stats),
       cache_(cache_capacity_bytes, stats) {
   MSSG_CHECK(page_size_ >= 256 && (page_size_ & (page_size_ - 1)) == 0);
+  MSSG_CHECK(sizeof(Header) <= usable_);
   store_id_ = cache_.register_store(
       page_size_,
       [this](std::uint64_t block, std::span<std::byte> out) {
         file_.read_at(block * page_size_, out);
       },
       [this](std::uint64_t block, std::span<const std::byte> in) {
+        capture_undo(block);
         file_.write_at(block * page_size_, in);
       },
       // Pages map 1:1 to file offsets, so the locator never needs store
       // metadata; past-EOF reads zero-fill exactly like the sync reader.
-      [this](std::uint64_t block, bool) -> std::optional<AsyncTarget> {
+      [this](std::uint64_t block, bool for_write) -> std::optional<AsyncTarget> {
+        // The pre-image must be durable before the worker can overwrite
+        // in place; capturing here, on the owning thread at submit time,
+        // keeps the journal single-threaded.
+        if (for_write) capture_undo(block);
         return AsyncTarget{&file_, block * page_size_};
       });
+  cache_.set_store_hooks(
+      store_id_,
+      {[](std::uint64_t, std::span<std::byte> page) {
+         page_checksum::seal(page);
+       },
+       [this](std::uint64_t block, std::span<std::byte> page) {
+         verify_page(block, page);
+       },
+       usable_});
   if (async_io) cache_.enable_async_io();
+
+  if (journal) {
+    journal_ = std::make_unique<WriteJournal>(path, stats);
+    recover(/*allow_rollback=*/true);
+  }
   // A non-empty file must carry a valid header — even one shorter than
   // our page size (that means it was created with a smaller page size,
   // which load_header rejects explicitly).
@@ -41,13 +63,64 @@ Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
 }
 
 Pager::~Pager() {
-  cache_.flush();
-  if (header_dirty_) store_header();
+  // A destructor cannot throw; anything a failing flush would have
+  // reported dies with the process, exactly as a crash would.
+  try {
+    flush();
+  } catch (...) {
+  }
+}
+
+void Pager::verify_page(std::uint64_t block,
+                        std::span<const std::byte> page) const {
+  using page_checksum::State;
+  const State state = page_checksum::verify(page);
+  // kZero is a legal unsealed read: sparse pages past EOF (and pages
+  // rolled back to a pre-creation state) read as all zeros.
+  if (state == State::kValid || state == State::kZero) return;
+  if (stats_ != nullptr) {
+    ++stats_->checksum_failures;
+    if (state == State::kTorn) ++stats_->checksum_torn;
+  }
+  throw StorageError("pager: page " + std::to_string(block) +
+                     " failed checksum verification (" +
+                     (state == State::kTorn ? "torn write" : "bit rot") + ")");
+}
+
+void Pager::capture_undo(std::uint64_t block) {
+  if (journal_ == nullptr || in_flush_ || journal_->undo_logged(block)) return;
+  std::vector<std::byte> old(page_size_);
+  file_.read_at(block * page_size_, old);  // past EOF reads as zeros
+  journal_->undo_record(block, old);
+}
+
+void Pager::recover(bool allow_rollback) {
+  WriteJournal::Recovery rec = journal_->plan_recovery();
+  if (rec.action == WriteJournal::Action::kNone) return;
+  if (rec.action == WriteJournal::Action::kRollBack && !allow_rollback) {
+    // Mid-life flush: an uncommitted epoch's pre-images stay armed; the
+    // flush about to run supersedes it (and trims on success).
+    return;
+  }
+  for (const WriteJournal::Record& r : rec.records) {
+    file_.write_at(r.tag * page_size_, r.payload);
+  }
+  file_.sync();
+  journal_->trim();
 }
 
 void Pager::load_header() {
   std::vector<std::byte> buf(page_size_);
   file_.read_at(0, buf);
+  using page_checksum::State;
+  const State state = page_checksum::verify(buf);
+  if (state == State::kZero) {
+    // An all-zero header page: the file was created but rolled back
+    // before its first committed flush.  Treat it as fresh.
+    store_header();
+    return;
+  }
+  if (state != State::kValid) verify_page(0, buf);
   Header h;
   std::memcpy(&h, buf.data(), sizeof(h));
   if (h.magic != kMagic) throw StorageError("pager: bad magic in header page");
@@ -62,10 +135,11 @@ void Pager::load_header() {
 
   // Rebuild the free-list mirror, refusing a corrupt list up front: a
   // page reached twice means a cycle, and recycling it would hand the
-  // same page to two owners.
+  // same page to two owners.  Each hop reads (and verifies) the full
+  // page — the free list is the one structure walked outside the cache.
   free_set_.clear();
   PageId p = free_head_;
-  std::array<std::byte, sizeof(PageId)> next{};
+  std::vector<std::byte> link(page_size_);
   while (p != kInvalidPage) {
     if (p >= page_count_) {
       throw StorageError("pager: free list points past the file (page " +
@@ -75,12 +149,13 @@ void Pager::load_header() {
       throw StorageError("pager: free list cycle at page " +
                          std::to_string(p));
     }
-    file_.read_at(p * page_size_, next);
-    std::memcpy(&p, next.data(), sizeof(p));
+    file_.read_at(p * page_size_, link);
+    verify_page(p, link);
+    std::memcpy(&p, link.data(), sizeof(p));
   }
 }
 
-void Pager::store_header() {
+std::vector<std::byte> Pager::build_header_page() const {
   Header h{};
   h.magic = kMagic;
   h.page_size = page_size_;
@@ -89,7 +164,13 @@ void Pager::store_header() {
   std::memcpy(h.user, user_meta_, sizeof(user_meta_));
   std::vector<std::byte> buf(page_size_);
   std::memcpy(buf.data(), &h, sizeof(h));
-  file_.write_at(0, buf);
+  page_checksum::seal(buf);
+  return buf;
+}
+
+void Pager::store_header() {
+  capture_undo(0);
+  file_.write_at(0, build_header_page());
   header_dirty_ = false;
 }
 
@@ -112,14 +193,18 @@ PageId Pager::allocate() {
       free_head_ = next;
     }
     header_dirty_ = true;
+    // Zero the recycled page so callers start from a clean slate.
+    auto handle = cache_.get(store_id_, page);
+    auto data = handle.mutable_data();
+    std::memset(data.data(), 0, data.size());
   } else {
     page = page_count_++;
     header_dirty_ = true;
+    // Fresh extent: create() zero-fills WITHOUT reading the file — the
+    // bytes there were never committed and may be a previous crash's
+    // torn garbage, which the checksum hook would (rightly) reject.
+    cache_.create(store_id_, page);
   }
-  // Zero the page so callers start from a clean slate.
-  auto handle = cache_.get(store_id_, page);
-  auto data = handle.mutable_data();
-  std::memset(data.data(), 0, data.size());
   return page;
 }
 
@@ -169,8 +254,55 @@ void Pager::set_meta(int slot, std::uint64_t value) {
 }
 
 void Pager::flush() {
-  cache_.flush();
-  if (header_dirty_) store_header();
+  if (journal_ == nullptr) {
+    cache_.flush();
+    if (header_dirty_) store_header();
+    return;
+  }
+
+  // Write-behind payloads must be on disk (and their undo records
+  // captured at submit time made good) before we enumerate dirty pages.
+  cache_.drain_pending();
+  // A previous flush may have died between redo-commit and trim; finish
+  // its in-place phase first so epochs never interleave.
+  recover(/*allow_rollback=*/false);
+
+  std::size_t dirty = 0;
+  cache_.for_each_dirty(
+      [&dirty](std::uint16_t, std::uint64_t, std::span<std::byte>) {
+        ++dirty;
+      });
+  if (dirty == 0 && !header_dirty_ && !journal_->dirty_epoch()) return;
+
+  // 1. Redo-log post-images of everything this flush will write.
+  journal_->redo_begin();
+  cache_.for_each_dirty(
+      [this](std::uint16_t, std::uint64_t block, std::span<std::byte> page) {
+        page_checksum::seal(page);  // idempotent — write_back re-seals
+        journal_->redo_record(block, page);
+      });
+  const std::vector<std::byte> header_page = build_header_page();
+  journal_->redo_record(0, header_page);
+  // 2. Eviction writes from this epoch become durable BEFORE the commit
+  // record: a post-commit crash rolls forward only the redo records, so
+  // everything else the epoch touched must already be safe.
+  file_.sync();
+  // 3. Commit.  From here on the flush is logically done.
+  journal_->redo_commit();
+  // 4. In-place phase (no undo capture — the redo log covers us now).
+  in_flush_ = true;
+  try {
+    cache_.flush();
+    file_.write_at(0, header_page);
+    file_.sync();
+  } catch (...) {
+    in_flush_ = false;
+    throw;
+  }
+  in_flush_ = false;
+  header_dirty_ = false;
+  // 5. Retire the epoch (undo before redo — see journal.hpp).
+  journal_->trim();
 }
 
 }  // namespace mssg

@@ -1,15 +1,31 @@
 // Fixed-size-page file manager with a free list, backing the B+tree and
 // the slotted heap file.  Page 0 is the header (magic, geometry, free
 // list head, and a few user metadata slots for e.g. the B+tree root).
+//
+// Every page carries a CRC32C trailer (storage/checksum.hpp): the cache
+// seals pages on write and verifies them on read, so torn writes and bit
+// rot surface as StorageError instead of silent misreads.  page_size()
+// reports the *usable* bytes (physical page minus trailer) — that is the
+// payload geometry the B+tree and heap file lay out against.
+//
+// With `journal` enabled the pager keeps an undo+redo write-ahead
+// journal (storage/journal.hpp) beside the file.  Pre-images are logged
+// before any in-place overwrite between flushes (eviction write-backs
+// included), and flush() double-writes dirty pages into the redo log
+// before updating them in place — so reopening after a crash at ANY
+// write/sync always recovers the last flush()-committed state.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "storage/block_cache.hpp"
 #include "storage/file.hpp"
+#include "storage/journal.hpp"
 
 namespace mssg {
 
@@ -21,16 +37,22 @@ class Pager {
   /// Opens (or creates) a paged file.  `cache_capacity_bytes` sizes the
   /// page cache; zero means write-through (no caching).  `async_io`
   /// attaches the background IoEngine for prefetch() read-ahead and
-  /// write-behind eviction.
+  /// write-behind eviction.  `journal` arms crash-safe flushes (see file
+  /// comment); recovery, if needed, runs here before the header loads.
   Pager(const std::filesystem::path& path, std::size_t page_size,
         std::size_t cache_capacity_bytes, IoStats* stats = nullptr,
-        bool async_io = false);
+        bool async_io = false, bool journal = false);
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
+
+  /// Last-resort flush (callers should flush() explicitly); never throws
+  /// — a store failing here loses what a crashed process would have.
   ~Pager();
 
-  [[nodiscard]] std::size_t page_size() const { return page_size_; }
+  /// Usable bytes per page — physical page size minus the checksum
+  /// trailer.  This is the size of every pinned span.
+  [[nodiscard]] std::size_t page_size() const { return usable_; }
   [[nodiscard]] PageId page_count() const { return page_count_; }
 
   /// Allocates a page (recycling freed pages first).  Contents are
@@ -62,10 +84,13 @@ class Pager {
   [[nodiscard]] std::uint64_t meta(int slot) const;
   void set_meta(int slot, std::uint64_t value);
 
-  /// Writes back all dirty pages and the header.
+  /// Writes back all dirty pages and the header.  With journaling:
+  /// redo-log everything, commit, then update in place — the order that
+  /// makes the flush atomic under crashes.
   void flush();
 
   [[nodiscard]] IoStats* stats() const { return stats_; }
+  [[nodiscard]] bool journaled() const { return journal_ != nullptr; }
 
  private:
   struct Header {
@@ -79,10 +104,25 @@ class Pager {
 
   void load_header();
   void store_header();
+  [[nodiscard]] std::vector<std::byte> build_header_page() const;
+  /// Counts + throws on a checksum-failed page read.
+  void verify_page(std::uint64_t block, std::span<const std::byte> page) const;
+  /// Captures a pre-image of `block` before its first in-place overwrite
+  /// this epoch (no-op outside journal mode or during flush's post-commit
+  /// phase).
+  void capture_undo(std::uint64_t block);
+  /// Replays any pending journal epoch onto the file (ctor: both
+  /// directions; flush start: committed roll-forward only).
+  void recover(bool allow_rollback);
 
-  std::size_t page_size_;
+  std::size_t page_size_;  // physical (on-disk) page size
+  std::size_t usable_;     // payload bytes per page (page_size_ - trailer)
   File file_;
   IoStats* stats_;
+  // journal_ is declared before cache_ so it outlives it: the cache's
+  // destructor writes back dirty pages through the writer callback,
+  // which captures undo pre-images into the journal.
+  std::unique_ptr<WriteJournal> journal_;
   BlockCache cache_;
   std::uint16_t store_id_;
   PageId page_count_ = 1;  // header occupies page 0
@@ -91,6 +131,7 @@ class Pager {
                                          // double-free / cycle detection
   std::uint64_t user_meta_[kMetaSlots] = {};
   bool header_dirty_ = false;
+  bool in_flush_ = false;  // post-commit in-place phase: skip undo capture
 };
 
 }  // namespace mssg

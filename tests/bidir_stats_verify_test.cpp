@@ -184,18 +184,12 @@ TEST(GrdbVerify, DetectsCorruptedPointer) {
   {
     GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
     db.store_edges(std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    // Vertex 0's level-0 sub-block has a level-1 pointer in its second
+    // entry.  Point it past level 1's allocated extent — through the
+    // cache, so the block's sidecar CRC reseals and the structural fsck
+    // (not the checksum) is what must catch it.
+    db.poke_entry(0, 0, 1, grdb::make_pointer_entry(1, 999));
     db.flush();
-  }
-  // Vertex 0's level-0 sub-block is the first 16 bytes of level0.0.dat;
-  // its second entry is a pointer to level 1.  Point it past level 1's
-  // allocated extent.
-  {
-    const auto bogus = grdb::make_pointer_entry(1, 999);
-    std::fstream f(dir.path() / "level0.0.dat",
-                   std::ios::in | std::ios::out | std::ios::binary);
-    ASSERT_TRUE(f.is_open());
-    f.seekp(8);
-    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
   }
   GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
   const auto report = db.verify();
@@ -209,7 +203,6 @@ TEST(GrdbVerify, DetectsSharedSubblock) {
   GraphDBConfig config;
   config.dir = dir.path();
   std::filesystem::create_directories(config.dir);
-  std::uint64_t target_subblock = 0;
   {
     GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
     // Two vertices with level-1 chains.
@@ -218,24 +211,43 @@ TEST(GrdbVerify, DetectsSharedSubblock) {
     }
     ASSERT_EQ(db.chain_of(0).size(), 2u);
     ASSERT_EQ(db.chain_of(1).size(), 2u);
-    target_subblock = db.chain_of(0)[1].second;  // vertex 0's level-1 sub-block
+    const std::uint64_t target_subblock = db.chain_of(0)[1].second;
     ASSERT_NE(target_subblock, db.chain_of(1)[1].second);
+    // Redirect vertex 1's pointer at vertex 0's level-1 sub-block: two
+    // chains now share it.
+    db.poke_entry(0, 1, 1, grdb::make_pointer_entry(1, target_subblock));
     db.flush();
-  }
-  // Redirect vertex 1's pointer at vertex 0's level-1 sub-block: two
-  // chains now share it.
-  {
-    const auto alias = grdb::make_pointer_entry(1, target_subblock);
-    std::fstream f(dir.path() / "level0.0.dat",
-                   std::ios::in | std::ios::out | std::ios::binary);
-    ASSERT_TRUE(f.is_open());
-    f.seekp(16 + 8);  // vertex 1's sub-block, second entry
-    f.write(reinterpret_cast<const char*>(&alias), sizeof(alias));
   }
   GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
   const auto report = db.verify();
   ASSERT_FALSE(report.ok());
   EXPECT_NE(report.errors.front().find("two chains"), std::string::npos);
+}
+
+TEST(GrdbVerify, ReportsOutOfBandDiskPatchAsChecksumFinding) {
+  TempDir dir;
+  GraphDBConfig config;
+  config.dir = dir.path();
+  std::filesystem::create_directories(config.dir);
+  {
+    GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+    db.store_edges(std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    db.flush();
+  }
+  // Patch the file behind grDB's back: the sidecar CRC must reject the
+  // block, and verify() must report that instead of dying.
+  {
+    const auto bogus = grdb::make_pointer_entry(1, 999);
+    std::fstream f(dir.path() / "level0.0.dat",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  GrDB db(config, std::make_unique<InMemoryMetadata>(), tiny_geometry());
+  const auto report = db.verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors.front().find("sidecar checksum"), std::string::npos);
 }
 
 }  // namespace

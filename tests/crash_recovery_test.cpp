@@ -1,0 +1,185 @@
+// Crash-recovery kill-point sweep (the heart of the durability PR).
+//
+// For each persistent backend the sweep commits a baseline graph, then
+// replays the same "second epoch" (open, ingest a second batch, flush)
+// over and over, killing the process-equivalent at every successive
+// durable-mutation index: a sticky FaultInjector rule fails the k-th
+// write-or-sync under the storage directory and every one after it, so
+// the on-disk state is exactly what a kill -9 at that moment leaves.
+// After each kill the backend must reopen WITHOUT error and read back
+// one of the two committed states — the baseline alone, or baseline
+// plus the second batch — never a torn hybrid and never garbage.
+//
+// The sweep ends naturally at the first k no operation reaches.
+// MSSG_CRASH_SWEEP_STRIDE=<n> coarsens the sweep for sanitizer CI.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/temp_dir.hpp"
+#include "graphdb/grdb/grdb.hpp"
+#include "storage/fault_injector.hpp"
+#include "test_util.hpp"
+
+namespace mssg {
+namespace {
+
+using testing::make_db;
+using testing::sorted;
+using testing::tiny_graph_directed;
+
+// Second-epoch batch, vertex-disjoint from tiny_graph_directed() so a
+// half-applied epoch would be visible as inconsistent adjacency.
+std::vector<Edge> second_batch() {
+  std::vector<Edge> edges;
+  for (const Edge e :
+       std::initializer_list<Edge>{{10, 11}, {11, 12}, {10, 12}}) {
+    edges.push_back(e);
+    edges.push_back(Edge{e.dst, e.src});
+  }
+  return edges;
+}
+
+std::uint64_t sweep_stride() {
+  if (const char* env = std::getenv("MSSG_CRASH_SWEEP_STRIDE")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 1;
+}
+
+// Reopens after the kill and checks the state is one of the two
+// committed snapshots.  Returns true when the second batch survived.
+bool check_recovered(Backend backend, const TempDir& dir,
+                     const GraphDBConfig& config, std::uint64_t k) {
+  auto db = make_db(backend, dir, config);  // must not throw
+  std::vector<VertexId> out;
+
+  // The baseline epoch was committed before any fault was armed; it must
+  // be there verbatim after every kill point.
+  db->get_adjacency(0, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{1, 3})) << "kill point " << k;
+  out.clear();
+  db->get_adjacency(4, out);
+  EXPECT_EQ(sorted(out), (std::vector<VertexId>{1, 3})) << "kill point " << k;
+
+  // The second epoch is all-or-nothing: vertex 10 and vertex 11 agree.
+  out.clear();
+  db->get_adjacency(10, out);
+  const bool has_second = !out.empty();
+  if (has_second) {
+    EXPECT_EQ(sorted(out), (std::vector<VertexId>{11, 12}))
+        << "kill point " << k;
+    out.clear();
+    db->get_adjacency(11, out);
+    EXPECT_EQ(sorted(out), (std::vector<VertexId>{10, 12}))
+        << "kill point " << k;
+  } else {
+    out.clear();
+    db->get_adjacency(11, out);
+    EXPECT_TRUE(out.empty()) << "kill point " << k
+                             << ": half-applied second epoch";
+  }
+
+  if (auto* grdb = dynamic_cast<GrDB*>(db.get())) {
+    const auto report = grdb->verify();
+    EXPECT_TRUE(report.ok()) << "kill point " << k << ": "
+                             << (report.errors.empty() ? ""
+                                                       : report.errors[0]);
+  }
+  return has_second;
+}
+
+void run_sweep(Backend backend, GraphDBConfig config) {
+  auto& injector = FaultInjector::instance();
+  injector.clear();
+
+  const std::uint64_t stride = sweep_stride();
+  bool reached_end = false;
+  bool second_survived_once = false;
+  std::uint64_t kill_points = 0;
+  // Far above any real operation count — a runaway guard, not a bound.
+  constexpr std::uint64_t kMaxK = 5000;
+  for (std::uint64_t k = 0; k < kMaxK; k += stride) {
+    // Fresh store per kill point: a k past the commit leaves the second
+    // epoch durable, and re-ingesting it into the same dir would
+    // double-count edges.
+    TempDir dir;
+    {
+      auto db = make_db(backend, dir, config);
+      db->store_edges(tiny_graph_directed());
+      db->flush();
+    }
+
+    injector.clear();
+    FaultInjector::Rule rule;
+    rule.path_substring = dir.path().string();
+    rule.op = FaultInjector::Op::kMutate;  // writes AND syncs, one index
+    rule.kind = FaultInjector::Kind::kFail;
+    rule.nth = k;
+    rule.kill = true;
+    injector.add_rule(rule);
+
+    try {
+      auto db = make_db(backend, dir, config);
+      db->store_edges(second_batch());
+      db->flush();
+    } catch (const StorageError&) {
+      // Expected for most kill points; destructors swallow the rest.
+    }
+
+    const bool fired = injector.triggered() > 0;
+    injector.clear();
+
+    second_survived_once |= check_recovered(backend, dir, config, k);
+    if (!fired) {
+      reached_end = true;  // k is past the last durable mutation
+      break;
+    }
+    ++kill_points;
+  }
+  EXPECT_TRUE(reached_end) << "sweep never ran fault-free (kMaxK too low?)";
+  EXPECT_GT(kill_points, 0u) << "sweep armed no kill point at all";
+  // The final, unkilled iteration commits the second epoch.
+  EXPECT_TRUE(second_survived_once);
+  injector.clear();
+}
+
+class CrashRecovery : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(CrashRecovery, KillPointSweepRecoversCommittedState) {
+  GraphDBConfig config;
+  config.cache_bytes = 64u << 10;  // small cache: evictions mid-epoch
+  config.async_io = false;         // deterministic operation indices
+  run_sweep(GetParam(), config);
+}
+
+INSTANTIATE_TEST_SUITE_P(PersistentBackends, CrashRecovery,
+                         ::testing::Values(Backend::kGrDB, Backend::kKVStore,
+                                           Backend::kStream),
+                         [](const ::testing::TestParamInfo<Backend>& p) {
+                           auto name = to_string(p.param);
+                           return name.substr(0, name.find('('));
+                         });
+
+// Async write-behind moves writes onto the engine worker, so kill points
+// land nondeterministically — every one must still recover.
+TEST(CrashRecovery, KvstoreSweepWithAsyncWriteBehind) {
+  GraphDBConfig config;
+  config.cache_bytes = 64u << 10;
+  config.async_io = true;
+  run_sweep(Backend::kKVStore, config);
+}
+
+TEST(CrashRecovery, GrdbSweepWithAsyncWriteBehind) {
+  GraphDBConfig config;
+  config.cache_bytes = 64u << 10;
+  config.async_io = true;
+  run_sweep(Backend::kGrDB, config);
+}
+
+}  // namespace
+}  // namespace mssg

@@ -16,6 +16,7 @@
 #include "common/temp_dir.hpp"
 #include "gen/generators.hpp"
 #include "storage/block_cache.hpp"
+#include "storage/fault_injector.hpp"
 #include "storage/file.hpp"
 #include "storage/io_engine.hpp"
 #include "storage/pager.hpp"
@@ -154,6 +155,37 @@ TEST(IoEngine, NullFileRequestCompletesWithoutIo) {
   ASSERT_EQ(done.size(), 1u);
   EXPECT_EQ(done[0].key, 42u);
   EXPECT_EQ(stats.reads, 0u);
+}
+
+TEST(IoEngine, WorkerErrorsPropagateToOwningThread) {
+  TempDir dir;
+  File file = File::open(dir.path() / "data");
+  FaultInjector::instance().clear();
+  FaultInjector::instance().parse_spec(
+      "path=" + (dir.path() / "data").string() + ",op=write,kind=fail,nth=0");
+
+  IoEngine engine;
+  std::vector<IoRequest> batch;
+  IoRequest req;
+  req.kind = IoRequest::Kind::kWrite;
+  req.file = &file;
+  req.offset = 0;
+  req.buffer = pattern_block(3);
+  req.key = 7;
+  batch.push_back(std::move(req));
+  engine.submit(std::move(batch));
+  engine.drain();  // the worker must survive the throw, not terminate
+
+  const auto done = engine.poll_completions(nullptr);
+  FaultInjector::instance().clear();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].key, 7u);
+  // The failure comes back on the completion, for the owner to rethrow.
+  EXPECT_FALSE(done[0].error.empty());
+  EXPECT_NE(done[0].error.find("fault injection"), std::string::npos)
+      << done[0].error;
+  // Nothing landed on disk.
+  EXPECT_EQ(file.size(), 0u);
 }
 
 TEST(IoEngine, WaitForCompletionReturnsWhenIdle) {
@@ -327,6 +359,32 @@ TEST(AsyncIo, FlushAndDestructorDrainWriteBehind) {
     file.read_at(b * kBlock, out);
     EXPECT_EQ(out[0], std::byte(0x10 + b)) << "block " << b;
   }
+}
+
+TEST(AsyncIo, WriteBehindErrorSurfacesAsStorageError) {
+  TempDir dir;
+  IoStats stats;
+  FileStore fs(dir.path() / "store", &stats, 2 * kBlock);
+  fs.cache.enable_async_io();
+  FaultInjector::instance().clear();
+  FaultInjector::instance().parse_spec(
+      "path=" + (dir.path() / "store").string() + ",op=write,kind=fail,nth=0");
+
+  {
+    BlockHandle h = fs.cache.get(fs.store, 0);
+    std::memset(h.mutable_data().data(), 0xAB, kBlock);
+  }
+  // Evicting block 0 hands its dirty payload to the engine, where the
+  // write fails on the worker thread.  The deferred error must come back
+  // as a StorageError on the owning thread — at the next get() or at
+  // drain — never a crash, never silence.
+  EXPECT_THROW(
+      {
+        for (std::uint64_t b = 1; b <= 3; ++b) (void)fs.cache.get(fs.store, b);
+        fs.cache.drain_pending();
+      },
+      StorageError);
+  FaultInjector::instance().clear();
 }
 
 TEST(AsyncIo, LocatorNulloptFallsBackToSyncReader) {

@@ -25,6 +25,12 @@ FILTER+=':IoEngine.*:AsyncIo.*:PagerFreeList.*:*BfsAsyncEquivalence*'
 # mailbox wakeup protocol uses per-waiter condition variables — the codec
 # and wire-equivalence suites must stay clean under both sanitizers.
 FILTER+=':PayloadBuffer.*:VertexCodec.*:BfsWireEquivalence.*'
+# PR 5: crash-safety — the kill-point sweep and torn-write fuzz throw
+# through the eviction/write-behind paths from both threads; strided so
+# a sanitizer run stays bounded (a stride-7 sweep still crosses every
+# phase of the flush protocol).
+FILTER+=':CrashRecovery.*:*CrashRecovery*:TornWrite.*:FaultInjector.*'
+export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
   local preset="$1" build_dir="$2"
