@@ -6,6 +6,7 @@
 //   mssg_tool stats <edges.txt>
 //   mssg_tool ingest <edges.txt> <storage-dir> [--nodes N] [--backend B]
 //   mssg_tool bfs   <storage-dir> <src> <dst> [--nodes N] [--backend B]
+//                   [--concurrency Q] [--budget T]
 //   mssg_tool khop  <storage-dir> <src> <k>   [--nodes N] [--backend B]
 //   mssg_tool cc    <storage-dir>             [--nodes N] [--backend B]
 //   mssg_tool defrag <storage-dir>            [--nodes N]
@@ -15,6 +16,12 @@
 // Every cluster command accepts --metrics: after the result it prints
 // the merged MetricsSnapshot (io.*, comm.*, bfs.*, ingest.*, ...) as a
 // single JSON line on stdout.
+//
+// bfs with --concurrency Q > 1 runs Q searches from consecutive sources
+// through the concurrent query engine (shared 2Q block cache, per-query
+// token budgets via --budget); --metrics then also shows the scheduler's
+// sched.q<id>.* per-query cache attribution and the cache's
+// cache.qprobation_hits / cache.qprotected_hits split.
 //
 // Every cluster command also accepts --fault-spec "<rules>" to arm a
 // deterministic storage fault (crash-recovery drills from the shell):
@@ -46,6 +53,8 @@ struct CommonArgs {
   double scale = 0.05;
   std::string model = "pubmed-s";
   bool metrics = false;
+  int concurrency = 1;
+  std::uint64_t budget = 0;
 };
 
 CommonArgs parse_flags(int argc, char** argv, int first) {
@@ -64,6 +73,10 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
       args.scale = std::stod(next());
     } else if (flag == "--model") {
       args.model = next();
+    } else if (flag == "--concurrency") {
+      args.concurrency = std::stoi(next());
+    } else if (flag == "--budget") {
+      args.budget = std::stoull(next());
     } else if (flag == "--fault-spec") {
       // Arm a deterministic storage fault, e.g.
       //   --fault-spec "path=grdb,op=write,kind=torn,nth=3,bytes=512,kill"
@@ -108,6 +121,8 @@ MssgCluster open_cluster(const std::string& dir, const CommonArgs& args) {
   config.backend_nodes = args.nodes;
   config.backend = args.backend;
   config.storage_root = dir;
+  config.scheduler.max_inflight = std::max(args.concurrency, 1);
+  config.scheduler.token_budget = args.budget;
   return MssgCluster(std::move(config));
 }
 
@@ -166,8 +181,41 @@ int cmd_bfs(int argc, char** argv) {
   if (argc < 5) return usage();
   const auto args = parse_flags(argc, argv, 5);
   auto cluster = open_cluster(argv[2], args);
-  const auto result =
-      cluster.bfs(std::stoull(argv[3]), std::stoull(argv[4]));
+  const VertexId src = std::stoull(argv[3]);
+  const VertexId dst = std::stoull(argv[4]);
+  if (args.concurrency > 1) {
+    // Q concurrent searches from consecutive sources, all sharing the
+    // block caches through the query scheduler.
+    std::vector<QueryScheduler::Ticket> tickets;
+    tickets.reserve(args.concurrency);
+    for (int q = 0; q < args.concurrency; ++q) {
+      tickets.push_back(cluster.submit_analysis(
+          "cbfs", {src + static_cast<std::uint64_t>(q), dst}));
+    }
+    for (int q = 0; q < args.concurrency; ++q) {
+      const QueryOutcome outcome = cluster.await_query(tickets[q]);
+      std::cout << "query " << tickets[q].id() << " (src "
+                << src + static_cast<std::uint64_t>(q) << "): ";
+      if (!outcome.ok()) {
+        std::cout << "error: " << outcome.error << "\n";
+        continue;
+      }
+      const auto distance = static_cast<Metadata>(outcome.result.at(0));
+      if (distance == kUnvisited) {
+        std::cout << "unreachable";
+      } else {
+        std::cout << "distance " << distance;
+      }
+      std::cout << " (" << outcome.result.at(1) << " edges, cache hit "
+                << outcome.cache_hit_ratio * 100.0 << "%, " << outcome.seconds
+                << " s";
+      if (outcome.truncated) std::cout << ", budget-truncated";
+      std::cout << ")\n";
+    }
+    maybe_print_metrics(args, cluster);
+    return 0;
+  }
+  const auto result = cluster.bfs(src, dst);
   if (result.distance == kUnvisited) {
     std::cout << "unreachable (scanned " << result.edges_scanned
               << " edges)\n";

@@ -142,6 +142,14 @@ struct GraphDBConfig {
   /// Upper bound on vertex ids this node may see (sizes the external
   /// metadata file and grDB's level 0; in-memory stores grow lazily).
   VertexId max_vertices = 1u << 20;
+  /// Simulated device latency per block-cache miss, in microseconds
+  /// (0 = off).  The harness's "disk" is the OS page cache, which hides
+  /// the seek cost the paper's 2006-era drives paid on every miss; the
+  /// concurrency ablation (A12) arms this to measure how much of that
+  /// stall time overlapping queries can hide.  The stall is served with
+  /// the cache lock released, so concurrent queries overlap their
+  /// stalls the way parallel requests overlap on a real device queue.
+  std::uint32_t sim_miss_penalty_us = 0;
 };
 
 /// Creates a backend instance.

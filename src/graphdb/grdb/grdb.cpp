@@ -43,6 +43,7 @@ GrDB::GrDB(const GraphDBConfig& config,
       dir_(config.dir),
       cache_(config.cache_enabled ? config.cache_bytes : 0, &stats_) {
   options_.geometry.validate();
+  cache_.set_miss_penalty_us(config.sim_miss_penalty_us);
   const int level_count = options_.geometry.level_count();
   levels_.resize(level_count);
   for (int l = 0; l < level_count; ++l) {

@@ -17,7 +17,9 @@ KVStoreDB::KVStoreDB(const GraphDBConfig& config,
              config.async_io, config.journal),
       tree_(pager_),
       backend_(tree_),
-      chunks_(backend_) {}
+      chunks_(backend_) {
+  pager_.set_miss_penalty_us(config.sim_miss_penalty_us);
+}
 
 void KVStoreDB::store_edges(std::span<const Edge> edges) {
   // Group the batch by source so each vertex pays one read-modify-write

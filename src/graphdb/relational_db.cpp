@@ -117,7 +117,9 @@ RelationalDB::RelationalDB(const GraphDBConfig& config,
       index_(pager_, /*meta_base=*/0),
       heap_(pager_, /*meta_base=*/2),
       backend_(index_, heap_),
-      chunks_(backend_) {}
+      chunks_(backend_) {
+  pager_.set_miss_penalty_us(config.sim_miss_penalty_us);
+}
 
 void RelationalDB::store_edges(std::span<const Edge> edges) {
   std::unordered_map<VertexId, std::vector<VertexId>> by_source;

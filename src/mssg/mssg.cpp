@@ -45,6 +45,7 @@ MssgCluster::MssgCluster(ClusterConfig config)
     dbs_.push_back(make_graphdb(config_.backend, db_config));
     registries_.push_back(std::make_unique<MetricsRegistry>());
   }
+  scheduler_ = std::make_unique<QueryScheduler>(world_, config_.scheduler);
 }
 
 IngestReport MssgCluster::ingest(std::span<const Edge> edges) {
@@ -108,6 +109,53 @@ std::vector<double> MssgCluster::run_analysis(
     }
   });
   return rank0;
+}
+
+QueryScheduler::Ticket MssgCluster::submit_analysis(
+    const std::string& name, const std::vector<std::uint64_t>& params) {
+  // Concurrent-safe analyses share the cluster; legacy analyses mutate
+  // the per-node metadata stores, so they are admitted exclusively.
+  const bool concurrent = queries_.is_concurrent(name);
+  return scheduler_->submit(
+      [this, name, params](Communicator& comm, QueryContext& ctx) {
+        GraphDB& db = *dbs_[comm.rank()];
+        if (queries_.is_concurrent(name)) {
+          return queries_.run_concurrent(name, comm, db, params, ctx);
+        }
+        return queries_.run(name, comm, db, params);
+      },
+      /*exclusive=*/!concurrent);
+}
+
+QueryOutcome MssgCluster::await_query(const QueryScheduler::Ticket& ticket) {
+  return scheduler_->await(ticket);
+}
+
+MsBfsStats MssgCluster::ms_bfs(std::span<const VertexId> sources, VertexId dst,
+                               MsBfsOptions options) {
+  if (!partitioner_->globally_known_map() &&
+      config_.decluster != DeclusterPolicy::kHashMod) {
+    options.map_known = false;
+  }
+  MsBfsStats result;
+  std::mutex merge_mutex;
+  run_cluster(world_, [&](Communicator& comm) {
+    MsBfsOptions node_options = options;
+    node_options.metrics = registries_[comm.rank()].get();
+    const MsBfsStats stats =
+        parallel_msbfs(comm, *dbs_[comm.rank()], sources, dst, node_options);
+    std::lock_guard lock(merge_mutex);
+    result.distance = stats.distance;      // globally consistent
+    result.discovered = stats.discovered;  // globally consistent
+    result.levels = std::max(result.levels, stats.levels);
+    result.edges_scanned += stats.edges_scanned;
+    result.adjacency_fetches += stats.adjacency_fetches;
+    result.shared_scans_saved += stats.shared_scans_saved;
+    result.fringe_messages += stats.fringe_messages;
+    result.truncated = result.truncated || stats.truncated;
+    result.seconds = std::max(result.seconds, stats.seconds);
+  });
+  return result;
 }
 
 KHopStats MssgCluster::khop(VertexId src, Metadata k, BfsOptions options) {
@@ -213,6 +261,7 @@ MetricsSnapshot MssgCluster::metrics_snapshot() const {
   for (const auto& reg : registries_) snap.merge(reg->snapshot());
   for (const auto& db : dbs_) db->publish_metrics(snap);
   world_.publish_metrics(snap);
+  snap.merge(scheduler_->metrics_snapshot());
   return snap;
 }
 

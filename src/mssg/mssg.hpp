@@ -21,6 +21,8 @@
 #include "query/bidirectional_bfs.hpp"
 #include "query/connected_components.hpp"
 #include "query/graph_stats_analysis.hpp"
+#include "query/ms_bfs.hpp"
+#include "query/query_scheduler.hpp"
 #include "query/query_service.hpp"
 #include "runtime/comm.hpp"
 
@@ -44,6 +46,9 @@ struct ClusterConfig {
   /// Template for per-node GraphDB configs (dir is overridden per node).
   GraphDBConfig db;
   IngestOptions ingest;
+  /// Concurrent query engine: how many concurrent-safe analyses may run
+  /// at once, and the per-query token budget (0 = unlimited).
+  QuerySchedulerConfig scheduler;
 };
 
 /// Aggregated result of one distributed query.
@@ -78,6 +83,21 @@ class MssgCluster {
   std::vector<double> run_analysis(const std::string& name,
                                    const std::vector<std::uint64_t>& params);
 
+  /// Submits a registered analysis to the concurrent query engine and
+  /// returns immediately.  Concurrent-safe analyses (ms-bfs, cbfs) share
+  /// the cluster with up to `scheduler.max_inflight` peers; anything
+  /// else is admitted exclusively.  Await the ticket for the outcome.
+  QueryScheduler::Ticket submit_analysis(
+      const std::string& name, const std::vector<std::uint64_t>& params);
+
+  /// Blocks until a submitted analysis finishes.
+  QueryOutcome await_query(const QueryScheduler::Ticket& ticket);
+
+  /// Runs one batched multi-source BFS (1..64 sources share a traversal)
+  /// directly on the cluster, outside the scheduler.
+  MsBfsStats ms_bfs(std::span<const VertexId> sources, VertexId dst,
+                    MsBfsOptions options = {});
+
   /// Counts the distinct vertices within k hops of src.
   KHopStats khop(VertexId src, Metadata k, BfsOptions options = {});
 
@@ -103,6 +123,7 @@ class MssgCluster {
   }
   [[nodiscard]] GraphDB& node_db(int node) { return *dbs_.at(node); }
   [[nodiscard]] QueryService& queries() { return queries_; }
+  [[nodiscard]] QueryScheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] Partitioner& partitioner() { return *partitioner_; }
 
   /// Aggregate disk statistics over all back-end nodes.
@@ -132,6 +153,9 @@ class MssgCluster {
   MetricsSnapshot ingest_metrics_;
   CommWorld world_;
   QueryService queries_;
+  // Last member: runner threads reference the world and DBs, so the
+  // scheduler must be torn down (queries joined) first.
+  std::unique_ptr<QueryScheduler> scheduler_;
 };
 
 }  // namespace mssg

@@ -1,0 +1,46 @@
+// Per-query token budget — the admission-control currency of the
+// concurrent query engine.  One instance is shared by all rank threads
+// of a query; analyses charge tokens (adjacency entries scanned) as they
+// work and poll exhausted() at level boundaries, truncating the query
+// cooperatively instead of being killed mid-collective.
+//
+// Charging is monotonic (spent only grows), so exhaustion is a
+// deterministic function of the work done — a budget-truncated query
+// reproduces exactly given the same graph and parameters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mssg {
+
+class QueryBudget {
+ public:
+  /// `token_limit` caps the query's work in tokens (adjacency entries
+  /// scanned); 0 means unlimited.
+  explicit QueryBudget(std::uint64_t token_limit = 0) : limit_(token_limit) {}
+
+  QueryBudget(const QueryBudget&) = delete;
+  QueryBudget& operator=(const QueryBudget&) = delete;
+
+  /// Records `tokens` of work done by one rank (relaxed: ranks race, the
+  /// sum is what matters and level-boundary checks are collective).
+  void charge(std::uint64_t tokens) {
+    if (limit_ != 0) spent_.fetch_add(tokens, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool exhausted() const {
+    return limit_ != 0 && spent_.load(std::memory_order_relaxed) >= limit_;
+  }
+
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  [[nodiscard]] std::uint64_t spent() const {
+    return spent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint64_t limit_;
+  std::atomic<std::uint64_t> spent_{0};
+};
+
+}  // namespace mssg

@@ -1,0 +1,181 @@
+#include "query/query_scheduler.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mssg {
+
+struct QueryScheduler::Ticket::State {
+  State(std::uint64_t query_id, std::uint64_t token_budget, int ranks)
+      : id(query_id),
+        budget(token_budget),
+        registries(static_cast<std::size_t>(ranks)) {}
+
+  const std::uint64_t id;
+  QueryBudget budget;
+  CacheAttribution attribution;
+  std::vector<MetricsRegistry> registries;  // one per rank: never shared
+  QueryOutcome outcome;
+
+  std::thread runner;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+std::uint64_t QueryScheduler::Ticket::id() const {
+  MSSG_CHECK(state_ != nullptr);
+  return state_->id;
+}
+
+QueryScheduler::QueryScheduler(CommWorld& world, QuerySchedulerConfig config)
+    : world_(world), config_(config) {
+  MSSG_CHECK(config_.max_inflight >= 1);
+}
+
+QueryScheduler::~QueryScheduler() {
+  std::vector<std::shared_ptr<Ticket::State>> states;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states.swap(states_);
+  }
+  for (const auto& state : states) await(Ticket(state));
+}
+
+QueryScheduler::Ticket QueryScheduler::submit(QueryJob job, bool exclusive) {
+  std::shared_ptr<Ticket::State> state;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    state = std::make_shared<Ticket::State>(next_id_++, config_.token_budget,
+                                            world_.size());
+    states_.push_back(state);
+  }
+  state->runner = std::thread(
+      [this, state, moved_job = std::move(job), exclusive]() mutable {
+        run_query(state, std::move(moved_job), exclusive);
+      });
+  return Ticket(state);
+}
+
+QueryOutcome QueryScheduler::await(const Ticket& ticket) {
+  MSSG_CHECK(ticket.valid());
+  Ticket::State& state = *ticket.state_;
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&] { return state.done; });
+  // First awaiter reaps the runner; the lock serializes concurrent
+  // awaits on one ticket.
+  if (state.runner.joinable()) state.runner.join();
+  return state.outcome;
+}
+
+int QueryScheduler::inflight() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return running_;
+}
+
+void QueryScheduler::admit(bool exclusive) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (exclusive) {
+    // Announce intent first: new shared queries hold back, so a steady
+    // shared stream cannot starve the exclusive one.
+    ++pending_exclusive_;
+    admission_cv_.wait(lock, [&] { return running_ == 0; });
+    --pending_exclusive_;
+    exclusive_running_ = true;
+    running_ = 1;
+  } else {
+    admission_cv_.wait(lock, [&] {
+      return !exclusive_running_ && pending_exclusive_ == 0 &&
+             running_ < config_.max_inflight;
+    });
+    ++running_;
+  }
+}
+
+void QueryScheduler::release(bool exclusive) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (exclusive) exclusive_running_ = false;
+    --running_;
+  }
+  admission_cv_.notify_all();
+}
+
+void QueryScheduler::run_query(const std::shared_ptr<Ticket::State>& state,
+                               QueryJob job, bool exclusive) {
+  QueryOutcome& out = state->outcome;
+  Timer queue_timer;
+  admit(exclusive);
+  out.queue_seconds = queue_timer.seconds();
+
+  Timer run_timer;
+  // Private sub-world per query: mailboxes, barrier, and collective
+  // scratch are isolated, traffic still lands in the cluster totals.
+  const std::unique_ptr<CommWorld> sub = world_.split(state->id);
+  try {
+    run_cluster(*sub, [&](Communicator& comm) {
+      CacheAttributionScope cache_scope(&state->attribution);
+      QueryContext ctx{state->id, &state->budget,
+                       &state->registries[static_cast<std::size_t>(comm.rank())],
+                       &state->attribution};
+      std::vector<double> result = job(comm, ctx);
+      if (comm.rank() == 0) out.result = std::move(result);
+    });
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown query failure";
+  }
+  out.seconds = run_timer.seconds();
+  release(exclusive);
+
+  out.truncated = state->budget.exhausted();
+  out.cache_hits = state->attribution.hits.load(std::memory_order_relaxed);
+  out.cache_misses = state->attribution.misses.load(std::memory_order_relaxed);
+  out.cache_hit_ratio = state->attribution.hit_ratio();
+  for (const MetricsRegistry& reg : state->registries) {
+    out.metrics.merge(reg.snapshot());
+  }
+  record_completion(*state);
+
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void QueryScheduler::record_completion(const Ticket::State& state) {
+  const QueryOutcome& out = state.outcome;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  sched_.counter("sched.queries") += 1;
+  if (out.truncated) sched_.counter("sched.truncated") += 1;
+  if (!out.ok()) sched_.counter("sched.failed") += 1;
+  sched_.histogram("sched.queue_wait_us")
+      .record(static_cast<std::uint64_t>(out.queue_seconds * 1e6));
+  sched_.histogram("sched.query_us")
+      .record(static_cast<std::uint64_t>(out.seconds * 1e6));
+  if (out.cache_hits + out.cache_misses != 0) {
+    sched_.histogram("sched.cache_hit_pct")
+        .record(static_cast<std::uint64_t>(out.cache_hit_ratio * 100.0));
+  }
+  const std::string prefix = "sched.q" + std::to_string(state.id);
+  sched_.counter(prefix + ".cache_hits") += out.cache_hits;
+  sched_.counter(prefix + ".cache_misses") += out.cache_misses;
+  sched_.counter(prefix + ".cache_hit_pct") +=
+      static_cast<std::uint64_t>(out.cache_hit_ratio * 100.0);
+  sched_.counter(prefix + ".tokens_spent") += state.budget.spent();
+  completed_.merge(out.metrics);
+}
+
+MetricsSnapshot QueryScheduler::metrics_snapshot() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MetricsSnapshot snap = sched_.snapshot();
+  snap.merge(completed_);
+  return snap;
+}
+
+}  // namespace mssg

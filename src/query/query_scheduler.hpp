@@ -1,0 +1,159 @@
+// Concurrent query execution engine — admission control for N in-flight
+// analyses over one simulated cluster.
+//
+// The paper's Query service registers analyses but executes them one at
+// a time; FlashGraph/Graphyti-style semi-external-memory engines win by
+// running many traversals concurrently over a shared page cache.  The
+// scheduler provides the missing machinery:
+//
+//  - Admission control: at most `max_inflight` concurrent-safe queries
+//    run at once.  Analyses that mutate shared per-node state (the
+//    GraphDB metadata store used by the legacy single-source searches)
+//    submit as *exclusive* and run alone; pending exclusive queries gate
+//    new shared admissions so they cannot starve.
+//  - Stream isolation: each admitted query runs on a CommWorld::split()
+//    sub-world — private mailboxes, barrier, and collective scratch — so
+//    interleaved queries cannot cross message streams.
+//  - Per-query token budgets (query/query_budget.hpp): analyses charge
+//    work tokens and truncate cooperatively at level boundaries.
+//  - Per-query MetricsRegistry scoping: every (query, rank) pair gets a
+//    private registry (registries are single-threaded by design), merged
+//    into the query's outcome and the scheduler aggregate on completion.
+//  - Per-query cache attribution: the query's rank threads run under a
+//    CacheAttributionScope, so the shared 2Q BlockCache splits its
+//    hit/miss counts per query ("sched.q<id>.cache_hits", hit ratios).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "query/query_budget.hpp"
+#include "runtime/comm.hpp"
+#include "storage/block_cache.hpp"
+
+namespace mssg {
+
+struct QuerySchedulerConfig {
+  /// Maximum concurrently running shared (concurrent-safe) queries.
+  int max_inflight = 4;
+  /// Per-query token budget (tokens = adjacency entries scanned);
+  /// 0 = unlimited.
+  std::uint64_t token_budget = 0;
+};
+
+/// Hands an admitted analysis its per-query resources.  `metrics` is the
+/// calling rank's query-private registry; `budget` and `attribution` are
+/// shared by all ranks of the query.
+struct QueryContext {
+  std::uint64_t query_id = 0;
+  QueryBudget* budget = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  CacheAttribution* attribution = nullptr;
+};
+
+/// A collective analysis body: invoked once per rank on the query's
+/// private sub-world.  Rank 0's return vector becomes the outcome.
+using QueryJob =
+    std::function<std::vector<double>(Communicator& comm, QueryContext& ctx)>;
+
+struct QueryOutcome {
+  std::vector<double> result;  ///< rank 0's analysis result
+  bool truncated = false;      ///< token budget ran out
+  std::uint64_t cache_hits = 0;    ///< shared-cache hits attributed here
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;
+  double queue_seconds = 0.0;  ///< time waiting for admission
+  double seconds = 0.0;        ///< execution wall time
+  std::string error;           ///< empty on success
+  MetricsSnapshot metrics;     ///< merged over the query's rank registries
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class QueryScheduler {
+ public:
+  /// `world` is the cluster's root CommWorld: each query gets a split()
+  /// of it, so query traffic still lands in the cluster's comm.* totals.
+  explicit QueryScheduler(CommWorld& world, QuerySchedulerConfig config = {});
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Awaits every in-flight query.
+  ~QueryScheduler();
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    [[nodiscard]] std::uint64_t id() const;
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class QueryScheduler;
+    struct State;
+    explicit Ticket(std::shared_ptr<State> state) : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// Enqueues a query.  Returns immediately; the query runs on its own
+  /// runner thread once admitted.  `exclusive` marks analyses that touch
+  /// shared mutable per-node state (GraphDB metadata store) and must run
+  /// alone; concurrent-safe analyses (ms_bfs-family) submit shared.
+  Ticket submit(QueryJob job, bool exclusive = false);
+
+  /// Blocks until the query finishes and returns its outcome.  Safe to
+  /// call more than once per ticket.
+  QueryOutcome await(const Ticket& ticket);
+
+  /// submit + await, for callers without interleaving needs.
+  QueryOutcome run(QueryJob job, bool exclusive = false) {
+    return await(submit(std::move(job), exclusive));
+  }
+
+  /// Queries currently admitted (diagnostics; racy by nature).
+  [[nodiscard]] int inflight() const;
+
+  [[nodiscard]] const QuerySchedulerConfig& config() const { return config_; }
+
+  /// Scheduler aggregate: sched.* counters/histograms (queries, queue
+  /// wait, per-query cache attribution) plus every completed query's
+  /// merged analysis metrics.  Call while no query is being awaited for
+  /// a stable view.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
+ private:
+  void run_query(const std::shared_ptr<Ticket::State>& state, QueryJob job,
+                 bool exclusive);
+  void admit(bool exclusive);
+  void release(bool exclusive);
+  void record_completion(const Ticket::State& state);
+
+  CommWorld& world_;
+  QuerySchedulerConfig config_;
+
+  // Admission state.
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int running_ = 0;
+  int pending_exclusive_ = 0;
+  bool exclusive_running_ = false;
+
+  // Completed-query accounting.
+  mutable std::mutex metrics_mu_;
+  MetricsRegistry sched_;
+  MetricsSnapshot completed_;
+
+  // Every submitted query, for the destructor's final join.
+  std::mutex states_mu_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::shared_ptr<Ticket::State>> states_;
+};
+
+}  // namespace mssg

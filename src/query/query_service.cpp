@@ -1,8 +1,11 @@
 #include "query/query_service.hpp"
 
+#include <algorithm>
+
 #include "query/bidirectional_bfs.hpp"
 #include "query/connected_components.hpp"
 #include "query/graph_stats_analysis.hpp"
+#include "query/ms_bfs.hpp"
 
 namespace mssg {
 
@@ -19,6 +22,37 @@ std::vector<double> bfs_analysis(Communicator& comm, GraphDB& db,
   return {static_cast<double>(stats.distance),
           static_cast<double>(stats.edges_scanned),
           static_cast<double>(stats.vertices_expanded), stats.seconds};
+}
+
+// params: {dest, src0, src1, ...} -> {distance x n, discovered x n,
+// levels, edges_scanned, adjacency_fetches, shared_scans_saved,
+// truncated, seconds}.  Counts are global (allreduced); dest may be
+// kInvalidVertex for pure multi-source exploration.
+std::vector<double> msbfs_analysis(Communicator& comm, GraphDB& db,
+                                   const std::vector<std::uint64_t>& params,
+                                   QueryContext& ctx) {
+  MSSG_CHECK(params.size() >= 2);
+  const VertexId dst = params[0];
+  const std::vector<VertexId> sources(params.begin() + 1, params.end());
+  MsBfsOptions options;
+  options.metrics = ctx.metrics;
+  options.budget = ctx.budget;
+  const MsBfsStats stats = parallel_msbfs(comm, db, sources, dst, options);
+  std::vector<double> out;
+  out.reserve(2 * sources.size() + 6);
+  for (const Metadata d : stats.distance) out.push_back(d);
+  for (const std::uint64_t c : stats.discovered) {
+    out.push_back(static_cast<double>(c));
+  }
+  out.push_back(static_cast<double>(stats.levels));
+  out.push_back(static_cast<double>(comm.allreduce_sum(stats.edges_scanned)));
+  out.push_back(
+      static_cast<double>(comm.allreduce_sum(stats.adjacency_fetches)));
+  out.push_back(
+      static_cast<double>(comm.allreduce_sum(stats.shared_scans_saved)));
+  out.push_back(stats.truncated ? 1.0 : 0.0);
+  out.push_back(stats.seconds);
+  return out;
 }
 }  // namespace
 
@@ -75,16 +109,38 @@ QueryService::QueryService() {
                                static_cast<double>(stats.iterations),
                                stats.seconds};
   });
+  register_concurrent("ms-bfs", msbfs_analysis);
+  // params: {source, dest} -> same layout as "bfs" (distance,
+  // edges_scanned, adjacency_fetches, seconds), but runs on the
+  // concurrent path: query-private visited state, so many may share one
+  // cluster.
+  register_concurrent("cbfs", [](Communicator& comm, GraphDB& db,
+                                 const std::vector<std::uint64_t>& params,
+                                 QueryContext& ctx) {
+    MSSG_CHECK(params.size() >= 2);
+    const std::vector<std::uint64_t> reordered = {params[1], params[0]};
+    const std::vector<double> full = msbfs_analysis(comm, db, reordered, ctx);
+    // distance, discovered, levels, edges, fetches, saved, trunc, secs
+    return std::vector<double>{full[0], full[3], full[4], full[7]};
+  });
 }
 
 void QueryService::register_analysis(const std::string& name, AnalysisFn fn) {
   analyses_[name] = std::move(fn);
 }
 
+void QueryService::register_concurrent(const std::string& name,
+                                       ConcurrentAnalysisFn fn) {
+  concurrent_[name] = std::move(fn);
+}
+
 std::vector<std::string> QueryService::names() const {
+  // Merge the two sorted registries so the listing stays sorted overall.
   std::vector<std::string> result;
-  result.reserve(analyses_.size());
+  result.reserve(analyses_.size() + concurrent_.size());
   for (const auto& [name, fn] : analyses_) result.push_back(name);
+  for (const auto& [name, fn] : concurrent_) result.push_back(name);
+  std::sort(result.begin(), result.end());
   return result;
 }
 
@@ -93,9 +149,26 @@ std::vector<double> QueryService::run(
     const std::vector<std::uint64_t>& params) const {
   auto it = analyses_.find(name);
   if (it == analyses_.end()) {
-    throw UsageError("unknown analysis: " + name);
+    // A concurrent-safe analysis also runs standalone: give it an inert
+    // context (no budget, no metrics, no attribution).
+    auto cit = concurrent_.find(name);
+    if (cit == concurrent_.end()) {
+      throw UsageError("unknown analysis: " + name);
+    }
+    QueryContext ctx;
+    return cit->second(comm, db, params, ctx);
   }
   return it->second(comm, db, params);
+}
+
+std::vector<double> QueryService::run_concurrent(
+    const std::string& name, Communicator& comm, GraphDB& db,
+    const std::vector<std::uint64_t>& params, QueryContext& ctx) const {
+  auto it = concurrent_.find(name);
+  if (it == concurrent_.end()) {
+    throw UsageError("unknown concurrent analysis: " + name);
+  }
+  return it->second(comm, db, params, ctx);
 }
 
 }  // namespace mssg

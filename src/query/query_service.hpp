@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "graphdb/graphdb.hpp"
 #include "query/bfs.hpp"
+#include "query/query_scheduler.hpp"
 #include "runtime/comm.hpp"
 
 namespace mssg {
@@ -22,15 +23,31 @@ namespace mssg {
 using AnalysisFn = std::function<std::vector<double>(
     Communicator&, GraphDB&, const std::vector<std::uint64_t>& params)>;
 
+/// Concurrent-safe analysis signature: same contract plus the scheduler's
+/// per-query context (budget, rank-private metrics, cache attribution).
+/// An analysis registered here promises NOT to mutate shared per-node
+/// state (in particular the GraphDB metadata store), so the scheduler may
+/// admit several at once against one cluster.
+using ConcurrentAnalysisFn = std::function<std::vector<double>(
+    Communicator&, GraphDB&, const std::vector<std::uint64_t>& params,
+    QueryContext& ctx)>;
+
 class QueryService {
  public:
   /// Registers the built-in analyses (bfs, pipelined-bfs).
   QueryService();
 
   void register_analysis(const std::string& name, AnalysisFn fn);
+  void register_concurrent(const std::string& name, ConcurrentAnalysisFn fn);
 
   [[nodiscard]] bool has(const std::string& name) const {
-    return analyses_.contains(name);
+    return analyses_.contains(name) || concurrent_.contains(name);
+  }
+
+  /// True when `name` is registered as concurrent-safe (shared
+  /// admission); plain analyses must run exclusively.
+  [[nodiscard]] bool is_concurrent(const std::string& name) const {
+    return concurrent_.contains(name);
   }
 
   [[nodiscard]] std::vector<std::string> names() const;
@@ -41,8 +58,14 @@ class QueryService {
                           GraphDB& db,
                           const std::vector<std::uint64_t>& params) const;
 
+  /// Runs a concurrent-safe analysis under a scheduler-issued context.
+  std::vector<double> run_concurrent(
+      const std::string& name, Communicator& comm, GraphDB& db,
+      const std::vector<std::uint64_t>& params, QueryContext& ctx) const;
+
  private:
   std::map<std::string, AnalysisFn> analyses_;
+  std::map<std::string, ConcurrentAnalysisFn> concurrent_;
 };
 
 }  // namespace mssg

@@ -6,7 +6,12 @@
 
 namespace mssg {
 
-CommWorld::CommWorld(int size) : size_(size) {
+CommWorld::CommWorld(int size)
+    : CommWorld(size, std::make_shared<TrafficCounters>(), 0) {}
+
+CommWorld::CommWorld(int size, std::shared_ptr<TrafficCounters> traffic,
+                     std::uint64_t stream_id)
+    : size_(size), stream_id_(stream_id), traffic_(std::move(traffic)) {
   MSSG_CHECK(size >= 1);
   mailboxes_.reserve(size);
   for (int i = 0; i < size; ++i) {
@@ -16,25 +21,31 @@ CommWorld::CommWorld(int size) : size_(size) {
   gather_slots_.resize(size);
 }
 
+std::unique_ptr<CommWorld> CommWorld::split(std::uint64_t stream_id) {
+  // Private mailboxes/barrier/scratch, shared traffic accounting.
+  return std::unique_ptr<CommWorld>(
+      new CommWorld(size_, traffic_, stream_id));
+}
+
 Communicator CommWorld::comm(Rank rank) {
   MSSG_CHECK(rank >= 0 && rank < size_);
   return Communicator(this, rank);
 }
 
 std::uint64_t CommWorld::messages_sent() const {
-  return messages_sent_.load(std::memory_order_relaxed);
+  return traffic_->messages_sent.load(std::memory_order_relaxed);
 }
 std::uint64_t CommWorld::bytes_sent() const {
-  return bytes_sent_.load(std::memory_order_relaxed);
+  return traffic_->bytes_sent.load(std::memory_order_relaxed);
 }
 std::uint64_t CommWorld::payload_bytes_raw() const {
-  return payload_bytes_raw_.load(std::memory_order_relaxed);
+  return traffic_->payload_bytes_raw.load(std::memory_order_relaxed);
 }
 std::uint64_t CommWorld::payload_bytes_encoded() const {
-  return payload_bytes_encoded_.load(std::memory_order_relaxed);
+  return traffic_->payload_bytes_encoded.load(std::memory_order_relaxed);
 }
 std::uint64_t CommWorld::broadcast_copies_avoided() const {
-  return broadcast_copies_avoided_.load(std::memory_order_relaxed);
+  return traffic_->broadcast_copies_avoided.load(std::memory_order_relaxed);
 }
 
 void CommWorld::publish_metrics(MetricsSnapshot& snap) const {
@@ -60,8 +71,9 @@ void CommWorld::barrier_wait() {
 
 void Communicator::send(Rank dest, int tag, PayloadBuffer payload) const {
   MSSG_CHECK(dest >= 0 && dest < size());
-  world_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  world_->bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  world_->traffic_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  world_->traffic_->bytes_sent.fetch_add(payload.size(),
+                                         std::memory_order_relaxed);
   world_->mailboxes_[dest]->push(Message{tag, rank_, std::move(payload)});
 }
 
@@ -73,15 +85,16 @@ void Communicator::broadcast(int tag, PayloadBuffer payload) const {
     if (r == rank_) continue;
     send(r, tag, payload);
   }
-  world_->broadcast_copies_avoided_.fetch_add(
+  world_->traffic_->broadcast_copies_avoided.fetch_add(
       static_cast<std::uint64_t>(size() - 1), std::memory_order_relaxed);
 }
 
 void Communicator::record_payload_encoding(std::size_t raw_bytes,
                                            std::size_t encoded_bytes) const {
-  world_->payload_bytes_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
-  world_->payload_bytes_encoded_.fetch_add(encoded_bytes,
-                                           std::memory_order_relaxed);
+  world_->traffic_->payload_bytes_raw.fetch_add(raw_bytes,
+                                                std::memory_order_relaxed);
+  world_->traffic_->payload_bytes_encoded.fetch_add(encoded_bytes,
+                                                    std::memory_order_relaxed);
 }
 
 std::uint64_t Communicator::allreduce_sum(std::uint64_t value) const {
@@ -115,14 +128,23 @@ std::uint64_t Communicator::allreduce_min(std::uint64_t value) const {
   return best;
 }
 
+std::uint64_t Communicator::allreduce_bor(std::uint64_t value) const {
+  world_->reduce_slots_[rank_].value = value;
+  barrier();
+  std::uint64_t merged = 0;
+  for (int r = 0; r < size(); ++r) merged |= world_->reduce_slots_[r].value;
+  barrier();
+  return merged;
+}
+
 std::vector<PayloadBuffer> Communicator::allgather(
     PayloadBuffer contribution) const {
   // Each rank deposits its payload exactly once; the fan-out to the
   // other p-1 ranks is reference sharing, not wire traffic, so the
   // collective charges one message of contribution-size bytes per rank.
-  world_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  world_->bytes_sent_.fetch_add(contribution.size(),
-                                std::memory_order_relaxed);
+  world_->traffic_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  world_->traffic_->bytes_sent.fetch_add(contribution.size(),
+                                         std::memory_order_relaxed);
   world_->gather_slots_[rank_] = std::move(contribution);
   barrier();
   std::vector<PayloadBuffer> all = world_->gather_slots_;

@@ -42,6 +42,18 @@ class CommWorld {
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] Communicator comm(Rank rank);
 
+  /// Derives a sub-world with the same rank count but PRIVATE mailboxes,
+  /// barrier, and collective scratch — the isolation the concurrent
+  /// query engine needs so interleaved queries cannot cross message
+  /// streams or collide inside a collective.  Traffic counters stay
+  /// shared with the parent, so cluster-level comm.* metrics keep
+  /// accumulating across every stream.  `stream_id` labels the split for
+  /// diagnostics.
+  [[nodiscard]] std::unique_ptr<CommWorld> split(std::uint64_t stream_id);
+
+  /// 0 for a root world; the id passed to split() otherwise.
+  [[nodiscard]] std::uint64_t stream_id() const { return stream_id_; }
+
   /// Total messages pushed since construction (for experiment reporting).
   /// Safe to call while sender threads are in flight: the counters are
   /// relaxed atomics, so a concurrent read sees some recent total.
@@ -74,6 +86,21 @@ class CommWorld {
  private:
   friend class Communicator;
 
+  // Traffic counters.  Monotonic sums read by monitoring code while
+  // senders run; relaxed atomics — no ordering is implied between them,
+  // only that each read sees a valid total.  Shared (via shared_ptr)
+  // between a root world and every sub-world split() derives from it.
+  struct TrafficCounters {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> payload_bytes_raw{0};
+    std::atomic<std::uint64_t> payload_bytes_encoded{0};
+    std::atomic<std::uint64_t> broadcast_copies_avoided{0};
+  };
+
+  CommWorld(int size, std::shared_ptr<TrafficCounters> traffic,
+            std::uint64_t stream_id);
+
   void barrier_wait();
 
   // One allreduce slot per rank, padded to a cache line: every rank
@@ -87,6 +114,7 @@ class CommWorld {
                 "reduce slots must each own a full cache line");
 
   int size_;
+  std::uint64_t stream_id_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Central barrier (sense-reversing via generation counter).
@@ -99,14 +127,7 @@ class CommWorld {
   std::vector<ReduceSlot> reduce_slots_;
   std::vector<PayloadBuffer> gather_slots_;
 
-  // Traffic counters.  Monotonic sums read by monitoring code while
-  // senders run; relaxed atomics — no ordering is implied between them,
-  // only that each read sees a valid total.
-  std::atomic<std::uint64_t> messages_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> payload_bytes_raw_{0};
-  std::atomic<std::uint64_t> payload_bytes_encoded_{0};
-  std::atomic<std::uint64_t> broadcast_copies_avoided_{0};
+  std::shared_ptr<TrafficCounters> traffic_;
 };
 
 /// A rank's endpoint.  Cheap to copy; all state lives in the CommWorld.
@@ -157,6 +178,10 @@ class Communicator {
   [[nodiscard]] bool allreduce_or(bool value) const {
     return allreduce_max(value ? 1 : 0) != 0;
   }
+
+  /// Collective bitwise OR — how the multi-source BFS merges its 64-bit
+  /// per-source found/active masks in one exchange per level.
+  [[nodiscard]] std::uint64_t allreduce_bor(std::uint64_t value) const;
 
   /// Collective: every rank contributes a byte buffer, all ranks receive
   /// all buffers (indexed by rank) as shared references — a p-rank

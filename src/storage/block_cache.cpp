@@ -2,12 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
 
 namespace mssg {
+
+namespace {
+// The attribution sink for cache accesses made by this thread.  Set by
+// CacheAttributionScope (the query scheduler installs one per query rank
+// thread); read on every get().
+thread_local CacheAttribution* tls_attribution = nullptr;
+
+void attribute(bool hit) {
+  if (CacheAttribution* attr = tls_attribution; attr != nullptr) {
+    (hit ? attr->hits : attr->misses).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+CacheAttributionScope::CacheAttributionScope(CacheAttribution* attribution)
+    : prev_(tls_attribution) {
+  tls_attribution = attribution;
+}
+
+CacheAttributionScope::~CacheAttributionScope() { tls_attribution = prev_; }
+
+CacheAttribution* BlockCache::current_attribution() { return tls_attribution; }
 
 BlockHandle::BlockHandle(BlockHandle&& other) noexcept
     : cache_(std::exchange(other.cache_, nullptr)),
@@ -41,6 +65,7 @@ BlockCache::~BlockCache() {
   // data is never silently lost.  Write-behind requests already handed to
   // the engine must land before the files can be closed, and unadopted
   // prefetches are folded in so their accounting isn't dropped.
+  std::lock_guard<std::mutex> lock(mu_);
   drain_async();
   // Entries still pinned here are leaked BlockHandles: persist them, then
   // detach them so the straggling handle can release safely — but never
@@ -73,6 +98,7 @@ BlockCache::~BlockCache() {
 std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
                                          Writer writer, Locator locator) {
   MSSG_CHECK(block_size > 0);
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(stores_.size() < (1u << 15));
   stores_.push_back(Store{block_size, std::move(reader), std::move(writer),
                           std::move(locator), StoreHooks{}});
@@ -80,24 +106,27 @@ std::uint16_t BlockCache::register_store(std::size_t block_size, Reader reader,
 }
 
 void BlockCache::set_store_hooks(std::uint16_t store, StoreHooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(store < stores_.size());
   MSSG_CHECK(hooks.usable_bytes <= stores_[store].block_size);
   stores_[store].hooks = std::move(hooks);
 }
 
 void BlockCache::enable_async_io() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (engine_ != nullptr || capacity_bytes_ == 0) return;
   engine_ = std::make_unique<IoEngine>();
 }
 
 std::size_t BlockCache::prefetch_async(std::uint16_t store,
                                        std::span<const std::uint64_t> blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(store < stores_.size());
   MSSG_CHECK(engine_ != nullptr);
   const Store& s = stores_[store];
   MSSG_CHECK(s.locator != nullptr);
 
-  poll_async();
+  poll_async_locked();
   std::vector<IoRequest> batch;
   for (const std::uint64_t block : blocks) {
     MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
@@ -134,6 +163,11 @@ std::size_t BlockCache::prefetch_async(std::uint16_t store,
 }
 
 void BlockCache::poll_async() {
+  std::lock_guard<std::mutex> lock(mu_);
+  poll_async_locked();
+}
+
+void BlockCache::poll_async_locked() {
   if (engine_ == nullptr || !engine_->has_completions()) return;
   std::vector<IoRequest> done = engine_->poll_completions(stats_);
   bool adopted = false;
@@ -176,12 +210,13 @@ void BlockCache::poll_async() {
 }
 
 BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
+  std::unique_lock<std::mutex> lock(mu_);
   MSSG_CHECK(store < stores_.size());
   MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
   const std::uint64_t key =
       (static_cast<std::uint64_t>(store) << kStoreShift) | block;
 
-  poll_async();
+  poll_async_locked();
   maybe_rethrow();
   auto it = map_.find(key);
   if (it == map_.end() && engine_ != nullptr) {
@@ -190,7 +225,7 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
       // and adopt, so the block is read from disk exactly once.
       do {
         engine_->wait_for_completion();
-        poll_async();
+        poll_async_locked();
       } while (pending_reads_.contains(key));
       it = map_.find(key);  // rarely absent: adopted then instantly evicted
     } else if (pending_writes_.contains(key)) {
@@ -207,21 +242,30 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
     // that are currently pinned; sharing such a block is not a cache hit
     // (nothing is ever retained between unpins), and counting it as one
     // would pollute the Fig 5.2 cache-off series.
+    const bool counts_as_hit = capacity_bytes_ != 0;
     if (stats_ != nullptr) {
-      if (capacity_bytes_ == 0) {
+      if (!counts_as_hit) {
         ++stats_->cache_misses;
       } else {
         ++stats_->cache_hits;
+        // 2Q attribution: a hit on a block seen exactly once before is a
+        // probation hit; a hit on an already re-referenced block lands in
+        // the protected working set.
+        if (entry.hot) {
+          ++stats_->cache_protected_hits;
+        } else {
+          ++stats_->cache_probation_hits;
+        }
         if (entry.prefetched) ++stats_->prefetch_hits;
       }
     }
+    attribute(counts_as_hit);
     entry.prefetched = false;
     if (entry.resident && entry.pins == 0) {
-      // Remove from the LRU while pinned.
-      lru_.erase(entry.lru_pos);
-      entry.resident = false;
-      resident_bytes_ -= entry.data.size();
+      // Remove from its 2Q list while pinned.
+      unlink(entry);
     }
+    entry.hot = true;  // re-referenced: protected on next unpin
     ++entry.pins;
     return BlockHandle(this, &entry);
   }
@@ -231,6 +275,7 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
     ++stats_->cache_misses;
     ++stats_->read_stalls;
   }
+  attribute(false);
   auto entry = std::make_unique<detail::CacheEntry>();
   entry->key = key;
   entry->data.resize(stores_[store].block_size);
@@ -242,16 +287,24 @@ BlockHandle BlockCache::get(std::uint16_t store, std::uint64_t block) {
   entry->pins = 1;
   detail::CacheEntry* raw = entry.get();
   map_.emplace(key, std::move(entry));
+  if (miss_penalty_us_ != 0) {
+    // Simulated seek: the pin above keeps the entry safe, so the stall
+    // is served with the lock released and concurrent queries overlap
+    // their misses instead of queueing behind this one.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(miss_penalty_us_));
+  }
   return BlockHandle(this, raw);
 }
 
 BlockHandle BlockCache::create(std::uint16_t store, std::uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(store < stores_.size());
   MSSG_CHECK(block < (std::uint64_t{1} << kStoreShift));
   const std::uint64_t key =
       (static_cast<std::uint64_t>(store) << kStoreShift) | block;
 
-  poll_async();
+  poll_async_locked();
   maybe_rethrow();
   if (engine_ != nullptr &&
       (pending_reads_.contains(key) || pending_writes_.contains(key))) {
@@ -264,15 +317,12 @@ BlockHandle BlockCache::create(std::uint16_t store, std::uint64_t block) {
   if (it != map_.end()) {
     detail::CacheEntry& entry = *it->second;
     MSSG_CHECK(entry.pins == 0);  // zeroing under a live handle is misuse
-    if (entry.resident) {
-      lru_.erase(entry.lru_pos);
-      entry.resident = false;
-      resident_bytes_ -= entry.data.size();
-    }
+    if (entry.resident) unlink(entry);
     entry.pins = 1;
     raw = &entry;
   } else {
     if (stats_ != nullptr) ++stats_->cache_misses;  // an access, no disk read
+    attribute(false);
     auto entry = std::make_unique<detail::CacheEntry>();
     entry->key = key;
     entry->data.resize(stores_[store].block_size);
@@ -288,6 +338,7 @@ BlockHandle BlockCache::create(std::uint16_t store, std::uint64_t block) {
 }
 
 void BlockCache::unpin(detail::CacheEntry* entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(entry->pins > 0);
   if (--entry->pins > 0) return;
 
@@ -314,10 +365,41 @@ void BlockCache::unpin(detail::CacheEntry* entry) {
 }
 
 void BlockCache::make_resident(detail::CacheEntry& entry) {
-  lru_.push_front(entry.key);
-  entry.lru_pos = lru_.begin();
+  auto& list = entry.hot ? protected_ : probation_;
+  list.push_front(entry.key);
+  entry.lru_pos = list.begin();
+  entry.in_protected = entry.hot;
   entry.resident = true;
-  resident_bytes_ += entry.data.size();
+  const std::size_t size = entry.data.size();
+  resident_bytes_ += size;
+  (entry.in_protected ? protected_bytes_ : probation_bytes_) += size;
+  if (entry.in_protected) rebalance_protected();
+}
+
+void BlockCache::unlink(detail::CacheEntry& entry) {
+  auto& list = entry.in_protected ? protected_ : probation_;
+  list.erase(entry.lru_pos);
+  entry.resident = false;
+  const std::size_t size = entry.data.size();
+  resident_bytes_ -= size;
+  (entry.in_protected ? protected_bytes_ : probation_bytes_) -= size;
+}
+
+void BlockCache::rebalance_protected() {
+  // Keep the protected (re-referenced) working set within its share of
+  // capacity; the overflow tail gets one more life in probation.
+  while (protected_bytes_ > protected_capacity() && !protected_.empty()) {
+    const std::uint64_t key = protected_.back();
+    protected_.pop_back();
+    detail::CacheEntry& entry = *map_.at(key);
+    const std::size_t size = entry.data.size();
+    protected_bytes_ -= size;
+    probation_bytes_ += size;
+    entry.in_protected = false;
+    entry.hot = false;  // must be re-referenced again to re-promote
+    probation_.push_front(key);
+    entry.lru_pos = probation_.begin();
+  }
 }
 
 void BlockCache::write_back(detail::CacheEntry& entry) {
@@ -334,9 +416,14 @@ void BlockCache::write_back(detail::CacheEntry& entry) {
 
 void BlockCache::evict_to_capacity() {
   std::vector<IoRequest> write_behind;
-  while (resident_bytes_ > capacity_bytes_ && !lru_.empty()) {
-    const std::uint64_t victim_key = lru_.back();
-    lru_.pop_back();
+  while (resident_bytes_ > capacity_bytes_ &&
+         (!probation_.empty() || !protected_.empty())) {
+    // Scan resistance: first-touch (probation) blocks go first; the
+    // protected list only shrinks when probation is empty.
+    const bool from_probation = !probation_.empty();
+    auto& list = from_probation ? probation_ : protected_;
+    const std::uint64_t victim_key = list.back();
+    list.pop_back();
     auto it = map_.find(victim_key);
     MSSG_CHECK(it != map_.end());
     detail::CacheEntry& victim = *it->second;
@@ -378,7 +465,9 @@ void BlockCache::evict_to_capacity() {
       victim.dirty = false;  // its contents die with this crash epoch
     }
 
-    resident_bytes_ -= stores_[store].block_size;
+    const std::size_t size = stores_[store].block_size;
+    resident_bytes_ -= size;
+    (from_probation ? probation_bytes_ : protected_bytes_) -= size;
     if (stats_ != nullptr) ++stats_->cache_evictions;
     map_.erase(it);
   }
@@ -392,7 +481,7 @@ void BlockCache::drain_async() {
   while (!pending_reads_.empty() || !pending_writes_.empty() ||
          engine_->has_completions()) {
     engine_->drain();
-    poll_async();
+    poll_async_locked();
   }
 }
 
@@ -404,6 +493,7 @@ void BlockCache::maybe_rethrow() {
 }
 
 void BlockCache::drain_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
   drain_async();
   maybe_rethrow();
 }
@@ -411,6 +501,7 @@ void BlockCache::drain_pending() {
 void BlockCache::for_each_dirty(
     const std::function<void(std::uint16_t, std::uint64_t,
                              std::span<std::byte>)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> keys;
   keys.reserve(map_.size());
   for (const auto& [key, entry] : map_) {
@@ -426,23 +517,34 @@ void BlockCache::for_each_dirty(
 }
 
 void BlockCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void BlockCache::flush_locked() {
   drain_async();
   maybe_rethrow();
   for (auto& [key, entry] : map_) write_back(*entry);
 }
 
 void BlockCache::drop_clean() {
-  flush();
-  for (auto lru_it = lru_.begin(); lru_it != lru_.end();) {
-    auto map_it = map_.find(*lru_it);
-    MSSG_CHECK(map_it != map_.end());
-    resident_bytes_ -= map_it->second->data.size();
-    map_.erase(map_it);
-    lru_it = lru_.erase(lru_it);
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+  for (auto* list : {&probation_, &protected_}) {
+    for (auto lru_it = list->begin(); lru_it != list->end();) {
+      auto map_it = map_.find(*lru_it);
+      MSSG_CHECK(map_it != map_.end());
+      resident_bytes_ -= map_it->second->data.size();
+      map_.erase(map_it);
+      lru_it = list->erase(lru_it);
+    }
   }
+  probation_bytes_ = 0;
+  protected_bytes_ = 0;
 }
 
 int BlockCache::pin_count(std::uint16_t store, std::uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
   MSSG_CHECK(store < stores_.size());
   const std::uint64_t key =
       (static_cast<std::uint64_t>(store) << kStoreShift) | block;
@@ -451,6 +553,7 @@ int BlockCache::pin_count(std::uint16_t store, std::uint64_t block) const {
 }
 
 MetricsSnapshot BlockCache::async_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Unadopted completions stay queued for the next poll_async(); the
   // engine's own registry is quiescent once drained.
   return engine_ == nullptr ? MetricsSnapshot{} : engine_->metrics();

@@ -1,5 +1,6 @@
-// LRU block cache — the thesis' "block cache component" of grDB, also
-// reused as the page cache of the KVStore (BerkeleyDB stand-in).
+// Scan-resistant block cache — the thesis' "block cache component" of
+// grDB, also reused as the page cache of the KVStore (BerkeleyDB
+// stand-in).
 //
 // The cache sits above one or more *stores* (registered read/write
 // callbacks with a fixed block size).  Callers pin blocks through
@@ -8,11 +9,33 @@
 // "cache disabled" configuration of Figure 5.2: every access misses and
 // every dirty unpin writes through.
 //
-// Single-threaded by design: each simulated cluster node owns its own
-// GraphDB instance and cache.  enable_async_io() attaches a background
-// IoEngine without weakening that rule — the owning thread resolves each
-// block to a (File*, offset) via the store's Locator at submit time, so
-// the worker thread only ever performs positional I/O on shared fds:
+// Replacement is 2Q-style (a simplified ARC/SLRU): a block enters the
+// *probation* list on first touch and is promoted to the *protected*
+// list only when re-referenced.  Eviction drains probation first, so a
+// one-pass scan — a full-graph analysis walking every adjacency chunk
+// once — churns through probation without displacing another query's
+// re-referenced working set.  The protected list is capped at 3/4 of
+// capacity; overflow demotes its LRU tail back to probation, where a
+// further cold spell evicts it.
+//
+// Thread-safe: the concurrent query engine runs several read-only
+// analyses against one node's cache at a time.  One internal mutex
+// serializes every public operation *including the store callbacks*
+// (reader/writer/locator/seal/verify), which is what makes the stores'
+// internal metadata (grDB level tables, pager free lists) safe under
+// concurrent readers without their own locking.  Handles follow the
+// usual rule: a pinned block's bytes may be read by the pinning thread
+// freely; mutating handles must not be shared across threads.
+//
+// Per-query attribution: a query thread installs a CacheAttributionScope
+// naming its CacheAttribution; every get() on that thread then also
+// bumps the query-scoped hit/miss counters, giving the scheduler
+// per-query hit ratios over the *shared* cache.
+//
+// enable_async_io() attaches a background IoEngine without weakening the
+// locking rule — the owning thread resolves each block to a
+// (File*, offset) via the store's Locator at submit time, so the worker
+// thread only ever performs positional I/O on shared fds:
 //
 //  - prefetch_async() submits a sorted read batch for blocks the caller
 //    will need soon; get() adopts finished buffers (or waits for the
@@ -26,10 +49,12 @@
 // contract ("flush persists everything") is unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -55,6 +80,9 @@ struct CacheEntry {
   int pins = 0;
   std::list<std::uint64_t>::iterator lru_pos;  // valid iff resident
   bool resident = false;
+  bool in_protected = false;  // which 2Q list lru_pos points into
+  bool hot = false;   // re-referenced: joins the protected list when it
+                      // next becomes resident
   bool orphaned = false;  // cache destroyed while still pinned; the
                           // surviving handle owns (and frees) the entry
   bool prefetched = false;  // loaded by async read-ahead and not yet
@@ -86,7 +114,8 @@ class BlockHandle {
     return std::span<const std::byte>(entry_->data).first(entry_->usable_size());
   }
 
-  /// Mutable view; marks the block dirty.
+  /// Mutable view; marks the block dirty.  Mutating handles are
+  /// single-thread only (concurrent queries are read-only).
   [[nodiscard]] std::span<std::byte> mutable_data() {
     MSSG_CHECK(valid());
     entry_->dirty = true;
@@ -109,6 +138,33 @@ class BlockHandle {
 struct AsyncTarget {
   const File* file = nullptr;
   std::uint64_t offset = 0;
+};
+
+/// Per-query cache counters.  One instance is shared by all of a query's
+/// rank threads (the counters are atomic), installed per thread with a
+/// CacheAttributionScope.
+struct CacheAttribution {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t h = hits.load(std::memory_order_relaxed);
+    const std::uint64_t m = misses.load(std::memory_order_relaxed);
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+};
+
+/// RAII: routes this thread's cache hits/misses to `attribution` (may be
+/// nullptr to suspend attribution).  Nests; restores the previous scope.
+class CacheAttributionScope {
+ public:
+  explicit CacheAttributionScope(CacheAttribution* attribution);
+  CacheAttributionScope(const CacheAttributionScope&) = delete;
+  CacheAttributionScope& operator=(const CacheAttributionScope&) = delete;
+  ~CacheAttributionScope();
+
+ private:
+  CacheAttribution* prev_;
 };
 
 class BlockCache {
@@ -145,6 +201,12 @@ class BlockCache {
   /// `locator` is optional; stores without one never use the async path.
   std::uint16_t register_store(std::size_t block_size, Reader reader,
                                Writer writer, Locator locator = nullptr);
+
+  /// Simulated device latency per synchronous miss (microseconds,
+  /// 0 = off) — see GraphDBConfig::sim_miss_penalty_us.  Slept with the
+  /// internal mutex RELEASED, so concurrent queries overlap their
+  /// stalls.  Set before concurrent use (not synchronized).
+  void set_miss_penalty_us(std::uint32_t us) { miss_penalty_us_ = us; }
 
   /// Optional per-store integrity hooks.  `seal` runs on the full
   /// physical block right before any disk write (sync write-back and
@@ -216,11 +278,23 @@ class BlockCache {
   /// resetting them.  Empty snapshot when async I/O is off.
   [[nodiscard]] MetricsSnapshot async_metrics() const;
 
-  [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_bytes_;
+  }
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  /// Bytes currently on the protected (re-referenced) list.
+  [[nodiscard]] std::size_t protected_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return protected_bytes_;
+  }
+
+  /// The attribution sink installed on this thread (nullptr when none).
+  [[nodiscard]] static CacheAttribution* current_attribution();
 
  private:
   friend class BlockHandle;
+  friend class CacheAttributionScope;
 
   struct Store {
     std::size_t block_size = 0;
@@ -237,21 +311,39 @@ class BlockCache {
   void evict_to_capacity();
   /// Blocks until no async request is queued, running, or unadopted.
   void drain_async();
-  /// Inserts an adopted/unpinned entry at the LRU front.
+  void poll_async_locked();
+  /// Inserts an adopted/unpinned entry at the front of its 2Q list
+  /// (protected when re-referenced, probation otherwise).
   void make_resident(detail::CacheEntry& entry);
+  /// Removes a resident entry from its 2Q list.
+  void unlink(detail::CacheEntry& entry);
+  /// Demotes the protected tail to probation until protected fits its
+  /// share of capacity.
+  void rebalance_protected();
   /// Throws StorageError if an async write-behind failed earlier.
   void maybe_rethrow();
+  void flush_locked();
   [[nodiscard]] std::size_t usable_of(std::uint16_t store) const {
     const Store& s = stores_[store];
     return s.hooks.usable_bytes != 0 ? s.hooks.usable_bytes : s.block_size;
   }
+  [[nodiscard]] std::size_t protected_capacity() const {
+    return capacity_bytes_ - capacity_bytes_ / 4;  // 3/4 of capacity
+  }
 
   std::size_t capacity_bytes_;
   IoStats* stats_;
+  std::uint32_t miss_penalty_us_ = 0;
+  mutable std::mutex mu_;
   std::vector<Store> stores_;
   std::unordered_map<std::uint64_t, std::unique_ptr<detail::CacheEntry>> map_;
-  std::list<std::uint64_t> lru_;  // front = most recently used
+  // 2Q lists, front = most recently used.  An unpinned resident entry
+  // lives on exactly one of them (entry.in_protected says which).
+  std::list<std::uint64_t> probation_;
+  std::list<std::uint64_t> protected_;
   std::size_t resident_bytes_ = 0;
+  std::size_t probation_bytes_ = 0;
+  std::size_t protected_bytes_ = 0;
   std::unique_ptr<IoEngine> engine_;
   std::unordered_set<std::uint64_t> pending_reads_;
   // key -> in-flight write-behind count (re-eviction can stack writes).

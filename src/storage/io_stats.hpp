@@ -3,12 +3,15 @@
 // time; counts are machine-independent, which makes the paper's "shape"
 // claims checkable even when absolute timings differ.
 //
-// Not thread-safe: each simulated node owns its stats and the bench
-// harness aggregates after joining the node threads.  publish_io()
-// folds a stats block into a MetricsSnapshot under the shared "io.*"
-// counter names (see common/metrics.hpp and DESIGN.md "I/O accounting").
+// Counters are relaxed atomics: a simulated node owns its stats, but the
+// concurrent query engine runs several read-only analyses against one
+// node at a time, so increments can race between query threads (and the
+// IoEngine completion path).  Relaxed ordering is enough — each field is
+// an independent monotonic counter; cross-field snapshots are taken at
+// quiescent points (after queries drain / node threads join).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -18,28 +21,69 @@
 
 namespace mssg {
 
+namespace detail {
+/// A relaxed-by-default monotonic counter.  Keeps call sites identical to
+/// the plain-uint64 days (`++c`, `c += n`, implicit reads) while making
+/// cross-thread increments well-defined.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(std::uint64_t v) : value_(v) {}  // NOLINT(google-explicit-constructor)
+  RelaxedCounter(const RelaxedCounter& o) : value_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    value_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator std::uint64_t() const { return load(); }  // NOLINT
+  [[nodiscard]] std::uint64_t load() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  RelaxedCounter& operator+=(std::uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() { return *this += 1; }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+}  // namespace detail
+
 struct IoStats {
-  std::uint64_t reads = 0;          ///< pread calls
-  std::uint64_t writes = 0;         ///< pwrite calls
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
-  std::uint64_t syncs = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_evictions = 0;
-  std::uint64_t cache_pin_leaks = 0;  ///< blocks still pinned when their
-                                      ///< cache was destroyed (handle leaks)
-  std::uint64_t prefetch_issued = 0;  ///< blocks submitted for async read-ahead
-  std::uint64_t prefetch_hits = 0;    ///< get() misses avoided by a prefetch
-  std::uint64_t read_stalls = 0;      ///< get() calls that had to read the
-                                      ///< block synchronously (blocking I/O on
-                                      ///< the caller's critical path)
-  std::uint64_t checksum_failures = 0;  ///< pages whose CRC trailer / sidecar
-                                        ///< CRC failed verification
-  std::uint64_t checksum_torn = 0;      ///< the subset attributed to a torn
-                                        ///< write (vs bit rot)
-  std::uint64_t journal_records = 0;    ///< undo/redo records appended
-  std::uint64_t journal_replays = 0;    ///< records applied during recovery
+  detail::RelaxedCounter reads;          ///< pread calls
+  detail::RelaxedCounter writes;         ///< pwrite calls
+  detail::RelaxedCounter bytes_read;
+  detail::RelaxedCounter bytes_written;
+  detail::RelaxedCounter syncs;
+  detail::RelaxedCounter cache_hits;
+  detail::RelaxedCounter cache_misses;
+  detail::RelaxedCounter cache_evictions;
+  detail::RelaxedCounter cache_pin_leaks;  ///< blocks still pinned when their
+                                           ///< cache was destroyed (leaks)
+  detail::RelaxedCounter cache_probation_hits;  ///< 2Q: hits on first-touch
+                                                ///< (probation) blocks
+  detail::RelaxedCounter cache_protected_hits;  ///< 2Q: hits on re-referenced
+                                                ///< (protected) blocks
+  detail::RelaxedCounter prefetch_issued;  ///< blocks submitted for async
+                                           ///< read-ahead
+  detail::RelaxedCounter prefetch_hits;    ///< get() misses avoided by a
+                                           ///< prefetch
+  detail::RelaxedCounter read_stalls;      ///< get() calls that had to read
+                                           ///< the block synchronously
+                                           ///< (blocking I/O on the caller's
+                                           ///< critical path)
+  detail::RelaxedCounter checksum_failures;  ///< pages whose CRC trailer /
+                                             ///< sidecar CRC failed
+  detail::RelaxedCounter checksum_torn;      ///< the subset attributed to a
+                                             ///< torn write (vs bit rot)
+  detail::RelaxedCounter journal_records;    ///< undo/redo records appended
+  detail::RelaxedCounter journal_replays;    ///< records applied in recovery
 
   void reset() { *this = IoStats{}; }
 
@@ -53,6 +97,8 @@ struct IoStats {
     cache_misses += other.cache_misses;
     cache_evictions += other.cache_evictions;
     cache_pin_leaks += other.cache_pin_leaks;
+    cache_probation_hits += other.cache_probation_hits;
+    cache_protected_hits += other.cache_protected_hits;
     prefetch_issued += other.prefetch_issued;
     prefetch_hits += other.prefetch_hits;
     read_stalls += other.read_stalls;
@@ -97,6 +143,10 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add("storage.checksum_torn", s.checksum_torn);
   snap.add("storage.journal_records", s.journal_records);
   snap.add("storage.journal_replays", s.journal_replays);
+  // 2Q attribution counters likewise keep fixed names (DESIGN.md
+  // "Concurrent queries & the 2Q shared cache").
+  snap.add("cache.qprobation_hits", s.cache_probation_hits);
+  snap.add("cache.qprotected_hits", s.cache_protected_hits);
 }
 
 }  // namespace mssg

@@ -74,6 +74,11 @@ class Pager {
 
   [[nodiscard]] bool async_enabled() const { return cache_.async_enabled(); }
 
+  /// Forwards BlockCache::set_miss_penalty_us (simulated seek latency).
+  void set_miss_penalty_us(std::uint32_t us) {
+    cache_.set_miss_penalty_us(us);
+  }
+
   /// Engine-internal metrics (see BlockCache::async_metrics).
   [[nodiscard]] MetricsSnapshot async_metrics() const {
     return cache_.async_metrics();

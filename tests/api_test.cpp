@@ -16,9 +16,10 @@ namespace {
 TEST(QueryServiceApi, BuiltInAnalysesListed) {
   QueryService service;
   const auto names = service.names();
-  const std::vector<std::string> expected{"bfs",  "bidir-bfs", "cc",
-                                          "khop", "pipelined-bfs", "stats"};
-  EXPECT_EQ(names, expected);  // names() is sorted (map order)
+  const std::vector<std::string> expected{
+      "bfs",  "bidir-bfs", "cbfs",          "cc",
+      "khop", "ms-bfs",    "pipelined-bfs", "stats"};
+  EXPECT_EQ(names, expected);  // names() is sorted
   for (const auto& name : expected) EXPECT_TRUE(service.has(name));
   EXPECT_FALSE(service.has("page-rank"));
 }

@@ -1,0 +1,161 @@
+// Cross-backend differential harness: seeded random op sequences
+// (add_edges / get_neighbors / for_each_vertex / reopen) run against
+// every backend and an in-memory reference model in lockstep.  Any
+// divergence fails with the generating seed in the message, so a
+// failure reproduces with a one-line filter run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+
+#include "test_util.hpp"
+
+namespace mssg {
+namespace {
+
+using testing::make_db;
+using testing::sorted;
+
+constexpr VertexId kVertexSpace = 48;  // small: forces chunk growth + reuse
+
+/// The reference model: exact multiset-of-neighbors semantics
+/// (duplicate edges are kept, per the GraphDB contract).
+using Reference = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+std::set<VertexId> reference_vertex_set(const Reference& ref) {
+  std::set<VertexId> vertices;
+  for (const auto& [v, neighbors] : ref) {
+    if (!neighbors.empty()) vertices.insert(v);
+  }
+  return vertices;
+}
+
+bool is_disk_backend(Backend backend) {
+  return backend != Backend::kArray && backend != Backend::kHashMap;
+}
+
+class Differential : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(Differential, RandomOpSequencesMatchReference) {
+  const Backend backend = GetParam();
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "backend=" << to_string(backend) << " seed=" << seed
+                 << " (reproduce with this seed)");
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<VertexId> vertex(0, kVertexSpace - 1);
+
+    TempDir dir;
+    auto db = make_db(backend, dir);
+    Reference ref;
+
+    const int ops = 60;
+    for (int op = 0; op < ops; ++op) {
+      const std::uint64_t kind = rng() % 10;
+      if (kind < 4) {
+        // add_edges: a batch of random edges, duplicates welcome.
+        std::vector<Edge> batch(1 + rng() % 20);
+        for (auto& e : batch) e = Edge{vertex(rng), vertex(rng)};
+        db->store_edges(batch);
+        for (const auto& e : batch) ref[e.src].push_back(e.dst);
+      } else if (kind < 8) {
+        // get_neighbors on a few random vertices (some never stored).
+        for (int probe = 0; probe < 3; ++probe) {
+          const VertexId v = vertex(rng);
+          std::vector<VertexId> got;
+          db->get_adjacency(v, got);
+          const auto it = ref.find(v);
+          const std::vector<VertexId> want =
+              it == ref.end() ? std::vector<VertexId>{} : it->second;
+          ASSERT_EQ(sorted(got), sorted(want)) << "vertex " << v;
+        }
+      } else if (kind < 9) {
+        // for_each_vertex enumerates exactly the non-empty local set.
+        std::set<VertexId> got;
+        db->for_each_vertex([&](VertexId v) {
+          EXPECT_TRUE(got.insert(v).second) << "duplicate visit of " << v;
+          return true;
+        });
+        ASSERT_EQ(got, reference_vertex_set(ref));
+      } else if (is_disk_backend(backend)) {
+        // reopen: persisted state must round-trip mid-sequence.
+        db->finalize_ingest();
+        db->flush();
+        db.reset();
+        db = make_db(backend, dir);
+      }
+    }
+
+    // Closing sweep: finalize (Array converts to CSR here) and compare
+    // the full space, then the enumeration one last time.
+    db->finalize_ingest();
+    for (VertexId v = 0; v < kVertexSpace; ++v) {
+      std::vector<VertexId> got;
+      db->get_adjacency(v, got);
+      const auto it = ref.find(v);
+      const std::vector<VertexId> want =
+          it == ref.end() ? std::vector<VertexId>{} : it->second;
+      ASSERT_EQ(sorted(got), sorted(want)) << "final sweep, vertex " << v;
+    }
+    std::set<VertexId> got;
+    db->for_each_vertex([&](VertexId v) {
+      got.insert(v);
+      return true;
+    });
+    ASSERT_EQ(got, reference_vertex_set(ref));
+  }
+}
+
+// The early-stop half of the for_each_vertex contract, differentially:
+// stopping after k visits must see a k-subset of the reference set.
+TEST_P(Differential, ForEachVertexEarlyStopSeesSubset) {
+  const Backend backend = GetParam();
+  for (const std::uint64_t seed : {7u, 11u}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "backend=" << to_string(backend) << " seed=" << seed);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<VertexId> vertex(0, kVertexSpace - 1);
+
+    TempDir dir;
+    auto db = make_db(backend, dir);
+    Reference ref;
+    std::vector<Edge> batch(40);
+    for (auto& e : batch) e = Edge{vertex(rng), vertex(rng)};
+    db->store_edges(batch);
+    for (const auto& e : batch) ref[e.src].push_back(e.dst);
+    db->finalize_ingest();
+
+    const auto full = reference_vertex_set(ref);
+    const std::size_t stop_after = 1 + rng() % full.size();
+    std::set<VertexId> seen;
+    db->for_each_vertex([&](VertexId v) {
+      seen.insert(v);
+      return seen.size() < stop_after;
+    });
+    ASSERT_EQ(seen.size(), stop_after);
+    for (const VertexId v : seen) {
+      ASSERT_TRUE(full.contains(v)) << "visited unknown vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, Differential,
+    ::testing::Values(Backend::kArray, Backend::kHashMap, Backend::kRelational,
+                      Backend::kKVStore, Backend::kStream, Backend::kGrDB),
+    [](const ::testing::TestParamInfo<Backend>& param_info) {
+      switch (param_info.param) {
+        case Backend::kArray: return std::string("Array");
+        case Backend::kHashMap: return std::string("HashMap");
+        case Backend::kRelational: return std::string("Relational");
+        case Backend::kKVStore: return std::string("KVStore");
+        case Backend::kStream: return std::string("StreamDB");
+        case Backend::kGrDB: return std::string("GrDB");
+      }
+      return std::string("unknown");
+    });
+
+}  // namespace
+}  // namespace mssg

@@ -273,6 +273,104 @@ TEST(BlockCache, RepinnedBlockLeavesLru) {
   EXPECT_EQ(store.reads_, 0);
 }
 
+// ---- BlockCache 2Q (scan resistance) ---------------------------------------
+
+TEST(BlockCache2Q, OnePassScanDoesNotEvictProtectedSet) {
+  FakeStore store(64);
+  BlockCache cache(8 * 64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  // Build a re-referenced working set: blocks 1..4 touched twice each
+  // land on the protected list.
+  for (const std::uint64_t b : {1u, 2u, 3u, 4u}) {
+    { auto h = cache.get(id, b); }
+    { auto h = cache.get(id, b); }
+  }
+  // A one-pass scan 3x the cache size: every block is touched ONCE, so
+  // the scan churns through probation only.
+  for (std::uint64_t b = 100; b < 124; ++b) {
+    auto h = cache.get(id, b);
+  }
+  // The working set survived the scan.
+  store.reads_ = 0;
+  for (const std::uint64_t b : {1u, 2u, 3u, 4u}) {
+    auto h = cache.get(id, b);
+  }
+  EXPECT_EQ(store.reads_, 0) << "a single-touch scan displaced the "
+                                "re-referenced working set";
+}
+
+TEST(BlockCache2Q, ProtectedListCappedAtThreeQuartersByDemotion) {
+  FakeStore store(64);
+  BlockCache cache(8 * 64, nullptr);  // protected cap: 6 blocks
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  // Re-reference 8 blocks: all want the protected list, only 3/4 of
+  // capacity may stay there; the overflow demotes back to probation.
+  for (std::uint64_t b = 1; b <= 8; ++b) {
+    { auto h = cache.get(id, b); }
+    { auto h = cache.get(id, b); }
+  }
+  EXPECT_LE(cache.protected_bytes(), 6 * 64u);
+  EXPECT_EQ(cache.resident_bytes(), 8 * 64u);  // demoted, not evicted
+}
+
+TEST(BlockCache2Q, HitSplitReportedInIoStats) {
+  FakeStore store(64);
+  IoStats stats;
+  BlockCache cache(8 * 64, &stats);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  { auto h = cache.get(id, 1); }  // miss
+  { auto h = cache.get(id, 1); }  // probation hit (promotes)
+  { auto h = cache.get(id, 1); }  // protected hit
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_probation_hits, 1u);
+  EXPECT_EQ(stats.cache_protected_hits, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);  // split sums to the total
+}
+
+TEST(BlockCache2Q, AttributionScopeSplitsHitsPerQuery) {
+  FakeStore store(64);
+  BlockCache cache(8 * 64, nullptr);
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  CacheAttribution q1;
+  CacheAttribution q2;
+  {
+    CacheAttributionScope scope(&q1);
+    { auto h = cache.get(id, 1); }  // q1 miss
+    { auto h = cache.get(id, 1); }  // q1 hit
+  }
+  {
+    CacheAttributionScope scope(&q2);
+    { auto h = cache.get(id, 1); }  // q2 hit (warmed by q1)
+    { auto h = cache.get(id, 2); }  // q2 miss
+  }
+  { auto h = cache.get(id, 3); }  // no scope: attributed to nobody
+  EXPECT_EQ(q1.hits.load(), 1u);
+  EXPECT_EQ(q1.misses.load(), 1u);
+  EXPECT_EQ(q2.hits.load(), 1u);
+  EXPECT_EQ(q2.misses.load(), 1u);
+  EXPECT_DOUBLE_EQ(q1.hit_ratio(), 0.5);
+}
+
+TEST(BlockCache2Q, DemotedBlockEvictsBeforeFreshProtected) {
+  FakeStore store(64);
+  BlockCache cache(4 * 64, nullptr);  // protected cap: 3 blocks
+  const auto id = cache.register_store(64, store.reader(), store.writer());
+  // Four re-referenced blocks: 1 is the protected LRU tail and gets
+  // demoted to probation when 4 promotes.
+  for (std::uint64_t b = 1; b <= 4; ++b) {
+    { auto h = cache.get(id, b); }
+    { auto h = cache.get(id, b); }
+  }
+  // One cold fill forces an eviction: the demoted tail (1) must go
+  // before any still-protected block.
+  { auto h = cache.get(id, 9); }
+  store.reads_ = 0;
+  { auto h = cache.get(id, 4); }
+  EXPECT_EQ(store.reads_, 0) << "a protected block was evicted";
+  { auto h = cache.get(id, 1); }
+  EXPECT_EQ(store.reads_, 1) << "the demoted tail should have been the victim";
+}
+
 // ---- Pager -----------------------------------------------------------------
 
 TEST(Pager, AllocateReturnsZeroedDistinctPages) {

@@ -30,6 +30,12 @@ FILTER+=':PayloadBuffer.*:VertexCodec.*:BfsWireEquivalence.*'
 # a sanitizer run stays bounded (a stride-7 sweep still crosses every
 # phase of the flush protocol).
 FILTER+=':CrashRecovery.*:*CrashRecovery*:TornWrite.*:FaultInjector.*'
+# PR 6: the concurrent query engine — scheduler admission, the shared 2Q
+# cache under eight query threads, MS-BFS equivalence, and the
+# cross-backend differential harness.  (These are also the `ctest -L
+# concurrency` label, run below under tsan via ctest so label coverage
+# and filter coverage cannot drift apart.)
+FILTER+=':ConcurrencyStress.*:MsBfsEquivalence.*:*Differential.*:BlockCache2Q.*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -44,6 +50,11 @@ run_preset() {
   UBSAN_OPTIONS="print_stacktrace=1" \
     "$build_dir/tests/mssg_tests" --gtest_filter="$FILTER" \
     --gtest_brief=1
+  if [ "$preset" = tsan ]; then
+    echo "=== [$preset] ctest -L concurrency ==="
+    TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "$build_dir" -L concurrency --output-on-failure
+  fi
   echo "=== [$preset] OK ==="
 }
 
