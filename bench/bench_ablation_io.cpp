@@ -1,0 +1,239 @@
+// Ablation A13 — the parallel vectored I/O engine and journal group
+// commit.  Two questions, priced separately:
+//
+//  1. Engine sweep: a cold multi-file read sweep (the prefetch pattern:
+//     sorted batches fanned across files) through the raw IoEngine, as
+//     (a) the old engine — one worker, no merging, one pread per block;
+//     (b) one worker with vectored merging (adjacent blocks fused into
+//         preadv, fewer syscalls);
+//     (c) four workers with merging (independent files overlap).
+//     Multi-worker vectored must beat single-worker on wall time while
+//     reading identical bytes.
+//
+//  2. Group commit: the A11 journal-on ingest overhead, re-measured with
+//     the ingest sliced into many flush epochs.  sync_interval=1 pays
+//     two fsyncs per flush (the A11 price); sync_interval=8 batches redo
+//     records across flush boundaries and amortizes the fsyncs, so the
+//     journal-on gap must narrow while recovery still lands on a group
+//     boundary (crash_recovery_test proves that half).
+//
+// `--smoke` (stripped before benchmark::Initialize) shrinks both parts
+// to seconds — the `io`-labelled ctest smoke entry runs it that way.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "common/temp_dir.hpp"
+#include "storage/file.hpp"
+#include "storage/io_engine.hpp"
+
+namespace {
+
+using namespace mssg;
+
+bool g_smoke = false;
+
+// ---- Part 1: raw-engine cold sweep -----------------------------------------
+
+constexpr std::size_t kSweepFiles = 4;
+constexpr std::size_t kSweepBlock = 4096;
+
+std::size_t sweep_blocks_per_file() { return g_smoke ? 128 : 2048; }
+
+// One shared on-disk dataset for every engine configuration.
+const std::filesystem::path& sweep_dir() {
+  static TempDir dir;
+  static bool built = false;
+  if (!built) {
+    std::vector<std::byte> block(kSweepBlock);
+    for (std::size_t f = 0; f < kSweepFiles; ++f) {
+      File file = File::open(dir.path() / ("sweep" + std::to_string(f)));
+      for (std::size_t b = 0; b < sweep_blocks_per_file(); ++b) {
+        std::memset(block.data(), static_cast<int>((f * 131 + b) & 0xFF),
+                    kSweepBlock);
+        file.write_at(b * kSweepBlock, block);
+      }
+      file.sync();
+    }
+    built = true;
+  }
+  return dir.path();
+}
+
+void engine_sweep(benchmark::State& state, std::size_t workers,
+                  std::size_t max_merge) {
+  const std::size_t blocks = sweep_blocks_per_file();
+  std::vector<std::unique_ptr<File>> files;
+  for (std::size_t f = 0; f < kSweepFiles; ++f) {
+    files.push_back(std::make_unique<File>(
+        File::open(sweep_dir() / ("sweep" + std::to_string(f)))));
+  }
+
+  constexpr std::size_t kChunk = 32;  // contiguous blocks per file per batch
+  IoStats polled;
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    // Cold means the device: evict the sweep files from the OS page
+    // cache so the workers' reads actually block (and can overlap).
+    state.PauseTiming();
+    for (const auto& file : files) file->drop_page_cache();
+    state.ResumeTiming();
+    IoEngineOptions options;
+    options.workers = workers;
+    options.max_merge = max_merge;
+    IoEngine engine(options);
+    for (std::size_t start = 0; start < blocks; start += kChunk) {
+      // The block cache's prefetch shape: one sorted batch spanning all
+      // files, which submit() splits across the per-file lanes.
+      std::vector<IoRequest> batch;
+      batch.reserve(kSweepFiles * kChunk);
+      for (std::size_t f = 0; f < kSweepFiles; ++f) {
+        for (std::size_t b = start; b < std::min(start + kChunk, blocks);
+             ++b) {
+          IoRequest req;
+          req.kind = IoRequest::Kind::kRead;
+          req.file = files[f].get();
+          req.offset = b * kSweepBlock;
+          req.buffer.resize(kSweepBlock);
+          req.key = f * blocks + b;
+          batch.push_back(std::move(req));
+        }
+      }
+      engine.submit(std::move(batch));
+      ++batches;
+      // Keep the completion queue bounded, like the cache's adopt loop.
+      if (batches % 8 == 0) (void)engine.poll_completions(&polled);
+    }
+    engine.drain();
+    (void)engine.poll_completions(&polled);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(polled.bytes_read.load()));
+  state.counters["syscall_reads"] = static_cast<double>(polled.reads);
+  state.counters["vectored_merges"] =
+      static_cast<double>(polled.vectored_merges);
+  state.counters["blocks"] =
+      static_cast<double>(kSweepFiles * blocks * state.iterations());
+  // Wall time on this harness is bounded by one machine and the host's
+  // caches; the modeled 2006-era device time (8 ms seek per issued op,
+  // 50 MB/s sequential — bench_util.hpp's CostModel) prices the measured
+  // syscall counts on the paper's hardware.  The sweep's files are
+  // equal-sized, so W lanes divide the device time by min(W, files).
+  state.counters["modeled_device_ms"] =
+      1e3 *
+      (static_cast<double>(polled.reads) * 8e-3 +
+       static_cast<double>(polled.bytes_read) / 50e6) /
+      static_cast<double>(std::min(workers, kSweepFiles)) /
+      static_cast<double>(state.iterations());
+}
+
+// ---- Part 2: journal group commit on the sliced ingest path ----------------
+
+void ingest_sliced(benchmark::State& state, const bench::Workload& w,
+                   Backend backend, bool journal, std::uint32_t interval) {
+  constexpr int kBackends = 4;
+  // A multiple of every sync_interval below, so the last slice's flush
+  // lands exactly on a group boundary and the counters read at the end
+  // describe a fully durable state.
+  const std::size_t slices = g_smoke ? 8 : 24;
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.backend = backend;
+    config.backend_nodes = kBackends;
+    config.frontend_nodes = 2;
+    config.db.cache_bytes = std::max<std::size_t>(
+        256 << 10, 32 * w.directed_bytes() / kBackends);
+    config.db.max_vertices = w.spec.vertices;
+    config.db.journal = journal;
+    config.db.journal_sync_interval = interval;
+    MssgCluster cluster(config);
+
+    // Many flush epochs, the regime group commit exists for: each
+    // ingest() call finalizes with one flush() per node.
+    std::uint64_t stored = 0;
+    double seconds = 0;
+    const std::size_t per_slice = (w.edges.size() + slices - 1) / slices;
+    for (std::size_t s = 0; s < slices; ++s) {
+      const std::size_t begin = s * per_slice;
+      if (begin >= w.edges.size()) break;
+      const std::size_t len = std::min(per_slice, w.edges.size() - begin);
+      const auto report = cluster.ingest(
+          std::span<const Edge>(w.edges).subspan(begin, len));
+      stored += report.edges_stored;
+      seconds += report.seconds;
+    }
+
+    IoStats io;
+    for (int n = 0; n < kBackends; ++n) io += cluster.node_db(n).io_stats();
+    state.counters["edges_stored"] = static_cast<double>(stored);
+    state.counters["wall_edges_per_s"] =
+        seconds == 0 ? 0 : static_cast<double>(stored) / seconds;
+    state.counters["writes"] = static_cast<double>(io.writes);
+    state.counters["syncs"] = static_cast<double>(io.syncs);
+    state.counters["journal_records"] =
+        static_cast<double>(io.journal_records);
+    state.counters["group_commits"] =
+        static_cast<double>(io.journal_group_commits);
+    state.counters["deferred_flushes"] =
+        static_cast<double>(io.journal_deferred_flushes);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --smoke before benchmark::Initialize sees (and rejects) it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  struct EngineConfig {
+    const char* label;
+    std::size_t workers;
+    std::size_t max_merge;
+  };
+  for (const EngineConfig& c :
+       {EngineConfig{"workers:1/vectored:off", 1, 1},
+        EngineConfig{"workers:1/vectored:on", 1, 16},
+        EngineConfig{"workers:4/vectored:on", 4, 16}}) {
+    benchmark::RegisterBenchmark(
+        (std::string("AblationIo/ColdSweep/") + c.label).c_str(),
+        [c](benchmark::State& state) {
+          engine_sweep(state, c.workers, c.max_merge);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(g_smoke ? 1 : 3);
+  }
+
+  const double scale = mssg::bench::scale_from_env(g_smoke ? 0.02 : 0.25);
+  const auto& w = mssg::bench::workload(mssg::pubmed_s(scale));
+  struct JournalConfig {
+    const char* label;
+    bool journal;
+    std::uint32_t interval;
+  };
+  for (const auto backend :
+       {mssg::Backend::kGrDB, mssg::Backend::kKVStore}) {
+    for (const JournalConfig& j :
+         {JournalConfig{"journal:off", false, 1},
+          JournalConfig{"journal:on/sync:1", true, 1},
+          JournalConfig{"journal:on/sync:8", true, 8}}) {
+      benchmark::RegisterBenchmark(
+          (std::string("AblationIo/SlicedIngest/") +
+           mssg::bench::short_name(backend) + "/" + j.label)
+              .c_str(),
+          [&w, backend, j](benchmark::State& state) {
+            ingest_sliced(state, w, backend, j.journal, j.interval);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -139,6 +139,16 @@ struct GraphDBConfig {
   /// Turning it off gives the journal-ablation baseline (EXPERIMENTS.md
   /// A11); checksum trailers stay on either way.
   bool journal = true;
+  /// Worker lanes in the background IoEngine (with async_io).  Requests
+  /// are routed to a lane by file, so per-file submission order — and
+  /// with it same-offset write ordering — is preserved; more lanes let
+  /// independent files overlap their disk time.
+  std::size_t io_workers = 2;
+  /// Journal group commit: every n-th flush() commits durably, the ones
+  /// in between batch their redo records into the group and skip both
+  /// fsyncs (1 = every flush commits, the classic A11 behavior).  A
+  /// crash inside a group rolls back to the last boundary atomically.
+  std::uint32_t journal_sync_interval = 1;
   /// Upper bound on vertex ids this node may see (sizes the external
   /// metadata file and grDB's level 0; in-memory stores grow lazily).
   VertexId max_vertices = 1u << 20;

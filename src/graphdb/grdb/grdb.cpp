@@ -66,6 +66,9 @@ GrDB::GrDB(const GraphDBConfig& config,
         [this, l](std::uint64_t block, std::span<const std::byte> in) {
           Level& lvl = levels_[l];
           maybe_log_undo(l, block);
+          // Synchronous write-back overwrites immediately; the async
+          // path batches this barrier per eviction batch instead.
+          if (journal_ != nullptr) journal_->undo_barrier();
           if (block >= lvl.initialized.size()) {
             lvl.initialized.resize(block + 1);
           }
@@ -124,11 +127,16 @@ GrDB::GrDB(const GraphDBConfig& config,
                                 " failed sidecar checksum");
            }
          },
-         /*usable_bytes=*/0});
+         /*usable_bytes=*/0,
+         // One undo fdatasync per write-behind batch, not per block.
+         [this] {
+           if (journal_ != nullptr) journal_->undo_barrier();
+         }});
   }
-  if (config.async_io) cache_.enable_async_io();
+  if (config.async_io) cache_.enable_async_io(config.io_workers);
   if (config.journal) {
-    journal_ = std::make_unique<WriteJournal>(dir_ / "grdb", &stats_);
+    journal_ = std::make_unique<WriteJournal>(dir_ / "grdb", &stats_,
+                                              config.journal_sync_interval);
     recover(/*allow_rollback=*/true);
   }
   if (std::filesystem::exists(dir_ / "grdb.meta")) load_meta();
@@ -136,9 +144,10 @@ GrDB::GrDB(const GraphDBConfig& config,
 
 GrDB::~GrDB() {
   // Flush here (not in ~BlockCache) so write-backs run while the level
-  // file handles are still alive.
+  // file handles are still alive.  Force the group-commit boundary: a
+  // deferred group must not outlive the store.
   try {
-    flush();
+    flush_impl(/*force_commit=*/true);
   } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
   }
 }
@@ -213,7 +222,7 @@ void GrDB::recover(bool allow_rollback) {
   clear_fresh();
 }
 
-void GrDB::flush() {
+void GrDB::flush_impl(bool force_commit) {
   if (journal_ == nullptr) {
     cache_.flush();
     if (any_data_) save_meta();
@@ -224,40 +233,64 @@ void GrDB::flush() {
   // surfaced) before dirty pages are enumerated.
   cache_.drain_pending();
   // A previous flush may have died between redo-commit and trim; finish
-  // its in-place phase first so epochs never interleave.
-  recover(/*allow_rollback=*/false);
+  // its in-place phase first so epochs never interleave.  Impossible
+  // while a group is pending (deferred flushes never commit), and
+  // plan_recovery() re-reads the whole journal — skipping keeps a long
+  // deferred window linear instead of quadratic.
+  if (!journal_->group_pending()) recover(/*allow_rollback=*/false);
 
   std::size_t dirty = 0;
   cache_.for_each_dirty(
       [&dirty](std::uint16_t, std::uint64_t, std::span<std::byte>) {
         ++dirty;
       });
-  if (dirty == 0 && !dirty_since_flush_ && !journal_->dirty_epoch()) return;
+  const bool work =
+      dirty != 0 || dirty_since_flush_ || journal_->dirty_epoch();
+  // A pending deferred group still needs its boundary commit even when
+  // nothing new is dirty (e.g. the destructor's forced flush).
+  if (!work && !journal_->group_pending()) return;
 
-  // 1. Redo-log post-images of every dirty block.  Bitmap and sidecar
-  // CRC are brought up to date HERE, before the meta snapshot below, so
-  // a roll-forward restores blocks and the metadata that makes them
-  // reachable as one atomic unit.
-  journal_->redo_begin();
-  cache_.for_each_dirty(
-      [this](std::uint16_t store, std::uint64_t block,
-             std::span<std::byte> data) {
-        Level& lvl = levels_[store];
-        if (block >= lvl.initialized.size()) lvl.initialized.resize(block + 1);
-        lvl.initialized.set(block);
-        if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
-        lvl.block_crc[block] = crc32c(data);
-        journal_->redo_record(
-            (static_cast<std::uint64_t>(store) << 48) | block, data);
-      });
-  const std::vector<std::byte> meta_bytes = encode_meta();
-  journal_->redo_record(kMetaTag, meta_bytes);
+  // 1. Redo-log post-images of every dirty block (appending to the open
+  // group's records, if any).  Bitmap and sidecar CRC are brought up to
+  // date HERE, before the meta snapshot below, so a roll-forward
+  // restores blocks and the metadata that makes them reachable as one
+  // atomic unit.
+  std::vector<std::byte> meta_bytes;
+  if (work) {
+    journal_->redo_begin();
+    cache_.for_each_dirty(
+        [this](std::uint16_t store, std::uint64_t block,
+               std::span<std::byte> data) {
+          Level& lvl = levels_[store];
+          if (block >= lvl.initialized.size()) {
+            lvl.initialized.resize(block + 1);
+          }
+          lvl.initialized.set(block);
+          if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
+          lvl.block_crc[block] = crc32c(data);
+          journal_->redo_record(
+              (static_cast<std::uint64_t>(store) << 48) | block, data);
+        });
+    meta_bytes = encode_meta();
+    journal_->redo_record(kMetaTag, meta_bytes);
+  } else {
+    meta_bytes = encode_meta();
+  }
+  if (!force_commit && !journal_->commit_due()) {
+    // Group commit: close this flush without any fsync.  Blocks stay
+    // dirty in the cache, the undo epoch and the fresh set stay armed —
+    // a crash now rolls the whole group back to the last boundary
+    // atomically; the boundary flush re-records whatever is still dirty
+    // and commits everything at once.
+    journal_->redo_defer();
+    return;
+  }
   // 2. This epoch's eviction writes become durable BEFORE the commit
   // record — a post-commit crash replays only the redo records.
   sync_level_files();
-  // 3. Commit: the flush is logically done from here on.
+  // 3. Commit: the whole group is logically done from here on.
   journal_->redo_commit();
-  clear_fresh();  // the epoch's "never committed" blocks just committed
+  clear_fresh();  // the group's "never committed" blocks just committed
   // 4. In-place phase (no undo capture — the redo log covers us now).
   in_flush_ = true;
   try {

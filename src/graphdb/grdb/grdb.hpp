@@ -44,7 +44,10 @@ class GrDB final : public GraphDB {
 
   void store_edges(std::span<const Edge> edges) override;
   void get_adjacency(VertexId v, std::vector<VertexId>& out) override;
-  void flush() override;
+  /// Group-commit aware: with journal_sync_interval > 1 only every n-th
+  /// flush commits durably; the rest defer into the group (the
+  /// destructor forces the boundary).
+  void flush() override { flush_impl(/*force_commit=*/false); }
   void finalize_ingest() override { flush(); }
 
   /// Sequential sweep of the level-0 extent; visits vertices whose first
@@ -146,6 +149,7 @@ class GrDB final : public GraphDB {
   [[nodiscard]] std::vector<std::byte> encode_meta() const;
   void write_meta_file(std::span<const std::byte> bytes);
   void sync_level_files();
+  void flush_impl(bool force_commit);
   /// Logs an undo pre-image for (level, block) if this is its first
   /// in-place overwrite of the epoch (no-op for fresh blocks, outside
   /// journal mode, and during flush's post-commit phase).

@@ -14,7 +14,8 @@ KVStoreDB::KVStoreDB(const GraphDBConfig& config,
     : GraphDB(std::move(metadata)),
       pager_(config.dir / "kvstore.db", kPageBytes,
              config.cache_enabled ? config.cache_bytes : 0, &stats_,
-             config.async_io, config.journal),
+             config.async_io, config.journal, config.io_workers,
+             config.journal_sync_interval),
       tree_(pager_),
       backend_(tree_),
       chunks_(backend_) {

@@ -112,10 +112,15 @@ void BlockCache::set_store_hooks(std::uint16_t store, StoreHooks hooks) {
   stores_[store].hooks = std::move(hooks);
 }
 
-void BlockCache::enable_async_io() {
+void BlockCache::enable_async_io(std::size_t workers) {
   std::lock_guard<std::mutex> lock(mu_);
   if (engine_ != nullptr || capacity_bytes_ == 0) return;
-  engine_ = std::make_unique<IoEngine>();
+  IoEngineOptions options;
+  options.workers = workers == 0 ? 1 : workers;
+  // Accounting of completions nobody polled before shutdown (and their
+  // dropped-error count) lands in the node's stats instead of vanishing.
+  options.sink = stats_;
+  engine_ = std::make_unique<IoEngine>(options);
 }
 
 std::size_t BlockCache::prefetch_async(std::uint16_t store,
@@ -471,7 +476,39 @@ void BlockCache::evict_to_capacity() {
     if (stats_ != nullptr) ++stats_->cache_evictions;
     map_.erase(it);
   }
-  if (!write_behind.empty()) engine_->submit(std::move(write_behind));
+  if (!write_behind.empty()) {
+    // Durability barrier before the payloads leave for the workers: the
+    // Locator calls above captured undo pre-images (owning thread); one
+    // barrier per contributing store makes the whole batch's pre-images
+    // durable before any worker can overwrite a block in place.  A
+    // store whose barrier fails must NOT overwrite anything — its
+    // victims' last versions die with this crash epoch (parked error,
+    // like any other eviction failure), never a torn recovery.
+    std::unordered_set<std::uint16_t> barriered;
+    std::unordered_set<std::uint16_t> failed;
+    for (const IoRequest& req : write_behind) {
+      const auto store = static_cast<std::uint16_t>(req.key >> kStoreShift);
+      if (!barriered.insert(store).second) continue;
+      if (stores_[store].hooks.write_barrier == nullptr) continue;
+      try {
+        stores_[store].hooks.write_barrier();
+      } catch (const std::exception& e) {
+        if (deferred_error_.empty()) deferred_error_ = e.what();
+        failed.insert(store);
+      }
+    }
+    if (!failed.empty()) {
+      std::erase_if(write_behind, [&](const IoRequest& req) {
+        const auto store = static_cast<std::uint16_t>(req.key >> kStoreShift);
+        if (!failed.contains(store)) return false;
+        auto it = pending_writes_.find(req.key);
+        MSSG_CHECK(it != pending_writes_.end());
+        if (--it->second == 0) pending_writes_.erase(it);
+        return true;
+      });
+    }
+    if (!write_behind.empty()) engine_->submit(std::move(write_behind));
+  }
 }
 
 void BlockCache::drain_async() {

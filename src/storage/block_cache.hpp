@@ -219,14 +219,21 @@ class BlockCache {
     std::function<void(std::uint64_t block, std::span<std::byte>)> seal;
     std::function<void(std::uint64_t block, std::span<std::byte>)> verify;
     std::size_t usable_bytes = 0;
+    /// Durability barrier for write-behind: called once per eviction
+    /// batch, after the store's Locators resolved every victim (and
+    /// captured their undo pre-images) but BEFORE the payloads reach the
+    /// engine.  Journaled stores fdatasync their undo log here, so a
+    /// whole batch amortizes one sync instead of paying one per block.
+    std::function<void()> write_barrier;
   };
 
   void set_store_hooks(std::uint16_t store, StoreHooks hooks);
 
-  /// Starts the background I/O engine (idempotent).  No-op when the
-  /// cache is disabled (capacity 0): with nothing retained between
-  /// unpins there is nothing to prefetch into or write behind from.
-  void enable_async_io();
+  /// Starts the background I/O engine with `workers` lanes (idempotent;
+  /// the first call wins).  No-op when the cache is disabled (capacity
+  /// 0): with nothing retained between unpins there is nothing to
+  /// prefetch into or write behind from.
+  void enable_async_io(std::size_t workers = 1);
 
   [[nodiscard]] bool async_enabled() const { return engine_ != nullptr; }
 

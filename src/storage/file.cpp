@@ -1,11 +1,14 @@
 #include "storage/file.hpp"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "storage/fault_injector.hpp"
@@ -111,6 +114,110 @@ void File::write_at(std::uint64_t offset, std::span<const std::byte> buffer,
   }
 }
 
+void File::read_vectored(std::uint64_t offset,
+                         std::span<const std::span<std::byte>> buffers,
+                         IoStats* stats) const {
+  MSSG_CHECK(is_open());
+  if (buffers.empty()) return;
+  if (FaultInjector::instance().enabled()) {
+    // Deterministic fault indices: one injector consultation per block,
+    // exactly like the unmerged path.
+    std::uint64_t pos = offset;
+    for (const auto& buf : buffers) {
+      read_at(pos, buf, stats);
+      pos += buf.size();
+    }
+    return;
+  }
+  std::vector<iovec> iov(buffers.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    iov[i].iov_base = buffers[i].data();
+    iov[i].iov_len = buffers[i].size();
+    total += buffers[i].size();
+  }
+  std::size_t done = 0;
+  std::size_t skip = 0;  // fully-consumed iovecs at the front
+  while (done < total) {
+    // Advance past completed iovecs and trim the partial head.
+    while (skip < iov.size() && iov[skip].iov_len == 0) ++skip;
+    const ssize_t n =
+        ::preadv(fd_, iov.data() + skip, static_cast<int>(iov.size() - skip),
+                 static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StorageError(std::string("preadv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // past EOF: zero-fill the rest below
+    done += static_cast<std::size_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && skip < iov.size()) {
+      const std::size_t take = std::min(left, iov[skip].iov_len);
+      iov[skip].iov_base = static_cast<std::byte*>(iov[skip].iov_base) + take;
+      iov[skip].iov_len -= take;
+      left -= take;
+      if (iov[skip].iov_len == 0) ++skip;
+    }
+  }
+  if (done < total) {
+    for (std::size_t i = skip; i < iov.size(); ++i) {
+      std::memset(iov[i].iov_base, 0, iov[i].iov_len);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->reads;
+    stats->bytes_read += total;
+  }
+}
+
+void File::write_vectored(std::uint64_t offset,
+                          std::span<const std::span<const std::byte>> buffers,
+                          IoStats* stats) const {
+  MSSG_CHECK(is_open());
+  if (buffers.empty()) return;
+  if (FaultInjector::instance().enabled()) {
+    std::uint64_t pos = offset;
+    for (const auto& buf : buffers) {
+      write_at(pos, buf, stats);
+      pos += buf.size();
+    }
+    return;
+  }
+  std::vector<iovec> iov(buffers.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    iov[i].iov_base = const_cast<std::byte*>(buffers[i].data());
+    iov[i].iov_len = buffers[i].size();
+    total += buffers[i].size();
+  }
+  std::size_t done = 0;
+  std::size_t skip = 0;
+  while (done < total) {
+    while (skip < iov.size() && iov[skip].iov_len == 0) ++skip;
+    const ssize_t n =
+        ::pwritev(fd_, iov.data() + skip, static_cast<int>(iov.size() - skip),
+                  static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StorageError(std::string("pwritev failed: ") +
+                         std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && skip < iov.size()) {
+      const std::size_t take = std::min(left, iov[skip].iov_len);
+      iov[skip].iov_base = static_cast<std::byte*>(iov[skip].iov_base) + take;
+      iov[skip].iov_len -= take;
+      left -= take;
+      if (iov[skip].iov_len == 0) ++skip;
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->writes;
+    stats->bytes_written += done;
+  }
+}
+
 std::uint64_t File::size() const {
   MSSG_CHECK(is_open());
   const off_t end = ::lseek(fd_, 0, SEEK_END);
@@ -150,6 +257,16 @@ void File::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void File::drop_page_cache() const {
+  if (fd_ < 0) return;
+  // Dirty pages pin their cache entries; flush them first so the advice
+  // can actually evict.  Best-effort by design: errors are ignored.
+  ::fdatasync(fd_);
+#ifdef POSIX_FADV_DONTNEED
+  (void)::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+#endif
 }
 
 }  // namespace mssg

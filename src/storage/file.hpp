@@ -59,10 +59,31 @@ class File {
   void write_at(std::uint64_t offset, std::span<const std::byte> buffer,
                 IoStats* stats) const;
 
+  /// Fills `buffers` from the contiguous byte range starting at
+  /// `offset` with a single preadv (EOF zero-fills, like read_at).  The
+  /// IoEngine uses this to fuse adjacent offset-sorted requests into one
+  /// syscall.  With the FaultInjector armed the call degrades to one
+  /// read_at per buffer, so fault/kill-point indices stay exactly the
+  /// per-request ones the crash sweeps were calibrated against.
+  void read_vectored(std::uint64_t offset,
+                     std::span<const std::span<std::byte>> buffers,
+                     IoStats* stats) const;
+
+  /// Writes `buffers` back-to-back starting at `offset` with a single
+  /// pwritev (see read_vectored for the FaultInjector fallback).
+  void write_vectored(std::uint64_t offset,
+                      std::span<const std::span<const std::byte>> buffers,
+                      IoStats* stats) const;
+
   [[nodiscard]] std::uint64_t size() const;
   void truncate(std::uint64_t new_size) const;
   void sync() const;
   void close();
+
+  /// Best-effort eviction of this file's pages from the OS page cache
+  /// (fdatasync + POSIX_FADV_DONTNEED) — how the cold-cache benches make
+  /// "cold" mean the device, not memory.  Not counted in IoStats.
+  void drop_page_cache() const;
 
   /// The path this File was opened with (empty for a default-constructed
   /// File) — what fault-injection rules match against.

@@ -1,27 +1,76 @@
 #include "storage/io_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <exception>
+#include <functional>
 #include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "storage/fault_injector.hpp"
 
 namespace mssg {
 
-IoEngine::IoEngine() : worker_([this] { worker_loop(); }) {}
+namespace {
+// File → lane.  All requests against one file share a lane (and thus a
+// worker's FIFO), which is what preserves per-file submission order.
+// Null-file requests (resolved without disk I/O) ride lane 0.
+std::size_t lane_of(const File* file, std::size_t lanes) {
+  if (file == nullptr || lanes == 1) return 0;
+  return std::hash<const File*>{}(file) % lanes;
+}
+}  // namespace
+
+IoEngine::IoEngine(IoEngineOptions options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_merge == 0) options_.max_merge = 1;
+  // Published once, before any worker exists — part of the quiescent
+  // snapshot contract.
+  metrics_.counter("io.engine.lanes") = options_.workers;
+  lanes_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  // Start threads only after the lane vector is final (a worker must
+  // never observe lanes_ resizing).
+  for (auto& lane : lanes_) {
+    lane->worker = std::thread([this, &lane = *lane] { worker_loop(lane); });
+  }
+}
 
 IoEngine::~IoEngine() {
   {
     std::unique_lock lock(mutex_);
-    // stop_ lets the worker exit only once the queue is empty, so every
+    // stop_ lets each worker exit only once its lane is empty, so every
     // accepted write-behind request still reaches disk.
     stop_ = true;
   }
-  work_cv_.notify_all();
-  worker_.join();
+  for (auto& lane : lanes_) lane->work_cv.notify_all();
+  for (auto& lane : lanes_) lane->worker.join();
+  // Workers are gone; completed_/worker_stats_ are plain data now.  A
+  // failed final write's error sitting here unpolled must not vanish
+  // silently (the old engine's bug): log each, count them, and spill
+  // the accounting to the sink so node totals stay truthful.
+  std::uint64_t dropped = 0;
+  for (const IoRequest& req : completed_) {
+    if (req.error.empty()) continue;
+    ++dropped;
+    MSSG_LOG(kWarn) << "IoEngine destroyed with unpolled I/O error (key "
+                    << req.key << "): " << req.error;
+  }
+  worker_stats_.engine_dropped_errors += dropped;
+  if (options_.sink != nullptr) *options_.sink += worker_stats_;
+  // Destroying an engine without polling a failed request is a caller
+  // bug — the error had nowhere to surface.  (MSSG_CHECK throws, which a
+  // destructor cannot; assert matches the BlockCache leak check.)
+  assert(dropped == 0 && "IoEngine destroyed with unpolled I/O errors");
 }
 
 void IoEngine::submit(std::vector<IoRequest> batch) {
   if (batch.empty()) return;
-  // Sort on the submitting thread: the worker then issues the batch in
+  // Sort on the submitting thread: each worker then issues its share in
   // ascending file-offset order.  Stable, so two writes to the same
   // offset land in submission order.
   std::stable_sort(batch.begin(), batch.end(),
@@ -29,11 +78,27 @@ void IoEngine::submit(std::vector<IoRequest> batch) {
                      if (a.file != b.file) return a.file < b.file;
                      return a.offset < b.offset;
                    });
+  // Split into per-lane sub-batches.  The batch is sorted by file, so
+  // each lane's slice stays (file, offset)-sorted — the order the merge
+  // pass in execute_batch relies on.
+  std::vector<std::vector<IoRequest>> per_lane(lanes_.size());
+  for (IoRequest& req : batch) {
+    per_lane[lane_of(req.file, lanes_.size())].push_back(std::move(req));
+  }
+  bool notify[64] = {};  // lanes_ is small; see MSSG_CHECK below
+  MSSG_CHECK(lanes_.size() <= 64);
   {
     std::unique_lock lock(mutex_);
-    queue_.push_back(std::move(batch));
+    for (std::size_t i = 0; i < per_lane.size(); ++i) {
+      if (per_lane[i].empty()) continue;
+      lanes_[i]->queue.push_back(std::move(per_lane[i]));
+      ++queued_batches_;
+      notify[i] = true;
+    }
   }
-  work_cv_.notify_one();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (notify[i]) lanes_[i]->work_cv.notify_one();
+  }
 }
 
 std::vector<IoRequest> IoEngine::poll_completions(IoStats* stats) {
@@ -48,73 +113,142 @@ std::vector<IoRequest> IoEngine::poll_completions(IoStats* stats) {
 
 void IoEngine::wait_for_completion() {
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] {
-    return !completed_.empty() || (queue_.empty() && !busy_);
+  // Progress is the sequence number, not completed_: a batch that
+  // completes and is immediately polled by another thread still counts
+  // as "something happened since I started waiting".
+  const std::uint64_t start = completion_seq_;
+  done_cv_.wait(lock, [this, start] {
+    return completion_seq_ != start || !completed_.empty() ||
+           (queued_batches_ == 0 && busy_workers_ == 0);
   });
 }
 
 void IoEngine::drain() const {
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  done_cv_.wait(lock,
+                [this] { return queued_batches_ == 0 && busy_workers_ == 0; });
 }
 
 MetricsSnapshot IoEngine::metrics() const {
-  drain();
-  // After drain() the worker is idle (observed under the mutex), so the
-  // registry is quiescent and safe to read from this thread.
+  // Quiesce and snapshot under ONE critical section: releasing the lock
+  // between the two (the old drain()-then-snapshot) let a concurrent
+  // submit() wake a worker that writes the registry mid-snapshot.
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock,
+                [this] { return queued_batches_ == 0 && busy_workers_ == 0; });
   return metrics_.snapshot();
 }
 
 std::size_t IoEngine::queue_depth() const {
   std::unique_lock lock(mutex_);
-  return queue_.size();
+  return queued_batches_;
 }
 
-void IoEngine::worker_loop() {
+void IoEngine::execute_batch(std::vector<IoRequest>& batch,
+                             IoStats& local) const {
+  // Fuse runs of adjacent requests (same file, same kind, byte ranges
+  // touching) into one vectored op.  The batch is (file, offset)-sorted,
+  // so runs are maximal by construction; same-offset duplicates are
+  // never contiguous (next.offset != prev.offset + prev.size) and thus
+  // execute as separate ops in submission order.  With the FaultInjector
+  // armed, merging is disabled so fault indices stay per-request.
+  const bool merging =
+      options_.max_merge > 1 && !FaultInjector::instance().enabled();
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    IoRequest& head = batch[i];
+    if (head.file == nullptr) {  // resolved without disk I/O
+      ++i;
+      continue;
+    }
+    std::size_t run = 1;
+    if (merging) {
+      std::uint64_t end = head.offset + head.buffer.size();
+      while (i + run < batch.size() && run < options_.max_merge) {
+        const IoRequest& next = batch[i + run];
+        if (next.file != head.file || next.kind != head.kind ||
+            next.offset != end || next.buffer.empty()) {
+          break;
+        }
+        end += next.buffer.size();
+        ++run;
+      }
+    }
+    // An exception must not escape the worker thread (std::terminate)
+    // nor be swallowed: record it on every request of the run so
+    // poll_completions() hands the failure back to the owning thread.
+    try {
+      if (run == 1) {
+        if (head.kind == IoRequest::Kind::kRead) {
+          head.file->read_at(head.offset, head.buffer, &local);
+        } else {
+          head.file->write_at(head.offset, head.buffer, &local);
+        }
+      } else if (head.kind == IoRequest::Kind::kRead) {
+        std::vector<std::span<std::byte>> spans;
+        spans.reserve(run);
+        for (std::size_t j = 0; j < run; ++j) {
+          spans.emplace_back(batch[i + j].buffer);
+        }
+        head.file->read_vectored(head.offset, spans, &local);
+        local.vectored_merges += run - 1;
+      } else {
+        std::vector<std::span<const std::byte>> spans;
+        spans.reserve(run);
+        for (std::size_t j = 0; j < run; ++j) {
+          spans.emplace_back(batch[i + j].buffer);
+        }
+        head.file->write_vectored(head.offset, spans, &local);
+        local.vectored_merges += run - 1;
+      }
+    } catch (const std::exception& e) {
+      for (std::size_t j = 0; j < run; ++j) {
+        batch[i + j].error = e.what();
+        if (batch[i + j].error.empty()) batch[i + j].error = "async I/O failed";
+      }
+    }
+    i += run;
+  }
+}
+
+void IoEngine::worker_loop(Lane& lane) {
   for (;;) {
     std::vector<IoRequest> batch;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
-      if (queue_.empty()) {
+      lane.work_cv.wait(lock, [&] { return !lane.queue.empty() || stop_; });
+      if (lane.queue.empty()) {
         if (stop_) return;
         continue;
       }
-      metrics_.histogram("io.engine.queue_depth").record(queue_.size());
-      batch = std::move(queue_.front());
-      queue_.pop_front();
-      busy_ = true;
+      metrics_.histogram("io.engine.queue_depth").record(queued_batches_);
+      batch = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      --queued_batches_;
+      // Dequeue and busy-increment in ONE critical section: there is no
+      // instant where the queue looks empty while the work is not yet
+      // accounted busy (the drain()-returns-early window).
+      ++busy_workers_;
     }
 
+    Timer timer;
     IoStats local;
-    {
-      TraceSpan span = metrics_.span("io.engine.batch");
-      metrics_.histogram("io.engine.batch_requests").record(batch.size());
-      for (IoRequest& req : batch) {
-        if (req.file == nullptr) continue;  // resolved without disk I/O
-        // An exception must not escape this thread (std::terminate) nor
-        // be swallowed: record it on the request so poll_completions()
-        // hands the failure back to the owning thread.
-        try {
-          if (req.kind == IoRequest::Kind::kRead) {
-            req.file->read_at(req.offset, req.buffer, &local);
-          } else {
-            req.file->write_at(req.offset, req.buffer, &local);
-          }
-        } catch (const std::exception& e) {
-          req.error = e.what();
-          if (req.error.empty()) req.error = "async I/O failed";
-        }
-      }
-    }
+    execute_batch(batch, local);
+    const std::uint64_t micros = timer.nanos() / 1000;
 
     {
       std::unique_lock lock(mutex_);
+      // Span bookkeeping moved under the lock: with N workers the
+      // registry would otherwise be written concurrently.
+      metrics_.counter("span.io.engine.batch") += 1;
+      metrics_.histogram("span.io.engine.batch.us").record(micros);
+      metrics_.histogram("io.engine.batch_requests").record(batch.size());
       completed_.insert(completed_.end(),
                         std::make_move_iterator(batch.begin()),
                         std::make_move_iterator(batch.end()));
       worker_stats_ += local;
-      busy_ = false;
+      --busy_workers_;
+      ++completion_seq_;
       completions_ready_.store(completed_.size(), std::memory_order_release);
     }
     done_cv_.notify_all();

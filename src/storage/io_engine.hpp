@@ -2,17 +2,27 @@
 // cluster node.  FlashGraph-style: callers batch block requests, the
 // engine sorts each batch by (file, offset) so the disk sees ascending
 // offsets ("sorting the pre-fetch disk accesses by file offsets to
-// reduce the seek overhead", §4.2), and a single worker thread issues
-// them while the owning thread keeps computing.  Two request kinds:
+// reduce the seek overhead", §4.2), and N worker threads issue them
+// while the owning thread keeps computing.  Two request kinds:
 //
 //  - read-ahead: the block cache submits the next fringe's blocks and
 //    adopts the filled buffers later (completion handoff);
 //  - write-behind: the block cache hands over evicted-dirty payloads so
 //    eviction never blocks the caller's critical path.
 //
+// Parallelism model: each worker owns one *lane* (a FIFO of sub-batches)
+// and submit() routes every request by hash(file) → lane.  All requests
+// against one file therefore execute on one worker in submission order —
+// two writes to the same offset still land in the order they were
+// submitted — while requests against different files proceed in
+// parallel.  Within a sub-batch, adjacent requests (same file, same
+// kind, touching byte ranges) are fused into a single vectored
+// preadv/pwritev ("merging I/O requests into larger ones"), counted in
+// IoStats::vectored_merges.
+//
 // Threading contract (the reason the rest of the storage layer can stay
-// "single-threaded by design"): the worker touches ONLY the File objects
-// named in requests, via the explicit-stats read_at/write_at overloads
+// "single-threaded by design"): workers touch ONLY the File objects
+// named in requests, via the explicit-stats read/write overloads
 // (positional I/O on a shared fd is thread-safe).  All store metadata —
 // cache maps, grDB level bitmaps, file-handle tables — is resolved by
 // the owning thread at submit time.  Completions, I/O accounting, and
@@ -21,13 +31,17 @@
 //
 // drain() (and the destructor) block until every submitted request has
 // executed, so flush-time durability is preserved: nothing the engine
-// accepted is lost.
+// accepted is lost.  Errors still unpolled at destruction are NOT lost
+// silently: each is logged and counted in IoStats::engine_dropped_errors
+// (and debug builds assert — destroying an engine without polling a
+// failed write is a caller bug).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -56,21 +70,39 @@ struct IoRequest {
                       ///< the owning thread instead of killing the worker
 };
 
+struct IoEngineOptions {
+  /// Worker threads (= lanes).  1 reproduces the original single-worker
+  /// engine exactly (one lane, one FIFO).
+  std::size_t workers = 1;
+  /// Max requests fused into one vectored preadv/pwritev; 1 disables
+  /// merging.  Kept well under IOV_MAX.
+  std::size_t max_merge = 16;
+  /// Where destructor-time accounting spills: worker stats (and the
+  /// dropped-error count) of completions nobody polled are folded here
+  /// instead of vanishing.  May be null.  Must outlive the engine.
+  IoStats* sink = nullptr;
+};
+
 class IoEngine {
  public:
-  /// Starts the worker thread.
-  IoEngine();
+  /// Starts the worker threads.
+  explicit IoEngine(IoEngineOptions options = {});
 
   IoEngine(const IoEngine&) = delete;
   IoEngine& operator=(const IoEngine&) = delete;
 
   /// Drains all queued requests (write-behind durability), then joins
-  /// the worker.  Unpolled completions are discarded.
+  /// the workers.  Unpolled completions are discarded — except their
+  /// accounting and errors, which spill into `options.sink` (see
+  /// IoEngineOptions); debug builds assert that no *failed* request is
+  /// dropped this way.
   ~IoEngine();
 
-  /// Queues a batch.  The batch is stably sorted by (file, offset)
-  /// before issue, so same-offset writes keep submission order.  Batches
-  /// execute in submission order; one TraceSpan is recorded per batch.
+  /// Queues a batch.  The batch is stably sorted by (file, offset),
+  /// then split into per-lane sub-batches by hash(file) — so requests
+  /// against one file keep submission order (same-offset writes
+  /// included) while different files fan out across workers.  One
+  /// TraceSpan is recorded per executed sub-batch.
   void submit(std::vector<IoRequest> batch);
 
   /// True when poll_completions() would return something (lock-free).
@@ -79,12 +111,17 @@ class IoEngine {
   }
 
   /// Takes every finished request, in execution order, and folds the
-  /// worker's I/O accounting into `stats` (dropped when null).  Owning
+  /// workers' I/O accounting into `stats` (dropped when null).  Owning
   /// thread only.
   std::vector<IoRequest> poll_completions(IoStats* stats);
 
-  /// Blocks until at least one unpolled completion exists or the engine
-  /// is idle (whichever first).
+  /// Blocks until the engine is idle, or at least one batch completes
+  /// after the call began (whichever first).  The progress condition is
+  /// a completion *sequence number*, not "completed_ non-empty": if a
+  /// concurrent poller takes the completion between the worker's notify
+  /// and this thread's wake-up, the call still returns instead of
+  /// waiting on unrelated future work (the lost-wakeup window the
+  /// multi-worker engine would otherwise widen).
   void wait_for_completion();
 
   /// Blocks until every submitted request has executed.  Completions
@@ -92,31 +129,55 @@ class IoEngine {
   /// without altering any request.
   void drain() const;
 
-  /// Drains, then snapshots the engine's internal metrics (monotonic, no
-  /// reset): "span.io.engine.batch" (+ duration histogram) per batch and
-  /// the "io.engine.queue_depth" / "io.engine.batch_requests" histograms.
+  /// Waits for quiescence and snapshots the engine's internal metrics
+  /// (monotonic, no reset) WITHOUT releasing the lock in between — a
+  /// concurrent submit() cannot wake a worker into the registry
+  /// mid-snapshot.  Includes "span.io.engine.batch" (+ duration
+  /// histogram) per sub-batch, the "io.engine.queue_depth" /
+  /// "io.engine.batch_requests" histograms, and the "io.engine.lanes"
+  /// counter.
   [[nodiscard]] MetricsSnapshot metrics() const;
 
-  /// Batches not yet picked up by the worker (approximate; for tests).
+  /// Sub-batches not yet picked up by a worker, across all lanes
+  /// (approximate; for tests).
   [[nodiscard]] std::size_t queue_depth() const;
 
- private:
-  void worker_loop();
+  [[nodiscard]] std::size_t workers() const { return lanes_.size(); }
 
+ private:
+  // Each worker owns one lane: a FIFO of sub-batches plus its wake-up
+  // signal.  The queues themselves are guarded by the engine-wide
+  // mutex_ (disk time dominates, so one mutex sees no contention in
+  // practice, and it keeps the quiescence predicates trivially correct).
+  struct Lane {
+    std::deque<std::vector<IoRequest>> queue;
+    std::condition_variable work_cv;
+    std::thread worker;
+  };
+
+  void worker_loop(Lane& lane);
+  /// Executes one sub-batch (sorted by file/offset), fusing adjacent
+  /// same-file same-kind runs into vectored ops.  Runs without the
+  /// lock; all accounting goes to `local`.
+  void execute_batch(std::vector<IoRequest>& batch, IoStats& local) const;
+
+  IoEngineOptions options_;
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< wakes the worker
-  // mutable like the mutex: drain() is logically const but waits here.
+  // mutable like the mutex: drain()/metrics() are logically const but
+  // wait here.
   mutable std::condition_variable done_cv_;  ///< completion / idleness
-  std::deque<std::vector<IoRequest>> queue_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<IoRequest> completed_;
   IoStats worker_stats_;  ///< worker accounting awaiting poll (guarded)
-  // Touched by the worker between batches and by the owning thread only
-  // after drain() — the mutex handoff on busy_ orders the accesses.
+  // Written by workers only while holding mutex_ and read by the owning
+  // thread only at quiescence while still holding mutex_ — see
+  // metrics().
   MetricsRegistry metrics_;
-  bool busy_ = false;
+  std::size_t queued_batches_ = 0;  ///< sub-batches across all lanes
+  std::size_t busy_workers_ = 0;
+  std::uint64_t completion_seq_ = 0;  ///< bumped per executed sub-batch
   bool stop_ = false;
   std::atomic<std::uint64_t> completions_ready_{0};
-  std::thread worker_;
 };
 
 }  // namespace mssg

@@ -84,6 +84,18 @@ struct IoStats {
                                              ///< torn write (vs bit rot)
   detail::RelaxedCounter journal_records;    ///< undo/redo records appended
   detail::RelaxedCounter journal_replays;    ///< records applied in recovery
+  detail::RelaxedCounter journal_group_commits;  ///< redo commit records
+                                                 ///< written (each retires a
+                                                 ///< whole group of flushes)
+  detail::RelaxedCounter journal_deferred_flushes;  ///< flushes whose fsyncs
+                                                    ///< were deferred to a
+                                                    ///< group-commit boundary
+  detail::RelaxedCounter vectored_merges;  ///< adjacent requests fused into
+                                           ///< a preadv/pwritev neighbor
+                                           ///< (k-request op counts k-1)
+  detail::RelaxedCounter engine_dropped_errors;  ///< async I/O errors still
+                                                 ///< unpolled when their
+                                                 ///< IoEngine was destroyed
 
   void reset() { *this = IoStats{}; }
 
@@ -106,6 +118,10 @@ struct IoStats {
     checksum_torn += other.checksum_torn;
     journal_records += other.journal_records;
     journal_replays += other.journal_replays;
+    journal_group_commits += other.journal_group_commits;
+    journal_deferred_flushes += other.journal_deferred_flushes;
+    vectored_merges += other.vectored_merges;
+    engine_dropped_errors += other.engine_dropped_errors;
     return *this;
   }
 
@@ -136,6 +152,8 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add(p + ".prefetch_issued", s.prefetch_issued);
   snap.add(p + ".prefetch_hits", s.prefetch_hits);
   snap.add(p + ".read_stalls", s.read_stalls);
+  snap.add(p + ".vectored_merges", s.vectored_merges);
+  snap.add(p + ".engine.dropped_errors", s.engine_dropped_errors);
   // Durability counters live under a fixed "storage." prefix — their
   // names are part of the observability contract (DESIGN.md "Durability
   // & recovery") regardless of which io.* namespace a node publishes to.
@@ -143,6 +161,9 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add("storage.checksum_torn", s.checksum_torn);
   snap.add("storage.journal_records", s.journal_records);
   snap.add("storage.journal_replays", s.journal_replays);
+  // Group-commit counters share the journal's fixed namespace.
+  snap.add("journal.group_commits", s.journal_group_commits);
+  snap.add("journal.deferred_flushes", s.journal_deferred_flushes);
   // 2Q attribution counters likewise keep fixed names (DESIGN.md
   // "Concurrent queries & the 2Q shared cache").
   snap.add("cache.qprobation_hits", s.cache_probation_hits);

@@ -28,10 +28,12 @@ std::uint64_t get_u64(const std::byte* src) {
 
 }  // namespace
 
-WriteJournal::WriteJournal(const std::filesystem::path& base, IoStats* stats)
+WriteJournal::WriteJournal(const std::filesystem::path& base, IoStats* stats,
+                           std::uint32_t sync_interval)
     : undo_(File::open(base.string() + ".undo", stats)),
       redo_(File::open(base.string() + ".redo", stats)),
-      stats_(stats) {
+      stats_(stats),
+      sync_interval_(sync_interval == 0 ? 1 : sync_interval) {
   undo_bytes_ = init_file(undo_);
   redo_bytes_ = init_file(redo_);
 }
@@ -64,15 +66,29 @@ void WriteJournal::undo_record(std::uint64_t tag,
   MSSG_CHECK(tag != kCommitTag);
   if (!undo_logged_.insert(tag).second) return;
   append(undo_, undo_bytes_, tag, payload);
-  // The pre-image must be durable before the caller overwrites in place,
-  // or a crash could lose both the old and the new version of the block.
+  // Durability is the caller's barrier: a pre-image must be fdatasync'd
+  // (undo_barrier) before the overwrite it protects, or a crash could
+  // lose both the old and the new version of the block — but batching
+  // many records under one barrier is safe and much cheaper.
+  undo_dirty_ = true;
+}
+
+void WriteJournal::undo_barrier() {
+  if (!undo_dirty_) return;
   undo_.sync();
+  undo_dirty_ = false;
 }
 
 void WriteJournal::redo_begin() {
+  if (deferred_flushes_ != 0) return;  // group open: append to it
   redo_.truncate(kHeaderBytes);
   redo_bytes_ = kHeaderBytes;
   redo_count_ = 0;
+}
+
+void WriteJournal::redo_defer() {
+  ++deferred_flushes_;
+  if (stats_ != nullptr) ++stats_->journal_deferred_flushes;
 }
 
 void WriteJournal::redo_record(std::uint64_t tag,
@@ -83,13 +99,18 @@ void WriteJournal::redo_record(std::uint64_t tag,
 }
 
 void WriteJournal::redo_commit() {
-  // First sync: the records themselves.  Second sync: the commit record,
-  // which only means anything once everything before it is durable.
+  // First sync: the records themselves — including any deferred
+  // flushes' records, synced here for the first time.  Second sync: the
+  // commit record, which only means anything once everything before it
+  // is durable.  The count covers the WHOLE group, so a torn tail from
+  // any deferred flush invalidates the commit.
   redo_.sync();
   std::byte count[8];
   put_u64(count, redo_count_);
   append(redo_, redo_bytes_, kCommitTag, count);
   redo_.sync();
+  deferred_flushes_ = 0;
+  if (stats_ != nullptr) ++stats_->journal_group_commits;
 }
 
 WriteJournal::Parsed WriteJournal::parse(const File& file) {
@@ -152,10 +173,12 @@ void WriteJournal::trim() {
   undo_.sync();
   undo_bytes_ = kHeaderBytes;
   undo_logged_.clear();
+  undo_dirty_ = false;
   redo_.truncate(kHeaderBytes);
   redo_.sync();
   redo_bytes_ = kHeaderBytes;
   redo_count_ = 0;
+  deferred_flushes_ = 0;
 }
 
 }  // namespace mssg

@@ -11,7 +11,8 @@ namespace mssg {
 
 Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
              std::size_t cache_capacity_bytes, IoStats* stats, bool async_io,
-             bool journal)
+             bool journal, std::size_t io_workers,
+             std::uint32_t journal_sync_interval)
     : page_size_(page_size),
       usable_(page_checksum::usable_bytes(page_size)),
       file_(File::open(path, stats)),
@@ -26,6 +27,9 @@ Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
       },
       [this](std::uint64_t block, std::span<const std::byte> in) {
         capture_undo(block);
+        // Synchronous write-back overwrites immediately, so the barrier
+        // is per-call here; the async path batches it (write_barrier).
+        if (journal_ != nullptr) journal_->undo_barrier();
         file_.write_at(block * page_size_, in);
       },
       // Pages map 1:1 to file offsets, so the locator never needs store
@@ -45,11 +49,16 @@ Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
        [this](std::uint64_t block, std::span<std::byte> page) {
          verify_page(block, page);
        },
-       usable_});
-  if (async_io) cache_.enable_async_io();
+       usable_,
+       // One undo fdatasync per write-behind batch, not per page.
+       [this] {
+         if (journal_ != nullptr) journal_->undo_barrier();
+       }});
+  if (async_io) cache_.enable_async_io(io_workers);
 
   if (journal) {
-    journal_ = std::make_unique<WriteJournal>(path, stats);
+    journal_ =
+        std::make_unique<WriteJournal>(path, stats, journal_sync_interval);
     recover(/*allow_rollback=*/true);
   }
   // A non-empty file must carry a valid header — even one shorter than
@@ -64,9 +73,10 @@ Pager::Pager(const std::filesystem::path& path, std::size_t page_size,
 
 Pager::~Pager() {
   // A destructor cannot throw; anything a failing flush would have
-  // reported dies with the process, exactly as a crash would.
+  // reported dies with the process, exactly as a crash would.  Force a
+  // group-commit boundary: a deferred group must not outlive the pager.
   try {
-    flush();
+    flush(/*force_commit=*/true);
   } catch (...) {
   }
 }
@@ -170,6 +180,7 @@ std::vector<std::byte> Pager::build_header_page() const {
 
 void Pager::store_header() {
   capture_undo(0);
+  if (journal_ != nullptr) journal_->undo_barrier();
   file_.write_at(0, build_header_page());
   header_dirty_ = false;
 }
@@ -253,7 +264,7 @@ void Pager::set_meta(int slot, std::uint64_t value) {
   header_dirty_ = true;
 }
 
-void Pager::flush() {
+void Pager::flush(bool force_commit) {
   if (journal_ == nullptr) {
     cache_.flush();
     if (header_dirty_) store_header();
@@ -264,30 +275,49 @@ void Pager::flush() {
   // captured at submit time made good) before we enumerate dirty pages.
   cache_.drain_pending();
   // A previous flush may have died between redo-commit and trim; finish
-  // its in-place phase first so epochs never interleave.
-  recover(/*allow_rollback=*/false);
+  // its in-place phase first so epochs never interleave.  With a group
+  // pending this is impossible by construction (the last boundary
+  // trimmed, and deferred flushes never commit), so skip the check —
+  // plan_recovery() re-reads the whole journal, which would turn a long
+  // deferred window into quadratic parse traffic.
+  if (!journal_->group_pending()) recover(/*allow_rollback=*/false);
 
   std::size_t dirty = 0;
   cache_.for_each_dirty(
       [&dirty](std::uint16_t, std::uint64_t, std::span<std::byte>) {
         ++dirty;
       });
-  if (dirty == 0 && !header_dirty_ && !journal_->dirty_epoch()) return;
+  const bool work = dirty != 0 || header_dirty_ || journal_->dirty_epoch();
+  // A pending deferred group still needs its boundary commit even when
+  // nothing new is dirty (e.g. the destructor's forced flush).
+  if (!work && !journal_->group_pending()) return;
 
-  // 1. Redo-log post-images of everything this flush will write.
-  journal_->redo_begin();
-  cache_.for_each_dirty(
-      [this](std::uint16_t, std::uint64_t block, std::span<std::byte> page) {
-        page_checksum::seal(page);  // idempotent — write_back re-seals
-        journal_->redo_record(block, page);
-      });
   const std::vector<std::byte> header_page = build_header_page();
-  journal_->redo_record(0, header_page);
+  if (work) {
+    // 1. Redo-log post-images of everything this flush will write
+    // (appending to the open group's records, if any).
+    journal_->redo_begin();
+    cache_.for_each_dirty(
+        [this](std::uint16_t, std::uint64_t block, std::span<std::byte> page) {
+          page_checksum::seal(page);  // idempotent — write_back re-seals
+          journal_->redo_record(block, page);
+        });
+    journal_->redo_record(0, header_page);
+  }
+  if (!force_commit && !journal_->commit_due()) {
+    // Group commit: close this flush without any fsync.  Pages stay
+    // dirty in the cache and the undo epoch stays armed — a crash now
+    // rolls the whole group back to the last boundary atomically; the
+    // boundary flush re-records whatever is still dirty and commits
+    // everything at once.
+    journal_->redo_defer();
+    return;
+  }
   // 2. Eviction writes from this epoch become durable BEFORE the commit
   // record: a post-commit crash rolls forward only the redo records, so
   // everything else the epoch touched must already be safe.
   file_.sync();
-  // 3. Commit.  From here on the flush is logically done.
+  // 3. Commit.  From here on the whole group is logically done.
   journal_->redo_commit();
   // 4. In-place phase (no undo capture — the redo log covers us now).
   in_flush_ = true;

@@ -36,12 +36,17 @@ class Pager {
  public:
   /// Opens (or creates) a paged file.  `cache_capacity_bytes` sizes the
   /// page cache; zero means write-through (no caching).  `async_io`
-  /// attaches the background IoEngine for prefetch() read-ahead and
-  /// write-behind eviction.  `journal` arms crash-safe flushes (see file
-  /// comment); recovery, if needed, runs here before the header loads.
+  /// attaches the background IoEngine (with `io_workers` lanes) for
+  /// prefetch() read-ahead and write-behind eviction.  `journal` arms
+  /// crash-safe flushes (see file comment); recovery, if needed, runs
+  /// here before the header loads.  `journal_sync_interval` is the
+  /// group-commit knob: every n-th flush() commits durably, the ones in
+  /// between batch their redo records into the group (1 = every flush
+  /// commits, the classic behavior).
   Pager(const std::filesystem::path& path, std::size_t page_size,
         std::size_t cache_capacity_bytes, IoStats* stats = nullptr,
-        bool async_io = false, bool journal = false);
+        bool async_io = false, bool journal = false,
+        std::size_t io_workers = 1, std::uint32_t journal_sync_interval = 1);
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -91,8 +96,11 @@ class Pager {
 
   /// Writes back all dirty pages and the header.  With journaling:
   /// redo-log everything, commit, then update in place — the order that
-  /// makes the flush atomic under crashes.
-  void flush();
+  /// makes the flush atomic under crashes.  With a sync_interval > 1
+  /// only every n-th flush commits; the others defer into the group
+  /// (durability lands at the next boundary — or at destruction, which
+  /// forces one).  `force_commit` closes a pending group immediately.
+  void flush(bool force_commit = false);
 
   [[nodiscard]] IoStats* stats() const { return stats_; }
   [[nodiscard]] bool journaled() const { return journal_ != nullptr; }

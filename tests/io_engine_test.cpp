@@ -66,9 +66,44 @@ TEST(IoEngine, ExecutesBatchSortedByOffset) {
     EXPECT_EQ(done[i].key, i);
     EXPECT_EQ(done[i].buffer, pattern_block(static_cast<std::uint8_t>(i)));
   }
-  // The worker accounted its I/O into the explicit stats, not the file's.
-  EXPECT_EQ(worker_stats.reads, 8u);
+  // The worker accounted its I/O into the explicit stats, not the file's
+  // — and coalesced the 8 byte-contiguous blocks into ONE vectored read.
+  EXPECT_EQ(worker_stats.reads, 1u);
   EXPECT_EQ(worker_stats.bytes_read, 8u * kBlock);
+  EXPECT_EQ(worker_stats.vectored_merges, 7u);
+}
+
+TEST(IoEngine, VectoredWriteMergesContiguousRunsOnly) {
+  TempDir dir;
+  File file = File::open(dir.path() / "data");
+  IoEngine engine;
+  std::vector<IoRequest> batch;
+  // Blocks 0-2 are byte-contiguous, then a two-block hole, then 5-6:
+  // exactly two pwritev calls, never one spanning the hole.
+  for (const std::uint64_t block : {5u, 0u, 2u, 6u, 1u}) {
+    IoRequest req;
+    req.kind = IoRequest::Kind::kWrite;
+    req.file = &file;
+    req.offset = block * kBlock;
+    req.buffer = pattern_block(static_cast<std::uint8_t>(block));
+    batch.push_back(std::move(req));
+  }
+  engine.submit(std::move(batch));
+  engine.drain();
+  IoStats stats;
+  ASSERT_EQ(engine.poll_completions(&stats).size(), 5u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.vectored_merges, 3u);
+  EXPECT_EQ(stats.bytes_written, 5u * kBlock);
+
+  std::vector<std::byte> out(kBlock);
+  for (const std::uint64_t block : {0u, 1u, 2u, 5u, 6u}) {
+    file.read_at(block * kBlock, out);
+    EXPECT_EQ(out, pattern_block(static_cast<std::uint8_t>(block)))
+        << "block " << block;
+  }
+  file.read_at(3 * kBlock, out);  // the hole reads back as zeros
+  EXPECT_EQ(out, std::vector<std::byte>(kBlock));
 }
 
 TEST(IoEngine, StableSortKeepsSameOffsetSubmissionOrder) {
@@ -138,6 +173,39 @@ TEST(IoEngine, ShutdownDiscardsUnpolledReadsSafely) {
     // Destroyed with a completed-but-unpolled read: must not leak or hang.
   }
   SUCCEED();
+}
+
+TEST(IoEngine, DestructorSpillsDroppedErrorsIntoSink) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug builds assert on dropped errors by design";
+#else
+  TempDir dir;
+  File file = File::open(dir.path() / "data");
+  FaultInjector::instance().clear();
+  FaultInjector::instance().parse_spec(
+      "path=" + (dir.path() / "data").string() + ",op=write,kind=fail,nth=0");
+
+  IoStats sink;
+  {
+    IoEngineOptions options;
+    options.sink = &sink;
+    IoEngine engine(options);
+    std::vector<IoRequest> batch;
+    IoRequest req;
+    req.kind = IoRequest::Kind::kWrite;
+    req.file = &file;
+    req.offset = 0;
+    req.buffer = pattern_block(1);
+    req.key = 5;
+    batch.push_back(std::move(req));
+    engine.submit(std::move(batch));
+    engine.drain();
+    // Destroyed WITHOUT polling: the failed write's error would once
+    // vanish silently.  Now it is logged and counted in the sink.
+  }
+  FaultInjector::instance().clear();
+  EXPECT_EQ(sink.engine_dropped_errors, 1u);
+#endif
 }
 
 TEST(IoEngine, NullFileRequestCompletesWithoutIo) {

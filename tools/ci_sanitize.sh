@@ -36,6 +36,12 @@ FILTER+=':CrashRecovery.*:*CrashRecovery*:TornWrite.*:FaultInjector.*'
 # concurrency` label, run below under tsan via ctest so label coverage
 # and filter coverage cannot drift apart.)
 FILTER+=':ConcurrencyStress.*:MsBfsEquivalence.*:*Differential.*:BlockCache2Q.*'
+# PR 7: the multi-lane I/O engine — N workers share the completion queue,
+# the quiescence predicates, and the metrics registry; the stress suite
+# races submit/poll/wait/drain/metrics across all of them.  The full io
+# label (engine + async cache + group-commit crash sweeps) also runs via
+# ctest under BOTH presets below.
+FILTER+=':IoEngineStress.*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -55,6 +61,15 @@ run_preset() {
     TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
       ctest --test-dir "$build_dir" -L concurrency --output-on-failure
   fi
+  # The io label (multi-lane engine, async cache protocols, the A13
+  # smoke) runs under BOTH presets: tsan for the lane handoffs, asan for
+  # the iovec arithmetic in the vectored read/write paths.
+  echo "=== [$preset] ctest -L io ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$build_dir" -L io --output-on-failure
   echo "=== [$preset] OK ==="
 }
 
