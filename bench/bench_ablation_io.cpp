@@ -19,6 +19,7 @@
 //
 // `--smoke` (stripped before benchmark::Initialize) shrinks both parts
 // to seconds — the `io`-labelled ctest smoke entry runs it that way.
+#include <array>
 #include <cstring>
 
 #include "bench_util.hpp"
@@ -128,23 +129,26 @@ void engine_sweep(benchmark::State& state, std::size_t workers,
 
 // ---- Part 2: journal group commit on the sliced ingest path ----------------
 
+constexpr int kIngestBackends = 4;
+
 void ingest_sliced(benchmark::State& state, const bench::Workload& w,
-                   Backend backend, bool journal, std::uint32_t interval) {
-  constexpr int kBackends = 4;
+                   ClusterConfig& base, bool journal,
+                   std::uint32_t interval) {
+  // The backend's three journal legs share `base` (one deployment
+  // config, reconfigured per leg).  Save the journal fields and put them
+  // back when the leg ends, so a reordered or partially-run leg list can
+  // never silently inherit journal-off — or a stale sync interval —
+  // from whichever leg happened to run before it.
+  const bool saved_journal = base.db.journal;
+  const std::uint32_t saved_interval = base.db.journal_sync_interval;
+  base.db.journal = journal;
+  base.db.journal_sync_interval = interval;
   // A multiple of every sync_interval below, so the last slice's flush
   // lands exactly on a group boundary and the counters read at the end
   // describe a fully durable state.
   const std::size_t slices = g_smoke ? 8 : 24;
   for (auto _ : state) {
-    ClusterConfig config;
-    config.backend = backend;
-    config.backend_nodes = kBackends;
-    config.frontend_nodes = 2;
-    config.db.cache_bytes = std::max<std::size_t>(
-        256 << 10, 32 * w.directed_bytes() / kBackends);
-    config.db.max_vertices = w.spec.vertices;
-    config.db.journal = journal;
-    config.db.journal_sync_interval = interval;
+    ClusterConfig config = base;
     MssgCluster cluster(config);
 
     // Many flush epochs, the regime group commit exists for: each
@@ -163,7 +167,9 @@ void ingest_sliced(benchmark::State& state, const bench::Workload& w,
     }
 
     IoStats io;
-    for (int n = 0; n < kBackends; ++n) io += cluster.node_db(n).io_stats();
+    for (int n = 0; n < kIngestBackends; ++n) {
+      io += cluster.node_db(n).io_stats();
+    }
     state.counters["edges_stored"] = static_cast<double>(stored);
     state.counters["wall_edges_per_s"] =
         seconds == 0 ? 0 : static_cast<double>(stored) / seconds;
@@ -176,6 +182,8 @@ void ingest_sliced(benchmark::State& state, const bench::Workload& w,
     state.counters["deferred_flushes"] =
         static_cast<double>(io.journal_deferred_flushes);
   }
+  base.db.journal = saved_journal;
+  base.db.journal_sync_interval = saved_interval;
 }
 
 }  // namespace
@@ -216,18 +224,31 @@ int main(int argc, char** argv) {
     bool journal;
     std::uint32_t interval;
   };
-  for (const auto backend :
-       {mssg::Backend::kGrDB, mssg::Backend::kKVStore}) {
+  // One config template per backend, shared by its journal legs (lives
+  // on main's stack through RunSpecifiedBenchmarks; legs run serially).
+  const std::array<mssg::Backend, 2> backends{mssg::Backend::kGrDB,
+                                              mssg::Backend::kKVStore};
+  std::array<mssg::ClusterConfig, 2> bases;
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    bases[b].backend = backends[b];
+    bases[b].backend_nodes = kIngestBackends;
+    bases[b].frontend_nodes = 2;
+    bases[b].db.cache_bytes = std::max<std::size_t>(
+        256 << 10, 32 * w.directed_bytes() / kIngestBackends);
+    bases[b].db.max_vertices = w.spec.vertices;
+  }
+  for (std::size_t b = 0; b < backends.size(); ++b) {
     for (const JournalConfig& j :
          {JournalConfig{"journal:off", false, 1},
           JournalConfig{"journal:on/sync:1", true, 1},
           JournalConfig{"journal:on/sync:8", true, 8}}) {
+      mssg::ClusterConfig* base = &bases[b];
       benchmark::RegisterBenchmark(
           (std::string("AblationIo/SlicedIngest/") +
-           mssg::bench::short_name(backend) + "/" + j.label)
+           mssg::bench::short_name(backends[b]) + "/" + j.label)
               .c_str(),
-          [&w, backend, j](benchmark::State& state) {
-            ingest_sliced(state, w, backend, j.journal, j.interval);
+          [&w, base, j](benchmark::State& state) {
+            ingest_sliced(state, w, *base, j.journal, j.interval);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

@@ -10,9 +10,21 @@
 //                   [--concurrency Q] [--budget T]
 //   mssg_tool khop  <storage-dir> <src> <k>   [--nodes N] [--backend B]
 //   mssg_tool cc    <storage-dir>             [--nodes N] [--backend B]
+//   mssg_tool analyze <storage-dir> <name> [param...] [--nodes N]
+//                   [--backend B] [--budget T]
 //   mssg_tool defrag <storage-dir>            [--nodes N]
 //
 // Backends: grdb (default), kvstore, relational, stream.
+//
+// analyze submits any registered analysis through the concurrent query
+// engine (so --budget and sched.q<id>.* attribution apply) and decodes
+// the result vector.  The VertexProgram suite:
+//   analyze dir pagerank [iterations]
+//   analyze dir lp-cc
+//   analyze dir kcore [k]
+//   analyze dir triangles
+//   analyze dir sssp <source> [target [delta [max-weight]]]
+//   analyze dir vp-bfs <source> <target>
 //
 // Every cluster command accepts --metrics: after the result it prints
 // the merged MetricsSnapshot (io.*, comm.*, bfs.*, ingest.*, ...) as a
@@ -43,7 +55,8 @@ namespace {
 using namespace mssg;
 
 int usage() {
-  std::cerr << "usage: mssg_tool gen|stats|ingest|bfs|khop|cc|defrag ...\n"
+  std::cerr << "usage: mssg_tool gen|stats|ingest|bfs|khop|cc|analyze|defrag"
+               " ...\n"
                "       (see header comment of examples/mssg_tool.cpp)\n";
   return 2;
 }
@@ -266,6 +279,80 @@ int cmd_cc(int argc, char** argv) {
   return 0;
 }
 
+/// Decodes one analysis result vector for the console, mirroring each
+/// registration's documented layout; unknown names print raw.
+void print_analysis_result(const std::string& name,
+                           const std::vector<double>& r) {
+  if (name == "pagerank" && r.size() >= 8) {
+    std::cout << "pagerank over " << r[0] << " vertices: top vertex "
+              << static_cast<std::uint64_t>(r[3]) << " (rank " << r[4]
+              << "), rank sum " << r[5] << ", " << r[1] << " supersteps, "
+              << r[2] << " edges";
+    if (r[6] != 0.0) std::cout << ", budget-truncated";
+    std::cout << " (" << r[7] << " s)\n";
+  } else if (name == "lp-cc" && r.size() >= 5) {
+    std::cout << r[0] << " components over " << r[1] << " vertices ("
+              << r[2] << " rounds, " << r[3] << " edges, " << r[4] << " s)\n";
+  } else if (name == "kcore" && r.size() >= 5) {
+    std::cout << r[0] << " vertices in the core (" << r[1] << " peel rounds, "
+              << r[2] << " edges";
+    if (r[3] != 0.0) std::cout << ", budget-truncated";
+    std::cout << ", " << r[4] << " s)\n";
+  } else if (name == "triangles" && r.size() >= 4) {
+    std::cout << r[0] << " triangles (" << r[1] << " wedge checks, " << r[2]
+              << " edges, " << r[3] << " s)\n";
+  } else if (name == "sssp" && r.size() >= 6) {
+    if (r[0] < 0) {
+      // Infinite distance: either no target was given (full tree) or
+      // the target was unreached — the result vector can't tell.
+      std::cout << "shortest-path tree, no finite target distance";
+    } else {
+      std::cout << "weighted distance " << r[0];
+    }
+    std::cout << " (" << r[1] << " vertices reached, " << r[2]
+              << " supersteps, " << r[3] << " edges";
+    if (r[4] != 0.0) std::cout << ", budget-truncated";
+    std::cout << ", " << r[5] << " s)\n";
+  } else if (name == "vp-bfs" && r.size() >= 4) {
+    if (static_cast<Metadata>(r[0]) == kUnvisited) {
+      std::cout << "unreachable";
+    } else {
+      std::cout << "distance " << r[0];
+    }
+    std::cout << " (" << r[1] << " edges, " << r[2] << " vertices expanded, "
+              << r[3] << " s)\n";
+  } else {
+    std::cout << "result:";
+    for (const double v : r) std::cout << " " << v;
+    std::cout << "\n";
+  }
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string name = argv[3];
+  // Positional numeric params end at the first --flag.
+  std::vector<std::uint64_t> params;
+  int i = 4;
+  for (; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i) {
+    params.push_back(std::stoull(argv[i]));
+  }
+  const auto args = parse_flags(argc, argv, i);
+  auto cluster = open_cluster(argv[2], args);
+  const QueryOutcome outcome = cluster.await_query(cluster.submit_analysis(
+      name, params,
+      args.budget != 0 ? std::optional<std::uint64_t>(args.budget)
+                       : std::nullopt));
+  if (!outcome.ok()) {
+    std::cerr << "error: " << outcome.error << "\n";
+    return 1;
+  }
+  print_analysis_result(name, outcome.result);
+  if (outcome.truncated) std::cout << "(truncated by token budget)\n";
+  maybe_print_metrics(args, cluster);
+  return 0;
+}
+
 int cmd_defrag(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto args = parse_flags(argc, argv, 3);
@@ -288,6 +375,7 @@ int main(int argc, char** argv) {
     if (command == "bfs") return cmd_bfs(argc, argv);
     if (command == "khop") return cmd_khop(argc, argv);
     if (command == "cc") return cmd_cc(argc, argv);
+    if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "defrag") return cmd_defrag(argc, argv);
     return usage();
   } catch (const Error& e) {

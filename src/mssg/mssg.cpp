@@ -112,7 +112,8 @@ std::vector<double> MssgCluster::run_analysis(
 }
 
 QueryScheduler::Ticket MssgCluster::submit_analysis(
-    const std::string& name, const std::vector<std::uint64_t>& params) {
+    const std::string& name, const std::vector<std::uint64_t>& params,
+    std::optional<std::uint64_t> token_budget) {
   // Concurrent-safe analyses share the cluster; legacy analyses mutate
   // the per-node metadata stores, so they are admitted exclusively.
   const bool concurrent = queries_.is_concurrent(name);
@@ -124,7 +125,7 @@ QueryScheduler::Ticket MssgCluster::submit_analysis(
         }
         return queries_.run(name, comm, db, params);
       },
-      /*exclusive=*/!concurrent);
+      /*exclusive=*/!concurrent, token_budget);
 }
 
 QueryOutcome MssgCluster::await_query(const QueryScheduler::Ticket& ticket) {

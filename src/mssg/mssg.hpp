@@ -84,11 +84,15 @@ class MssgCluster {
                                    const std::vector<std::uint64_t>& params);
 
   /// Submits a registered analysis to the concurrent query engine and
-  /// returns immediately.  Concurrent-safe analyses (ms-bfs, cbfs) share
-  /// the cluster with up to `scheduler.max_inflight` peers; anything
-  /// else is admitted exclusively.  Await the ticket for the outcome.
+  /// returns immediately.  Concurrent-safe analyses (ms-bfs, cbfs, and
+  /// the VertexProgram suite: pagerank, lp-cc, kcore, triangles, sssp,
+  /// vp-bfs) share the cluster with up to `scheduler.max_inflight`
+  /// peers; anything else is admitted exclusively.  `token_budget`
+  /// overrides the scheduler's per-query budget for this query only (an
+  /// explicit 0 fails admission).  Await the ticket for the outcome.
   QueryScheduler::Ticket submit_analysis(
-      const std::string& name, const std::vector<std::uint64_t>& params);
+      const std::string& name, const std::vector<std::uint64_t>& params,
+      std::optional<std::uint64_t> token_budget = std::nullopt);
 
   /// Blocks until a submitted analysis finishes.
   QueryOutcome await_query(const QueryScheduler::Ticket& ticket);

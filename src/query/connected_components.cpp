@@ -1,116 +1,18 @@
 #include "query/connected_components.hpp"
 
-#include <unordered_map>
-
-#include "common/error.hpp"
-#include "common/timer.hpp"
-#include "common/vertex_codec.hpp"
+#include "query/analytics.hpp"
 
 namespace mssg {
 
-namespace {
-
-constexpr int kLabelTag = 110;
-
-// A label update is the (vertex, candidate-label) pair; shipping it
-// through the pair codec delta-encodes both components.  Sorting the
-// bucket is safe: min-label relaxation is order-independent, and the
-// per-round next_frontier is sort+uniqued before use.
-
-}  // namespace
-
+// Re-expressed as a VertexProgram instance (min-label propagation kernel
+// in query/analytics.cpp) — the engine's sorted frontier and rank-ordered
+// fringe merge fix the historical label-tie nondeterminism: the surviving
+// label when components merge in one superstep is the minimum id
+// regardless of message arrival order, so repeated runs and different
+// rank counts produce byte-identical label snapshots (asserted by the
+// CcDeterminism suite).
 CcStats parallel_connected_components(Communicator& comm, GraphDB& db) {
-  Timer timer;
-  const int p = comm.size();
-  const auto owner = [p](VertexId v) { return static_cast<Rank>(v % p); };
-
-  // Labels for the vertices this rank owns.  Under vertex-granularity
-  // hash-mod declustering every locally stored vertex is owned here.
-  std::unordered_map<VertexId, VertexId> label;
-  std::vector<VertexId> frontier;
-  db.for_each_vertex([&](VertexId v) {
-    label.emplace(v, v);
-    frontier.push_back(v);
-    return true;
-  });
-
-  CcStats stats;
-  stats.vertices = comm.allreduce_sum(label.size());
-
-  std::vector<std::vector<VertexPair>> buckets(p);
-  std::vector<VertexId> next_frontier;
-  std::vector<VertexId> neighbors;
-  std::vector<VertexPair> decode_scratch;
-
-  // Relaxes u to `candidate`; returns true when the label shrank.  A
-  // neighbor-of-a-neighbor we have never stored still gets a label entry
-  // (degree-0 locally, but it is owned here and counted by its owner).
-  const auto relax = [&](VertexId u, VertexId candidate) {
-    auto [it, inserted] = label.try_emplace(u, std::min(u, candidate));
-    if (inserted) return true;
-    if (candidate < it->second) {
-      it->second = candidate;
-      return true;
-    }
-    return false;
-  };
-
-  while (true) {
-    for (auto& bucket : buckets) bucket.clear();
-    next_frontier.clear();
-
-    for (const VertexId v : frontier) {
-      const VertexId current = label.at(v);
-      neighbors.clear();
-      db.get_adjacency(v, neighbors);
-      stats.edges_scanned += neighbors.size();
-      for (const VertexId u : neighbors) {
-        if (owner(u) == comm.rank()) {
-          if (relax(u, current)) next_frontier.push_back(u);
-        } else {
-          buckets[owner(u)].emplace_back(u, current);
-        }
-      }
-    }
-
-    // One message per peer per round (empty allowed: receivers expect
-    // exactly p-1).
-    for (Rank q = 0; q < p; ++q) {
-      if (q == comm.rank()) continue;
-      const std::size_t raw_bytes = raw_pair_wire_bytes(buckets[q].size());
-      std::vector<std::byte> encoded = encode_pair_set(buckets[q]);
-      comm.record_payload_encoding(raw_bytes, encoded.size());
-      comm.send(q, kLabelTag, std::move(encoded));
-    }
-    for (int received = 0; received < p - 1; ++received) {
-      const Message msg = comm.recv(kLabelTag);
-      decode_pair_set(msg.payload, decode_scratch);
-      for (const auto& [vertex, candidate] : decode_scratch) {
-        if (relax(vertex, candidate)) {
-          next_frontier.push_back(vertex);
-        }
-      }
-    }
-
-    ++stats.iterations;
-    // Deduplicate: a vertex may have been relaxed several times.
-    std::sort(next_frontier.begin(), next_frontier.end());
-    next_frontier.erase(
-        std::unique(next_frontier.begin(), next_frontier.end()),
-        next_frontier.end());
-
-    if (comm.allreduce_sum(next_frontier.size()) == 0) break;
-    frontier.swap(next_frontier);
-  }
-
-  // A component is counted at the owner of its minimum-id vertex.
-  std::uint64_t local_roots = 0;
-  for (const auto& [v, l] : label) {
-    if (l == v) ++local_roots;
-  }
-  stats.components = comm.allreduce_sum(local_roots);
-  stats.seconds = timer.seconds();
-  return stats;
+  return parallel_label_cc(comm, db);
 }
 
 }  // namespace mssg

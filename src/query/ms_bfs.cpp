@@ -277,6 +277,11 @@ MsBfsStats MsBfsRun::execute() {
     if (comm_.allreduce_or(options_.budget != nullptr &&
                            options_.budget->exhausted())) {
       stats_.truncated = true;
+      // Work remains (the frontier is non-empty) and the tokens ran out:
+      // THIS is truncation.  The checks above break first when the
+      // search completed naturally, so an exact-fit budget that reaches
+      // spent == limit on the final level never reports truncation.
+      if (options_.budget != nullptr) options_.budget->note_truncation();
       break;
     }
 

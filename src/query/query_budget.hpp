@@ -33,6 +33,21 @@ class QueryBudget {
     return limit_ != 0 && spent_.load(std::memory_order_relaxed) >= limit_;
   }
 
+  /// Records that an analysis actually CUT WORK SHORT because of this
+  /// budget.  Exhaustion alone is not truncation: a budget of exactly
+  /// the work remaining reaches spent == limit on the final superstep
+  /// with nothing left to do — analyses therefore check their natural
+  /// termination conditions first and call this only when tokens ran
+  /// out with work outstanding.  QueryOutcome::truncated reads this
+  /// flag, never exhausted().
+  void note_truncation() {
+    truncated_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool truncation_noted() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
   [[nodiscard]] std::uint64_t spent() const {
     return spent_.load(std::memory_order_relaxed);
@@ -41,6 +56,7 @@ class QueryBudget {
  private:
   const std::uint64_t limit_;
   std::atomic<std::uint64_t> spent_{0};
+  std::atomic<bool> truncated_{false};
 };
 
 }  // namespace mssg

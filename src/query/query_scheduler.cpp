@@ -45,18 +45,22 @@ QueryScheduler::~QueryScheduler() {
   for (const auto& state : states) await(Ticket(state));
 }
 
-QueryScheduler::Ticket QueryScheduler::submit(QueryJob job, bool exclusive) {
+QueryScheduler::Ticket QueryScheduler::submit(
+    QueryJob job, bool exclusive, std::optional<std::uint64_t> token_budget) {
+  // An EXPLICIT zero budget cannot run even one superstep, so it fails
+  // admission instead of starting; the config-level 0 means unlimited.
+  const bool rejected = token_budget.has_value() && *token_budget == 0;
+  const std::uint64_t budget = token_budget.value_or(config_.token_budget);
   std::shared_ptr<Ticket::State> state;
   {
     std::lock_guard<std::mutex> lock(states_mu_);
-    state = std::make_shared<Ticket::State>(next_id_++, config_.token_budget,
-                                            world_.size());
+    state = std::make_shared<Ticket::State>(next_id_++, budget, world_.size());
     states_.push_back(state);
   }
-  state->runner = std::thread(
-      [this, state, moved_job = std::move(job), exclusive]() mutable {
-        run_query(state, std::move(moved_job), exclusive);
-      });
+  state->runner = std::thread([this, state, moved_job = std::move(job),
+                               exclusive, rejected]() mutable {
+    run_query(state, std::move(moved_job), exclusive, rejected);
+  });
   return Ticket(state);
 }
 
@@ -105,41 +109,58 @@ void QueryScheduler::release(bool exclusive) {
 }
 
 void QueryScheduler::run_query(const std::shared_ptr<Ticket::State>& state,
-                               QueryJob job, bool exclusive) {
+                               QueryJob job, bool exclusive, bool rejected) {
   QueryOutcome& out = state->outcome;
-  Timer queue_timer;
-  admit(exclusive);
-  out.queue_seconds = queue_timer.seconds();
+  if (rejected) {
+    out.error = "admission rejected: zero token budget";
+  } else {
+    Timer queue_timer;
+    admit(exclusive);
+    out.queue_seconds = queue_timer.seconds();
 
-  Timer run_timer;
-  // Private sub-world per query: mailboxes, barrier, and collective
-  // scratch are isolated, traffic still lands in the cluster totals.
-  const std::unique_ptr<CommWorld> sub = world_.split(state->id);
-  try {
-    run_cluster(*sub, [&](Communicator& comm) {
-      CacheAttributionScope cache_scope(&state->attribution);
-      QueryContext ctx{state->id, &state->budget,
-                       &state->registries[static_cast<std::size_t>(comm.rank())],
-                       &state->attribution};
-      std::vector<double> result = job(comm, ctx);
-      if (comm.rank() == 0) out.result = std::move(result);
-    });
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  } catch (...) {
-    out.error = "unknown query failure";
+    Timer run_timer;
+    // Private sub-world per query: mailboxes, barrier, and collective
+    // scratch are isolated, traffic still lands in the cluster totals.
+    const std::unique_ptr<CommWorld> sub = world_.split(state->id);
+    try {
+      run_cluster(*sub, [&](Communicator& comm) {
+        // Scoped (RAII): released on every rank even when the job
+        // throws, so a failed query cannot leak its attribution onto
+        // whatever runs on this thread next.
+        CacheAttributionScope cache_scope(&state->attribution);
+        QueryContext ctx{
+            state->id, &state->budget,
+            &state->registries[static_cast<std::size_t>(comm.rank())],
+            &state->attribution};
+        std::vector<double> result = job(comm, ctx);
+        if (comm.rank() == 0) out.result = std::move(result);
+      });
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    } catch (...) {
+      out.error = "unknown query failure";
+    }
+    out.seconds = run_timer.seconds();
+    release(exclusive);
   }
-  out.seconds = run_timer.seconds();
-  release(exclusive);
 
-  out.truncated = state->budget.exhausted();
+  // Shared epilogue — success, mid-run failure, and admission rejection
+  // all land here, so every submitted query merges its per-(query, rank)
+  // registries into the outcome and shows up in the sched.* aggregates;
+  // a query that dies half-way keeps the work it already counted.
+  //
+  // Truncation comes from the budget's explicit flag (set by an analysis
+  // that actually cut work short), NOT from exhausted(): a budget of
+  // exactly the work remaining completes with spent == limit and must
+  // not report truncation.
+  out.truncated = state->budget.truncation_noted();
   out.cache_hits = state->attribution.hits.load(std::memory_order_relaxed);
   out.cache_misses = state->attribution.misses.load(std::memory_order_relaxed);
   out.cache_hit_ratio = state->attribution.hit_ratio();
   for (const MetricsRegistry& reg : state->registries) {
     out.metrics.merge(reg.snapshot());
   }
-  record_completion(*state);
+  record_completion(*state, rejected);
 
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -148,12 +169,14 @@ void QueryScheduler::run_query(const std::shared_ptr<Ticket::State>& state,
   state->cv.notify_all();
 }
 
-void QueryScheduler::record_completion(const Ticket::State& state) {
+void QueryScheduler::record_completion(const Ticket::State& state,
+                                       bool rejected) {
   const QueryOutcome& out = state.outcome;
   std::lock_guard<std::mutex> lock(metrics_mu_);
   sched_.counter("sched.queries") += 1;
   if (out.truncated) sched_.counter("sched.truncated") += 1;
   if (!out.ok()) sched_.counter("sched.failed") += 1;
+  if (rejected) sched_.counter("sched.rejected") += 1;
   sched_.histogram("sched.queue_wait_us")
       .record(static_cast<std::uint64_t>(out.queue_seconds * 1e6));
   sched_.histogram("sched.query_us")

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -105,16 +106,26 @@ class QueryScheduler {
   /// Enqueues a query.  Returns immediately; the query runs on its own
   /// runner thread once admitted.  `exclusive` marks analyses that touch
   /// shared mutable per-node state (GraphDB metadata store) and must run
-  /// alone; concurrent-safe analyses (ms_bfs-family) submit shared.
-  Ticket submit(QueryJob job, bool exclusive = false);
+  /// alone; concurrent-safe analyses (ms_bfs-family, vertex programs)
+  /// submit shared.
+  ///
+  /// `token_budget` overrides the config's per-query budget for this
+  /// query only.  An explicit budget of 0 FAILS ADMISSION cleanly: the
+  /// query never runs a superstep, its outcome carries an error, and its
+  /// (empty) registries and sched.q<id>.* rows are still recorded so the
+  /// scheduler aggregates balance.  (The config-level 0 keeps its
+  /// documented "unlimited" meaning.)
+  Ticket submit(QueryJob job, bool exclusive = false,
+                std::optional<std::uint64_t> token_budget = std::nullopt);
 
   /// Blocks until the query finishes and returns its outcome.  Safe to
   /// call more than once per ticket.
   QueryOutcome await(const Ticket& ticket);
 
   /// submit + await, for callers without interleaving needs.
-  QueryOutcome run(QueryJob job, bool exclusive = false) {
-    return await(submit(std::move(job), exclusive));
+  QueryOutcome run(QueryJob job, bool exclusive = false,
+                   std::optional<std::uint64_t> token_budget = std::nullopt) {
+    return await(submit(std::move(job), exclusive, token_budget));
   }
 
   /// Queries currently admitted (diagnostics; racy by nature).
@@ -130,10 +141,10 @@ class QueryScheduler {
 
  private:
   void run_query(const std::shared_ptr<Ticket::State>& state, QueryJob job,
-                 bool exclusive);
+                 bool exclusive, bool rejected);
   void admit(bool exclusive);
   void release(bool exclusive);
-  void record_completion(const Ticket::State& state);
+  void record_completion(const Ticket::State& state, bool rejected);
 
   CommWorld& world_;
   QuerySchedulerConfig config_;

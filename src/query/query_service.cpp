@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "query/analytics.hpp"
 #include "query/bidirectional_bfs.hpp"
 #include "query/connected_components.hpp"
 #include "query/graph_stats_analysis.hpp"
@@ -10,6 +11,15 @@
 namespace mssg {
 
 namespace {
+
+/// The scheduler context's budget and rank-private registry, threaded
+/// into a VertexProgram engine run.
+VertexProgramOptions vp_options(QueryContext& ctx) {
+  VertexProgramOptions options;
+  options.metrics = ctx.metrics;
+  options.budget = ctx.budget;
+  return options;
+}
 std::vector<double> bfs_analysis(Communicator& comm, GraphDB& db,
                                  const std::vector<std::uint64_t>& params,
                                  bool pipelined) {
@@ -110,6 +120,112 @@ QueryService::QueryService() {
                                stats.seconds};
   });
   register_concurrent("ms-bfs", msbfs_analysis);
+  // The VertexProgram analytics suite.  All keep query-private state
+  // (never the GraphDB metadata store), so any mix may share a cluster.
+  //
+  // params: {iterations=10} -> {vertices, supersteps, edges_scanned,
+  // top_vertex, top_rank, rank_sum, truncated, seconds}.  Counts global.
+  register_concurrent("pagerank", [](Communicator& comm, GraphDB& db,
+                                     const std::vector<std::uint64_t>& params,
+                                     QueryContext& ctx) {
+    PageRankOptions options;
+    options.engine = vp_options(ctx);
+    if (!params.empty() && params[0] != 0) options.iterations = params[0];
+    const PageRankStats stats = parallel_pagerank(comm, db, options);
+    return std::vector<double>{
+        static_cast<double>(stats.vertices),
+        static_cast<double>(stats.supersteps),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        static_cast<double>(stats.top_vertex),
+        stats.top_rank,
+        stats.rank_sum,
+        stats.truncated ? 1.0 : 0.0,
+        stats.seconds};
+  });
+  // params: none -> {components, vertices, iterations, edges_scanned,
+  // seconds} — the label-propagation CC on the concurrent path (the
+  // exclusive "cc" entry runs the same kernel standalone).
+  register_concurrent("lp-cc", [](Communicator& comm, GraphDB& db,
+                                  const std::vector<std::uint64_t>&,
+                                  QueryContext& ctx) {
+    const CcStats stats = parallel_label_cc(comm, db, vp_options(ctx));
+    return std::vector<double>{
+        static_cast<double>(stats.components),
+        static_cast<double>(stats.vertices),
+        static_cast<double>(stats.iterations),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        stats.seconds};
+  });
+  // params: {k=2} -> {core_vertices, rounds, edges_scanned, truncated,
+  // seconds}
+  register_concurrent("kcore", [](Communicator& comm, GraphDB& db,
+                                  const std::vector<std::uint64_t>& params,
+                                  QueryContext& ctx) {
+    KCoreOptions options;
+    options.engine = vp_options(ctx);
+    if (!params.empty()) options.k = static_cast<std::uint32_t>(params[0]);
+    const KCoreStats stats = parallel_kcore(comm, db, options);
+    return std::vector<double>{
+        static_cast<double>(stats.core_vertices),
+        static_cast<double>(stats.rounds),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        stats.truncated ? 1.0 : 0.0,
+        stats.seconds};
+  });
+  // params: none -> {triangles, wedge_checks, edges_scanned, seconds}
+  register_concurrent("triangles", [](Communicator& comm, GraphDB& db,
+                                      const std::vector<std::uint64_t>&,
+                                      QueryContext& ctx) {
+    const TriangleStats stats =
+        parallel_triangle_count(comm, db, vp_options(ctx));
+    return std::vector<double>{
+        static_cast<double>(stats.triangles),
+        static_cast<double>(stats.wedge_checks),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        stats.seconds};
+  });
+  // params: {source [, target [, delta [, max_weight]]]} -> {distance
+  // (-1 unreached/no target), reached, supersteps, edges_scanned,
+  // truncated, seconds}
+  register_concurrent("sssp", [](Communicator& comm, GraphDB& db,
+                                 const std::vector<std::uint64_t>& params,
+                                 QueryContext& ctx) {
+    MSSG_CHECK(!params.empty());
+    SsspOptions options;
+    options.engine = vp_options(ctx);
+    options.source = params[0];
+    if (params.size() >= 2) options.target = params[1];
+    if (params.size() >= 3 && params[2] != 0) options.delta = params[2];
+    if (params.size() >= 4 && params[3] != 0) {
+      options.max_weight = static_cast<std::uint32_t>(params[3]);
+    }
+    const SsspStats stats = parallel_sssp(comm, db, options);
+    return std::vector<double>{
+        stats.distance == kInfiniteDistance
+            ? -1.0
+            : static_cast<double>(stats.distance),
+        static_cast<double>(stats.reached),
+        static_cast<double>(stats.supersteps),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        stats.truncated ? 1.0 : 0.0,
+        stats.seconds};
+  });
+  // params: {source, dest} -> same layout as "bfs" (distance,
+  // edges_scanned, vertices_expanded, seconds): the single-source BFS as
+  // a VertexProgram instance, differential-tested against the legacy
+  // metadata-store search.
+  register_concurrent("vp-bfs", [](Communicator& comm, GraphDB& db,
+                                   const std::vector<std::uint64_t>& params,
+                                   QueryContext& ctx) {
+    MSSG_CHECK(params.size() >= 2);
+    const VpBfsStats stats =
+        vertex_program_bfs(comm, db, params[0], params[1], vp_options(ctx));
+    return std::vector<double>{
+        static_cast<double>(stats.distance),
+        static_cast<double>(comm.allreduce_sum(stats.edges_scanned)),
+        static_cast<double>(comm.allreduce_sum(stats.vertices_expanded)),
+        stats.seconds};
+  });
   // params: {source, dest} -> same layout as "bfs" (distance,
   // edges_scanned, adjacency_fetches, seconds), but runs on the
   // concurrent path: query-private visited state, so many may share one

@@ -227,14 +227,32 @@ TEST(ConcurrencyStress, SchedulerBudgetTruncatesConcurrentQuery) {
   MssgCluster cluster(config);
   cluster.ingest(edges);
 
-  const auto far = pairs.front();
-  const QueryOutcome out =
-      cluster.await_query(cluster.submit_analysis("cbfs", {far.src, far.dst}));
+  // A destination outside the graph is never found, so the search keeps
+  // expanding with a non-empty frontier until the tokens run out: this
+  // run MUST truncate.
+  const VertexId unreachable = static_cast<VertexId>(gen.vertices) + 1000;
+  const QueryOutcome out = cluster.await_query(
+      cluster.submit_analysis("cbfs", {pairs.front().src, unreachable}));
   ASSERT_TRUE(out.ok()) << out.error;
   EXPECT_TRUE(out.truncated);
 
   const auto snap = cluster.metrics_snapshot();
   EXPECT_EQ(snap.counters.at("sched.truncated"), 1u);
+
+  // The flip side of the fix: a query that COMPLETES is never reported
+  // truncated, even when its level-granular charging overran the budget
+  // before the level-end check could fire.  (The old exhausted()-based
+  // report flagged this complete, correct result as cut short.)
+  const auto far = pairs.front();
+  const QueryOutcome done =
+      cluster.await_query(cluster.submit_analysis("cbfs", {far.src, far.dst}));
+  ASSERT_TRUE(done.ok()) << done.error;
+  ASSERT_GE(done.result.size(), 1u);
+  EXPECT_EQ(static_cast<Metadata>(done.result.at(0)), far.distance);
+  EXPECT_FALSE(done.truncated)
+      << "completed search misreported as truncated";
+  const auto snap2 = cluster.metrics_snapshot();
+  EXPECT_EQ(snap2.counters.at("sched.truncated"), 1u);
 }
 
 }  // namespace

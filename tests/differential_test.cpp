@@ -1,5 +1,6 @@
 // Cross-backend differential harness: seeded random op sequences
-// (add_edges / get_neighbors / for_each_vertex / reopen) run against
+// (add_edges / get_neighbors / for_each_vertex / reopen, plus
+// run_analysis(pagerank|cc|kcore) over the finalized graph) run against
 // every backend and an in-memory reference model in lockstep.  Any
 // divergence fails with the generating seed in the message, so a
 // failure reproduces with a one-line filter run.
@@ -10,6 +11,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "gen/memory_graph.hpp"
+#include "query/analytics.hpp"
+#include "runtime/comm.hpp"
 #include "test_util.hpp"
 
 namespace mssg {
@@ -137,6 +141,141 @@ TEST_P(Differential, ForEachVertexEarlyStopSeesSubset) {
     ASSERT_EQ(seen.size(), stop_after);
     for (const VertexId v : seen) {
       ASSERT_TRUE(full.contains(v)) << "visited unknown vertex " << v;
+    }
+  }
+}
+
+// ---- analysis ops ----------------------------------------------------------
+// The same differential idea one layer up: random symmetrized graphs,
+// then a random sequence of run_analysis ops (pagerank | cc | kcore)
+// against the backend via the VertexProgram kernels, each checked
+// against the in-memory reference computed on the identical edge
+// multiset.
+
+std::uint64_t reference_component_count(const MemoryGraph& g) {
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::uint64_t components = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (seen[v] || g.degree(v) == 0) continue;
+    ++components;
+    const auto levels = g.bfs_levels(v);
+    for (VertexId u = 0; u < g.vertex_count(); ++u) {
+      if (levels[u] != kUnvisited) seen[u] = true;
+    }
+  }
+  return components;
+}
+
+std::uint64_t reference_core_count(const MemoryGraph& g, std::uint32_t k) {
+  // Peeling on the simple projection (distinct neighbors, no self-loops).
+  std::vector<std::set<VertexId>> adj(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u != v) adj[v].insert(u);
+    }
+  }
+  std::vector<bool> alive(g.vertex_count());
+  std::vector<std::uint64_t> deg(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    alive[v] = g.degree(v) != 0;
+    deg[v] = adj[v].size();
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (!alive[v] || deg[v] >= k) continue;
+      alive[v] = false;
+      changed = true;
+      for (const VertexId u : adj[v]) {
+        if (alive[u] && deg[u] > 0) --deg[u];
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(
+      std::count(alive.begin(), alive.end(), true));
+}
+
+std::unordered_map<VertexId, double> reference_pagerank(const MemoryGraph& g,
+                                                        std::uint64_t iters) {
+  constexpr double kDamping = 0.85;
+  std::vector<VertexId> stored;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.degree(v) != 0) stored.push_back(v);
+  }
+  std::unordered_map<VertexId, double> rank;
+  if (stored.empty()) return rank;
+  const double inv_n = 1.0 / static_cast<double>(stored.size());
+  for (const VertexId v : stored) rank[v] = inv_n;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    std::unordered_map<VertexId, double> next;
+    for (const VertexId v : stored) next[v] = (1.0 - kDamping) * inv_n;
+    for (const VertexId u : stored) {
+      const double share = rank[u] / static_cast<double>(g.degree(u));
+      for (const VertexId w : g.neighbors(u)) next[w] += kDamping * share;
+    }
+    rank = std::move(next);
+  }
+  return rank;
+}
+
+TEST_P(Differential, RandomAnalysesMatchInMemoryReference) {
+  const Backend backend = GetParam();
+  for (const std::uint64_t seed : {404u, 505u}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "backend=" << to_string(backend) << " seed=" << seed
+                 << " (reproduce with this seed)");
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<VertexId> vertex(0, kVertexSpace - 1);
+
+    // A random symmetrized multigraph (self-loops and duplicates
+    // welcome): the exact directed multiset goes to both the backend
+    // and the reference, in a few ingest batches.
+    TempDir dir;
+    auto db = make_db(backend, dir);
+    std::vector<Edge> directed;
+    const int batches = 3 + static_cast<int>(rng() % 3);
+    for (int b = 0; b < batches; ++b) {
+      std::vector<Edge> batch;
+      const std::size_t undirected = 10 + rng() % 30;
+      for (std::size_t e = 0; e < undirected; ++e) {
+        const Edge edge{vertex(rng), vertex(rng)};
+        batch.push_back(edge);
+        batch.push_back(Edge{edge.dst, edge.src});
+      }
+      db->store_edges(batch);
+      directed.insert(directed.end(), batch.begin(), batch.end());
+    }
+    db->finalize_ingest();
+    const MemoryGraph reference(kVertexSpace, directed, /*symmetrize=*/false);
+
+    for (int op = 0; op < 6; ++op) {
+      const std::uint64_t kind = rng() % 3;
+      run_cluster(1, [&](Communicator& comm) {
+        if (kind == 0) {
+          const CcStats stats = parallel_label_cc(comm, *db);
+          ASSERT_EQ(stats.components, reference_component_count(reference));
+        } else if (kind == 1) {
+          KCoreOptions options;
+          options.k = 2 + static_cast<std::uint32_t>(rng() % 3);
+          const KCoreStats stats = parallel_kcore(comm, *db, options);
+          ASSERT_EQ(stats.core_vertices,
+                    reference_core_count(reference, options.k))
+              << "k=" << options.k;
+        } else {
+          PageRankOptions options;
+          options.iterations = 4;
+          std::vector<std::pair<VertexId, double>> ranks;
+          const PageRankStats stats =
+              parallel_pagerank(comm, *db, options, &ranks);
+          const auto expected = reference_pagerank(reference, 4);
+          ASSERT_EQ(stats.vertices, expected.size());
+          ASSERT_EQ(ranks.size(), expected.size());
+          for (const auto& [v, rank] : ranks) {
+            ASSERT_NEAR(rank, expected.at(v), 1e-12) << "vertex " << v;
+          }
+        }
+      });
     }
   }
 }

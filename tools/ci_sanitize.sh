@@ -42,6 +42,13 @@ FILTER+=':ConcurrencyStress.*:MsBfsEquivalence.*:*Differential.*:BlockCache2Q.*'
 # label (engine + async cache + group-commit crash sweeps) also runs via
 # ctest under BOTH presets below.
 FILTER+=':IoEngineStress.*'
+# PR 8: the VertexProgram engine — every analysis runs one kernel thread
+# per simulated rank, all charging one shared QueryBudget and merging
+# into per-query registries; the scheduler mix runs six analyses at once
+# over the shared cache.  The full analytics label (these suites plus the
+# A14 mixed-workload smoke) also runs via ctest under BOTH presets below.
+FILTER+=':VertexProgramEngine.*:*VpBfsEquivalence*:CcDeterminism.*'
+FILTER+=':AnalyticsReference.*:*AnalyticsScheduler*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -70,6 +77,16 @@ run_preset() {
   LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
   UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir "$build_dir" -L io --output-on-failure
+  # The analytics label (VertexProgram engine suites + the A14 smoke)
+  # also runs under BOTH presets: tsan for the rank threads racing the
+  # shared budget/cache, asan for the slot/bitset arithmetic in the
+  # engine's frontier machinery.
+  echo "=== [$preset] ctest -L analytics ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$build_dir" -L analytics --output-on-failure
   echo "=== [$preset] OK ==="
 }
 
