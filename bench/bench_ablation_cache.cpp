@@ -14,6 +14,10 @@ int main(int argc, char** argv) {
     spec.backend = Backend::kGrDB;
     spec.backend_nodes = 8;
     spec.cache_bytes = cache_kb << 10;
+    // This sweep prices the *block cache*, so the layer underneath must
+    // not quietly serve the misses from memory: drop the OS page cache
+    // before every timed iteration (the bench_ablation_io discipline).
+    spec.cold = true;
     benchmark::RegisterBenchmark((std::string(        "AblationCache/grDB/cache_kb:" + std::to_string(cache_kb))).c_str(),
         [&w, spec](benchmark::State& state) {
           bench::run_search_bucket(state, w, spec, /*distance=*/5);

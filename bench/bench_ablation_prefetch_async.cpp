@@ -30,6 +30,11 @@ void register_variant(const mssg::bench::Workload& w, mssg::Backend backend,
   // levels, so prefetch has real work to overlap.
   spec.cache_bytes = 512u << 10;
   spec.async_io = async_io;
+  // Cold means the device, not the host's memory: drop the OS page
+  // cache before each timed iteration so the prefetch overlap is
+  // measured against real blocking reads (the bench_ablation_io
+  // discipline).
+  spec.cold = true;
 
   BfsOptions options;
   options.prefetch = prefetch;

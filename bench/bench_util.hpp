@@ -105,13 +105,20 @@ struct ClusterSpec {
   /// Background IoEngine for prefetch read-ahead + write-behind; false
   /// gives the fully synchronous baseline (ablation A-prefetch).
   bool async_io = true;
+  /// Sealed zero-copy mmap read path (GraphDBConfig::mmap_sealed).
+  bool mmap_sealed = false;
+  /// Cold legs: drop the OS page cache for every node's storage before
+  /// each timed iteration (File::drop_page_cache per file), so "cold"
+  /// means the device rather than memory — the discipline
+  /// bench_ablation_io established, available to every search bench.
+  bool cold = false;
 
   [[nodiscard]] std::string key(const Workload& w) const {
     std::ostringstream os;
     os << to_string(backend) << '/' << backend_nodes << '/' << frontend_nodes
        << '/' << cache_enabled << '/' << cache_bytes << '/'
-       << external_metadata << '/' << async_io << '/' << w.spec.name << '/'
-       << w.edges.size();
+       << external_metadata << '/' << async_io << '/' << mmap_sealed << '/'
+       << cold << '/' << w.spec.name << '/' << w.edges.size();
     return os.str();
   }
 };
@@ -138,6 +145,7 @@ inline ReadyCluster& cluster_for(const Workload& w, const ClusterSpec& spec) {
                   256 << 10, 32 * w.directed_bytes() / spec.backend_nodes);
     config.db.external_metadata = spec.external_metadata;
     config.db.async_io = spec.async_io;
+    config.db.mmap_sealed = spec.mmap_sealed;
     config.db.max_vertices = w.spec.vertices;
     auto ready = std::make_unique<ReadyCluster>();
     ready->cluster = std::make_unique<MssgCluster>(config);
@@ -284,6 +292,13 @@ inline void run_search_bucket(benchmark::State& state, const Workload& w,
   std::uint64_t messages_total = 0;
   std::uint64_t queries = 0;
   for (auto _ : state) {
+    if (spec.cold) {
+      // Cold means the device: evict every node's storage from the OS
+      // page cache so this iteration's misses actually touch "disk".
+      state.PauseTiming();
+      ready.cluster->drop_storage_page_caches();
+      state.ResumeTiming();
+    }
     for (const auto& pair : pairs) {
       const auto run = run_query(*ready.cluster, pair, options);
       if (run.result.distance != pair.distance) {

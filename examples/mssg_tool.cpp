@@ -11,10 +11,14 @@
 //   mssg_tool khop  <storage-dir> <src> <k>   [--nodes N] [--backend B]
 //   mssg_tool cc    <storage-dir>             [--nodes N] [--backend B]
 //   mssg_tool analyze <storage-dir> <name> [param...] [--nodes N]
-//                   [--backend B] [--budget T]
+//                   [--backend B] [--budget T] [--mmap]
 //   mssg_tool defrag <storage-dir>            [--nodes N]
 //
 // Backends: grdb (default), kvstore, relational, stream.
+//
+// --mmap (any cluster command; grDB only) turns on the sealed zero-copy
+// read path: scans read mmap'd level files in place while point probes
+// keep the 2Q cache.  DESIGN.md "Sealed scans" has the fallback rules.
 //
 // analyze submits any registered analysis through the concurrent query
 // engine (so --budget and sched.q<id>.* attribution apply) and decodes
@@ -71,6 +75,7 @@ struct CommonArgs {
   std::uint64_t budget = 0;
   int io_workers = 2;
   int group_commit = 1;
+  bool mmap = false;
 };
 
 CommonArgs parse_flags(int argc, char** argv, int first) {
@@ -101,6 +106,11 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
       // Journal group commit: fsync every N-th flush (1 = every flush,
       // the classic fully-durable behavior).
       args.group_commit = std::stoi(next());
+    } else if (flag == "--mmap") {
+      // Zero-copy sealed read path (grDB): scans read mmap'd level
+      // files in place; point probes keep the 2Q cache.  --metrics
+      // shows the mmap.* rows (maps, zero_copy_reads, residency, ...).
+      args.mmap = true;
     } else if (flag == "--fault-spec") {
       // Arm a deterministic storage fault, e.g.
       //   --fault-spec "path=grdb,op=write,kind=torn,nth=3,bytes=512,kill"
@@ -150,6 +160,7 @@ MssgCluster open_cluster(const std::string& dir, const CommonArgs& args) {
   config.db.io_workers = static_cast<std::size_t>(std::max(args.io_workers, 1));
   config.db.journal_sync_interval =
       static_cast<std::uint32_t>(std::max(args.group_commit, 1));
+  config.db.mmap_sealed = args.mmap;
   return MssgCluster(std::move(config));
 }
 

@@ -67,6 +67,12 @@ class GraphDB {
   virtual void for_each_vertex(
       const std::function<bool(VertexId)>& visit) = 0;
 
+  /// Best-effort eviction of this backend's on-disk files from the OS
+  /// page cache (File::drop_page_cache per file) — how cold-cache
+  /// benches make "cold" mean the device rather than memory.  No-op for
+  /// in-memory backends.  Not counted in IoStats.
+  virtual void drop_os_page_cache() const {}
+
   /// Hints that the adjacency lists of `vertices` are about to be read
   /// (the next BFS fringe).  Out-of-core backends may warm their caches;
   /// grDB sorts the accesses by file offset to cut seek overhead — the
@@ -149,6 +155,16 @@ struct GraphDBConfig {
   /// fsyncs (1 = every flush commits, the classic A11 behavior).  A
   /// crash inside a group rolls back to the last boundary atomically.
   std::uint32_t journal_sync_interval = 1;
+  /// Zero-copy read path for sealed data (grDB): level files are mmap'd
+  /// read-only once the store is sealed (flushed, no journal group
+  /// pending), and sequential scans — full-graph analytics, MS-BFS
+  /// level expansions (SequentialScanScope) — read sub-blocks as mapped
+  /// views instead of copying into BlockCache frames.  Point probes keep
+  /// the 2Q cache.  Mutation or journal replay unmaps and falls back to
+  /// the pread path; an armed FaultInjector always falls back, so
+  /// crash/torn-write sweeps see the exact pread fault indices they were
+  /// calibrated against.  Opt-in (DESIGN.md "Sealed scans").
+  bool mmap_sealed = false;
   /// Upper bound on vertex ids this node may see (sizes the external
   /// metadata file and grDB's level 0; in-memory stores grow lazily).
   VertexId max_vertices = 1u << 20;

@@ -7,6 +7,7 @@
 
 #include "common/crc32c.hpp"
 #include "common/serial.hpp"
+#include "storage/fault_injector.hpp"
 
 namespace mssg {
 
@@ -23,13 +24,15 @@ constexpr std::uint64_t kMetaTag = ~std::uint64_t{0};
 
 std::uint64_t GrDB::SubblockRef::get(std::uint64_t i) const {
   std::uint64_t value;
-  std::memcpy(&value,
-              handle.data().data() + offset + i * grdb::kEntryBytes,
-              sizeof(value));
+  const std::byte* base = view.empty() ? handle.data().data() : view.data();
+  std::memcpy(&value, base + offset + i * grdb::kEntryBytes, sizeof(value));
   return value;
 }
 
 void GrDB::SubblockRef::set(std::uint64_t i, std::uint64_t value) {
+  // Mapped refs are read-only; every mutation path unmaps first and
+  // never runs under a SequentialScanScope.
+  MSSG_CHECK(view.empty());
   std::memcpy(handle.mutable_data().data() + offset + i * grdb::kEntryBytes,
               &value, sizeof(value));
 }
@@ -133,6 +136,7 @@ GrDB::GrDB(const GraphDBConfig& config,
            if (journal_ != nullptr) journal_->undo_barrier();
          }});
   }
+  mmap_enabled_ = config.mmap_sealed;
   if (config.async_io) cache_.enable_async_io(config.io_workers);
   if (config.journal) {
     journal_ = std::make_unique<WriteJournal>(dir_ / "grdb", &stats_,
@@ -204,6 +208,9 @@ void GrDB::recover(bool allow_rollback) {
     // flush about to run supersedes it (and trims on success).
     return;
   }
+  // Replay writes the level files directly — a live sealed mapping would
+  // go stale (and its verified bitmap would lie).
+  unmap_sealed();
   for (const WriteJournal::Record& r : rec.records) {
     if (r.tag == kMetaTag) {
       write_meta_file(r.payload);
@@ -226,6 +233,8 @@ void GrDB::flush_impl(bool force_commit) {
   if (journal_ == nullptr) {
     cache_.flush();
     if (any_data_) save_meta();
+    dirty_since_flush_ = false;
+    rearm_mmap();
     return;
   }
 
@@ -248,7 +257,10 @@ void GrDB::flush_impl(bool force_commit) {
       dirty != 0 || dirty_since_flush_ || journal_->dirty_epoch();
   // A pending deferred group still needs its boundary commit even when
   // nothing new is dirty (e.g. the destructor's forced flush).
-  if (!work && !journal_->group_pending()) return;
+  if (!work && !journal_->group_pending()) {
+    rearm_mmap();  // already sealed; a prior decline may hold retry down
+    return;
+  }
 
   // 1. Redo-log post-images of every dirty block (appending to the open
   // group's records, if any).  Bitmap and sidecar CRC are brought up to
@@ -305,6 +317,7 @@ void GrDB::flush_impl(bool force_commit) {
   // 5. Retire the epoch.
   journal_->trim();
   dirty_since_flush_ = false;
+  rearm_mmap();  // everything durable, no group pending: sealed again
 }
 
 std::vector<std::byte> GrDB::encode_meta() const {
@@ -382,10 +395,119 @@ void GrDB::load_meta() {
 GrDB::SubblockRef GrDB::pin_subblock(int level, std::uint64_t subblock) {
   const auto addr = grdb::locate(options_.geometry, level, subblock);
   SubblockRef ref;
-  ref.handle = cache_.get(levels_[level].store_id, addr.block);
   ref.offset = addr.block_offset;
   ref.entries = levels_[level].spec.entries_per_subblock;
+  // Sealed zero-copy path: a sequential scan (SequentialScanScope) on a
+  // mapped store reads the block in place — no cache frame, no copy.
+  // Point probes (no scope) keep the scan-resistant 2Q cache; an armed
+  // FaultInjector always takes the pread path so fault indices match
+  // what the crash sweeps were calibrated against.
+  if (mmap_enabled_ && SequentialScanScope::active() &&
+      !FaultInjector::instance().enabled() && mapped_or_map()) {
+    const Level& lvl = levels_[level];
+    if (addr.block < lvl.initialized.size() &&
+        lvl.initialized.test(addr.block)) {
+      ref.view = mapped_[level]->block(addr.block);
+      if (!ref.view.empty()) {
+        ++stats_.mmap_zero_copy_reads;
+        return ref;
+      }
+    }
+    // Uninitialized (the cache reader synthesizes all-0xFF without
+    // touching disk) or unbacked: fall through to the cache.
+  }
+  ref.handle = cache_.get(levels_[level].store_id, addr.block);
   return ref;
+}
+
+bool GrDB::mapped_or_map() {
+  if (mapped_active_.load(std::memory_order_acquire)) return true;
+  return try_map_sealed();
+}
+
+bool GrDB::try_map_sealed() {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (mapped_active_.load(std::memory_order_relaxed)) return true;
+  if (!mmap_retry_) return false;
+  mmap_retry_ = false;  // one attempt per epoch; flush re-arms
+  // Sealed means: every block the map could serve is byte-identical on
+  // disk — nothing dirty since the last full-commit flush and no journal
+  // group still deferring its boundary.  (Clean cached copies of the
+  // same bytes are fine.)
+  const bool sealed =
+      any_data_ && !dirty_since_flush_ &&
+      (journal_ == nullptr || !journal_->group_pending()) &&
+      !FaultInjector::instance().enabled();
+  if (!sealed) {
+    ++stats_.mmap_fallbacks;
+    return false;
+  }
+  std::vector<std::unique_ptr<MappedBlockSource>> sources;
+  sources.reserve(levels_.size());
+  try {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      auto source = std::make_unique<MappedBlockSource>(
+          levels_[l].spec.block_bytes,
+          options_.geometry.blocks_per_file(static_cast<int>(l)),
+          // Mirrors the cache's verify hook exactly: same counter, same
+          // error text — bit rot classifies identically on both paths.
+          // pin_subblock only hands the source initialized blocks, which
+          // flush gave a sidecar CRC; the guard matches the hook's.
+          [this, l](std::uint64_t block, std::span<const std::byte> data) {
+            const Level& lvl = levels_[l];
+            if (block >= lvl.block_crc.size()) return;
+            if (crc32c(data) != lvl.block_crc[block]) {
+              ++stats_.checksum_failures;
+              throw StorageError("grDB: level " + std::to_string(l) +
+                                 " block " + std::to_string(block) +
+                                 " failed sidecar checksum");
+            }
+          },
+          &stats_);
+      // Level files are created densely (level<l>.0.dat, .1.dat, ...);
+      // map every one present.
+      for (std::uint64_t f = 0;; ++f) {
+        const auto path = dir_ / ("level" + std::to_string(l) + "." +
+                                  std::to_string(f) + ".dat");
+        if (!std::filesystem::exists(path)) break;
+        MappedFile file = MappedFile::map_readonly(path);
+        ++stats_.mmap_maps;
+        stats_.mmap_mapped_bytes += file.size();
+        source->attach(f, std::move(file));
+      }
+      // Level 0 is the sweep extent (for_each_vertex, analytics
+      // supersteps): tell readahead it is sequential.
+      if (l == 0) source->advise_sequential();
+      sources.push_back(std::move(source));
+    }
+  } catch (const Error&) {
+    // Mapping is an optimization: any failure (platform without mmap
+    // headroom, raced file) falls back to the pread path, silently
+    // correct.
+    ++stats_.mmap_fallbacks;
+    return false;
+  }
+  mapped_ = std::move(sources);
+  mapped_active_.store(true, std::memory_order_release);
+  return true;
+}
+
+void GrDB::unmap_sealed() {
+  if (!mmap_enabled_) return;
+  std::lock_guard<std::mutex> lock(map_mu_);
+  mmap_retry_ = false;
+  if (!mapped_active_.load(std::memory_order_relaxed)) return;
+  // Callers (mutations, journal replay) run exclusively — no concurrent
+  // scan holds a view into these mappings.
+  mapped_active_.store(false, std::memory_order_release);
+  mapped_.clear();
+  ++stats_.mmap_fallbacks;
+}
+
+void GrDB::rearm_mmap() {
+  if (!mmap_enabled_) return;
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (!mapped_active_.load(std::memory_order_relaxed)) mmap_retry_ = true;
 }
 
 std::uint64_t GrDB::allocate_subblock(int level) {
@@ -435,6 +557,7 @@ std::vector<std::pair<int, std::uint64_t>> GrDB::chain_of(VertexId v) {
 void GrDB::poke_entry(int level, std::uint64_t subblock, std::uint64_t index,
                       std::uint64_t value) {
   MSSG_CHECK(level >= 0 && level < static_cast<int>(levels_.size()));
+  unmap_sealed();
   SubblockRef ref = pin_subblock(level, subblock);
   MSSG_CHECK(index < ref.entries);
   ref.set(index, value);
@@ -454,6 +577,28 @@ void GrDB::publish_metrics(MetricsSnapshot& snap) const {
     const std::string prefix = "grdb.level" + std::to_string(l);
     snap.add(prefix + ".subblocks", allocated_subblocks(static_cast<int>(l)));
     snap.add(prefix + ".free", levels_[l].free_list.size());
+  }
+  // Page-cache residency of the live sealed mapping (mincore sampling):
+  // how much of the mapped graph the OS is actually holding in memory.
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (mapped_active_.load(std::memory_order_relaxed)) {
+    MappedFile::Residency residency;
+    for (const auto& source : mapped_) residency += source->residency();
+    snap.add("mmap.resident_pages", residency.resident_pages);
+    snap.add("mmap.sampled_pages", residency.sampled_pages);
+  }
+}
+
+void GrDB::drop_os_page_cache() const {
+  // Every regular file in the node directory: level files, grdb.meta,
+  // and the journal.  Best-effort — a vanished file is not an error.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    try {
+      File::open_readonly(entry.path()).drop_page_cache();
+    } catch (const Error&) {  // NOLINT(bugprone-empty-catch)
+    }
   }
 }
 
@@ -492,6 +637,9 @@ void GrDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
 
 void GrDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
   if (!any_data_) return;
+  // The level-0 sweep is the canonical sequential scan — mapped-path
+  // eligible regardless of what the caller installed.
+  SequentialScanScope scan_scope;
   for (VertexId v = 0; v <= max_vertex_; ++v) {
     SubblockRef ref = pin_subblock(0, v);
     if (grdb::classify(ref.get(0)) == EntryKind::kEmpty) continue;
@@ -510,6 +658,15 @@ void GrDB::prefetch(std::span<const VertexId> vertices) {
   }
   std::sort(blocks.begin(), blocks.end());
   blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  // A scan on a mapped store reads these blocks as views: the hint goes
+  // to the kernel (madvise WILLNEED) instead of the IoEngine — the
+  // engine would load copies into cache frames the scan never touches.
+  if (SequentialScanScope::active() &&
+      mapped_active_.load(std::memory_order_acquire) &&
+      !FaultInjector::instance().enabled()) {
+    mapped_[0]->willneed(blocks);
+    return;
+  }
   if (cache_.async_enabled()) {
     // Read-ahead through the engine: the fringe's blocks load in the
     // background while the caller returns to computation.
@@ -524,6 +681,7 @@ void GrDB::prefetch(std::span<const VertexId> vertices) {
 // ---- Writes ----------------------------------------------------------------
 
 void GrDB::store_edges(std::span<const Edge> edges) {
+  unmap_sealed();
   // Batch by source: one chain walk per distinct vertex per batch.
   std::unordered_map<VertexId, std::vector<VertexId>> by_source;
   for (const auto& e : edges) {
@@ -757,6 +915,7 @@ std::vector<int> optimal_levels(std::uint64_t degree,
 
 std::uint64_t GrDB::defragment() {
   if (!any_data_) return 0;
+  unmap_sealed();
   dirty_since_flush_ = true;
   std::uint64_t rewritten = 0;
   std::vector<VertexId> neighbors;

@@ -15,7 +15,9 @@
 // fragmented chains into their optimal shape and recycles sub-blocks.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "storage/block_cache.hpp"
 #include "storage/file.hpp"
 #include "storage/journal.hpp"
+#include "storage/mapped_file.hpp"
 
 namespace mssg {
 
@@ -64,8 +67,13 @@ class GrDB final : public GraphDB {
 
   /// Adds per-level sub-block allocation and free-list depth counters
   /// ("grdb.level<l>.subblocks" / ".free") on top of the shared io.*
-  /// set.
+  /// set, plus mmap page-cache residency (mincore sampling) while the
+  /// sealed mapping is live.
   void publish_metrics(MetricsSnapshot& snap) const override;
+
+  /// Evicts every file in the storage directory (level files, meta,
+  /// journal) from the OS page cache — see GraphDB::drop_os_page_cache.
+  void drop_os_page_cache() const override;
 
   /// Offline compaction: rewrites every multi-sub-block chain into its
   /// optimal shape, returning freed sub-blocks to per-level free lists.
@@ -122,8 +130,12 @@ class GrDB final : public GraphDB {
   };
 
   /// A pinned sub-block: the owning block handle plus entry accessors.
+  /// On the sealed mmap path `view` is set instead of `handle` — the
+  /// entries read directly from the mapping, no cache frame involved;
+  /// such refs are read-only (set() asserts).
   struct SubblockRef {
     BlockHandle handle;
+    std::span<const std::byte> view;  ///< zero-copy mapped block, or empty
     std::uint64_t offset = 0;  ///< byte offset of the sub-block in block
     std::uint64_t entries = 0;
 
@@ -159,6 +171,21 @@ class GrDB final : public GraphDB {
   void recover(bool allow_rollback);
   void clear_fresh();
 
+  /// True when the sealed mapping is live (fast path), otherwise one
+  /// map attempt per sealed epoch.
+  bool mapped_or_map();
+  /// Maps every level file read-only iff the store is sealed: flushed
+  /// (no dirty blocks, no open journal group) and no FaultInjector
+  /// armed.  One attempt per epoch — a decline counts mmap.fallbacks
+  /// and stands until the next full-commit flush re-arms it.
+  bool try_map_sealed();
+  /// Drops the mapping before a mutation or journal replay touches the
+  /// level files.  Callers run exclusively (scheduler contract: writers
+  /// never overlap readers), so no live scan holds a view.
+  void unmap_sealed();
+  /// Re-allows a map attempt after a flush that left the store sealed.
+  void rearm_mmap();
+
   GrDBOptions options_;
   std::filesystem::path dir_;
   IoStats stats_;
@@ -173,6 +200,16 @@ class GrDB final : public GraphDB {
   bool any_data_ = false;
   bool in_flush_ = false;  // post-commit in-place phase: skip undo capture
   bool dirty_since_flush_ = false;
+
+  // The sealed zero-copy read path (GraphDBConfig::mmap_sealed).
+  // mapped_active_ is the lock-free fast-path flag concurrent scan
+  // readers check; map_mu_ serializes map/unmap/re-arm (mutators run
+  // exclusively, so unmap never races a reader holding a view).
+  bool mmap_enabled_ = false;
+  bool mmap_retry_ = true;  // one map attempt per sealed epoch (map_mu_)
+  std::atomic<bool> mapped_active_{false};
+  mutable std::mutex map_mu_;
+  std::vector<std::unique_ptr<MappedBlockSource>> mapped_;  // per level
 };
 
 }  // namespace mssg

@@ -45,6 +45,8 @@ class KVStoreDB final : public GraphDB {
   /// Adds the pager's I/O-engine metrics on top of the shared io.* set.
   void publish_metrics(MetricsSnapshot& snap) const override;
 
+  void drop_os_page_cache() const override { pager_.drop_page_cache(); }
+
  private:
   class Backend final : public ChunkBackend {
    public:

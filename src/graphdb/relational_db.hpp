@@ -40,6 +40,17 @@ class RelationalDB final : public GraphDB {
   }
   [[nodiscard]] IoStats io_stats() const override { return stats_; }
 
+  /// Adds the pager's I/O-engine metrics (io.engine.lanes, queue-depth
+  /// histograms) on top of the shared io.* set — parity with KVStoreDB;
+  /// before this override they were collected but never published, so
+  /// `mssg_tool --metrics` silently dropped them for this backend.
+  void publish_metrics(MetricsSnapshot& snap) const override {
+    GraphDB::publish_metrics(snap);
+    snap.merge(pager_.async_metrics());
+  }
+
+  void drop_os_page_cache() const override { pager_.drop_page_cache(); }
+
  private:
   class Backend final : public ChunkBackend {
    public:

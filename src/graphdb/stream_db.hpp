@@ -53,6 +53,11 @@ class StreamDB final : public GraphDB {
   [[nodiscard]] std::string name() const override { return "StreamDB"; }
   [[nodiscard]] IoStats io_stats() const override { return stats_; }
 
+  void drop_os_page_cache() const override {
+    if (log_.is_open()) log_.drop_page_cache();
+    if (commit_.is_open()) commit_.drop_page_cache();
+  }
+
  private:
   static constexpr std::size_t kWriteBufferEdges = 64 * 1024;
   static constexpr std::size_t kScanBufferBytes = 1u << 20;

@@ -257,6 +257,10 @@ IoStats MssgCluster::total_io() const {
   return total;
 }
 
+void MssgCluster::drop_storage_page_caches() const {
+  for (const auto& db : dbs_) db->drop_os_page_cache();
+}
+
 MetricsSnapshot MssgCluster::metrics_snapshot() const {
   MetricsSnapshot snap = ingest_metrics_;
   for (const auto& reg : registries_) snap.merge(reg->snapshot());

@@ -133,6 +133,12 @@ class MssgCluster {
   /// Aggregate disk statistics over all back-end nodes.
   [[nodiscard]] IoStats total_io() const;
 
+  /// Best-effort eviction of every node's on-disk storage from the OS
+  /// page cache (GraphDB::drop_os_page_cache per node) — how cold-leg
+  /// benches make "cold" mean the device rather than memory.  Call only
+  /// while no query is in flight.
+  void drop_storage_page_caches() const;
+
   /// Per-node metrics registry (rank-indexed).  Each registry is only
   /// written by its node's thread while a query runs; read or merged
   /// only between queries, after run_cluster has joined every thread.

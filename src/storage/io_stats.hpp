@@ -96,6 +96,19 @@ struct IoStats {
   detail::RelaxedCounter engine_dropped_errors;  ///< async I/O errors still
                                                  ///< unpolled when their
                                                  ///< IoEngine was destroyed
+  detail::RelaxedCounter mmap_maps;          ///< files mapped read-only for
+                                             ///< the sealed zero-copy path
+  detail::RelaxedCounter mmap_mapped_bytes;  ///< bytes covered by those maps
+  detail::RelaxedCounter mmap_zero_copy_reads;  ///< sub-block reads served
+                                                ///< as mapped views (no
+                                                ///< cache-frame copy)
+  detail::RelaxedCounter mmap_lazy_verifies;  ///< mapped blocks whose sidecar
+                                              ///< checksum was paid (once,
+                                              ///< on first mapped access)
+  detail::RelaxedCounter mmap_fallbacks;  ///< mapped-path declines: unsealed
+                                          ///< state at map time, or a
+                                          ///< mutation/replay unmapping a
+                                          ///< live mapping
 
   void reset() { *this = IoStats{}; }
 
@@ -122,6 +135,11 @@ struct IoStats {
     journal_deferred_flushes += other.journal_deferred_flushes;
     vectored_merges += other.vectored_merges;
     engine_dropped_errors += other.engine_dropped_errors;
+    mmap_maps += other.mmap_maps;
+    mmap_mapped_bytes += other.mmap_mapped_bytes;
+    mmap_zero_copy_reads += other.mmap_zero_copy_reads;
+    mmap_lazy_verifies += other.mmap_lazy_verifies;
+    mmap_fallbacks += other.mmap_fallbacks;
     return *this;
   }
 
@@ -168,6 +186,13 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   // "Concurrent queries & the 2Q shared cache").
   snap.add("cache.qprobation_hits", s.cache_probation_hits);
   snap.add("cache.qprotected_hits", s.cache_protected_hits);
+  // The sealed zero-copy read path (DESIGN.md "Sealed scans: the
+  // zero-copy mmap read path") also publishes under a fixed namespace.
+  snap.add("mmap.maps", s.mmap_maps);
+  snap.add("mmap.mapped_bytes", s.mmap_mapped_bytes);
+  snap.add("mmap.zero_copy_reads", s.mmap_zero_copy_reads);
+  snap.add("mmap.lazy_verifies", s.mmap_lazy_verifies);
+  snap.add("mmap.fallbacks", s.mmap_fallbacks);
 }
 
 }  // namespace mssg

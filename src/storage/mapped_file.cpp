@@ -1,0 +1,217 @@
+#include "storage/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mssg {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op,
+                              const std::filesystem::path& path) {
+  throw StorageError(op + " failed for " + path.string() + ": " +
+                     std::strerror(errno));
+}
+
+std::uint64_t page_size() {
+  static const std::uint64_t size =
+      static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+int to_madvise(MappedFile::Advice advice) {
+  switch (advice) {
+    case MappedFile::Advice::kSequential: return MADV_SEQUENTIAL;
+    case MappedFile::Advice::kWillNeed: return MADV_WILLNEED;
+    case MappedFile::Advice::kDontNeed: return MADV_DONTNEED;
+    case MappedFile::Advice::kNormal: break;
+  }
+  return MADV_NORMAL;
+}
+
+}  // namespace
+
+// ---- MappedFile ------------------------------------------------------------
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+  base_ = nullptr;
+  size_ = 0;
+  fd_ = -1;
+  path_.clear();
+}
+
+MappedFile MappedFile::map_readonly(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(android-cloexec-open)
+  if (fd < 0) throw_errno("open(mmap)", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat(mmap)", path);
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  void* base = nullptr;
+  if (size != 0) {
+    // MAP_SHARED (not PRIVATE): sealed files are never written while
+    // mapped, and SHARED keeps the mapping coherent with the page cache
+    // the pread path populates — one physical copy of every block.
+    base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      throw_errno("mmap", path);
+    }
+  }
+  return MappedFile(fd, base, size, path.string());
+}
+
+void MappedFile::advise(Advice advice) const { advise(0, size_, advice); }
+
+void MappedFile::advise(std::uint64_t offset, std::uint64_t length,
+                        Advice advice) const {
+  if (base_ == nullptr || length == 0 || offset >= size_) return;
+  const std::uint64_t ps = page_size();
+  const std::uint64_t begin = offset / ps * ps;
+  const std::uint64_t end = std::min(size_, offset + length);
+  // Best-effort: an madvise failure only costs the hint.
+  (void)::madvise(static_cast<std::byte*>(base_) + begin, end - begin,
+                  to_madvise(advice));
+}
+
+MappedFile::Residency MappedFile::residency(std::size_t max_pages) const {
+  Residency result;
+  if (base_ == nullptr || max_pages == 0) return result;
+  const std::uint64_t ps = page_size();
+  const std::uint64_t pages = (size_ + ps - 1) / ps;
+  const std::uint64_t stride = std::max<std::uint64_t>(1, pages / max_pages);
+  unsigned char vec = 0;
+  for (std::uint64_t p = 0; p < pages; p += stride) {
+    if (::mincore(static_cast<std::byte*>(base_) + p * ps, 1, &vec) != 0) {
+      return result;  // unsupported / raced a truncation: report partial
+    }
+    ++result.sampled_pages;
+    if ((vec & 1u) != 0) ++result.resident_pages;
+  }
+  return result;
+}
+
+// ---- MappedBlockSource -----------------------------------------------------
+
+MappedBlockSource::MappedBlockSource(std::uint64_t block_bytes,
+                                     std::uint64_t blocks_per_file,
+                                     Verifier verifier, IoStats* stats)
+    : block_bytes_(block_bytes),
+      blocks_per_file_(blocks_per_file),
+      verifier_(std::move(verifier)),
+      stats_(stats) {
+  MSSG_CHECK(block_bytes_ > 0 && blocks_per_file_ > 0);
+}
+
+void MappedBlockSource::attach(std::uint64_t file_index, MappedFile file) {
+  if (file_index >= slots_.size()) slots_.resize(file_index + 1);
+  Slot& slot = slots_[file_index];
+  const std::size_t words = (blocks_per_file_ + 63) / 64;
+  slot.verified = std::make_unique<std::atomic<std::uint64_t>[]>(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    slot.verified[w].store(0, std::memory_order_relaxed);
+  }
+  slot.file = std::move(file);
+}
+
+std::span<const std::byte> MappedBlockSource::block(
+    std::uint64_t index) const {
+  const std::uint64_t file_index = index / blocks_per_file_;
+  const std::uint64_t rel = index % blocks_per_file_;
+  if (file_index >= slots_.size()) return {};
+  const Slot& slot = slots_[file_index];
+  if (!slot.file.valid()) return {};
+  const std::uint64_t offset = rel * block_bytes_;
+  if (offset + block_bytes_ > slot.file.size()) {
+    // Sparse tail the pread path would zero-fill — not representable as
+    // a view; the caller falls back.
+    return {};
+  }
+  const auto view = slot.file.bytes().subspan(offset, block_bytes_);
+  const std::uint64_t bit = std::uint64_t{1} << (rel % 64);
+  std::atomic<std::uint64_t>& word = slot.verified[rel / 64];
+  if ((word.load(std::memory_order_acquire) & bit) == 0) {
+    // First touch: pay the checksum now, exactly once.  Concurrent first
+    // touches may both verify — benign, the bit is only set on success.
+    if (verifier_) {
+      verifier_(index, view);
+      if (stats_ != nullptr) ++stats_->mmap_lazy_verifies;
+    }
+    word.fetch_or(bit, std::memory_order_release);
+  }
+  return view;
+}
+
+void MappedBlockSource::willneed(
+    std::span<const std::uint64_t> blocks) const {
+  for (const std::uint64_t index : blocks) {
+    const std::uint64_t file_index = index / blocks_per_file_;
+    if (file_index >= slots_.size()) continue;
+    const Slot& slot = slots_[file_index];
+    if (!slot.file.valid()) continue;
+    slot.file.advise((index % blocks_per_file_) * block_bytes_, block_bytes_,
+                     MappedFile::Advice::kWillNeed);
+  }
+}
+
+void MappedBlockSource::advise_sequential() const {
+  for (const Slot& slot : slots_) {
+    if (slot.file.valid()) slot.file.advise(MappedFile::Advice::kSequential);
+  }
+}
+
+std::uint64_t MappedBlockSource::mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.file.size();
+  return total;
+}
+
+std::uint64_t MappedBlockSource::files_mapped() const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.file.valid()) ++total;
+  }
+  return total;
+}
+
+MappedFile::Residency MappedBlockSource::residency() const {
+  MappedFile::Residency total;
+  for (const Slot& slot : slots_) {
+    if (slot.file.valid()) total += slot.file.residency();
+  }
+  return total;
+}
+
+}  // namespace mssg

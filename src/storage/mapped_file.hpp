@@ -1,0 +1,174 @@
+// Zero-copy read path for sealed block files.
+//
+// The pread+BlockCache pipeline copies every block into a cache frame
+// before the compute loop can touch a byte.  For *sealed* data — block
+// files that no open journal epoch or in-flight mutation can rewrite —
+// that copy buys nothing: the OS page cache already holds the bytes, and
+// a read-only MAP_SHARED mapping lets scans consume them in place.
+//
+//  - MappedFile: RAII mmap of one file (PROT_READ, MAP_SHARED).  The fd
+//    stays open for madvise()/mincore(), so the mapping can be advised
+//    (SEQUENTIAL for level sweeps, WILLNEED as the mapped analogue of
+//    IoEngine prefetch) and its page-cache residency sampled.
+//  - MappedBlockSource: a fixed-block-size view over one store's file
+//    sequence, with lazy sidecar-checksum verification: the first access
+//    to each mapped block runs the store's verifier and records success
+//    in a per-file atomic bitmap, so checksums are paid once per block,
+//    not once per access (the pread path pays them once per disk read —
+//    same guarantee, different amortization point).
+//  - SequentialScanScope: a thread-local RAII marker (the shape of
+//    CacheAttributionScope) that scan loops install so the storage layer
+//    can route their reads to the mapped path while point probes on
+//    other threads keep the scan-resistant 2Q cache.
+//
+// Thread safety: a MappedBlockSource is immutable after construction;
+// concurrent readers only race on the verified bitmap, which is a benign
+// atomic fetch_or (two threads may both verify a block once — the bit is
+// set only after the verifier passes).  Unmapping while readers hold
+// spans is the caller's problem; grDB relies on the scheduler contract
+// that mutations (the only unmap triggers) run exclusively.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.hpp"
+
+namespace mssg {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  /// Maps an existing file read-only; throws StorageError if it cannot
+  /// be opened or mapped.  An empty file yields a valid, empty mapping.
+  static MappedFile map_readonly(const std::filesystem::path& path);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(base_), size_};
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  enum class Advice { kNormal, kSequential, kWillNeed, kDontNeed };
+
+  /// Best-effort madvise over the whole mapping.
+  void advise(Advice advice) const;
+  /// Best-effort madvise over a byte range (page-aligned internally).
+  void advise(std::uint64_t offset, std::uint64_t length,
+              Advice advice) const;
+
+  struct Residency {
+    std::uint64_t resident_pages = 0;
+    std::uint64_t sampled_pages = 0;
+
+    Residency& operator+=(const Residency& o) {
+      resident_pages += o.resident_pages;
+      sampled_pages += o.sampled_pages;
+      return *this;
+    }
+  };
+
+  /// Samples up to `max_pages` evenly spaced pages with mincore() and
+  /// reports how many are resident in the OS page cache.  Best-effort:
+  /// platforms without mincore report zero sampled pages.
+  [[nodiscard]] Residency residency(std::size_t max_pages = 512) const;
+
+ private:
+  MappedFile(int fd, void* base, std::uint64_t size, std::string path)
+      : fd_(fd), base_(base), size_(size), path_(std::move(path)) {}
+
+  void reset();
+
+  int fd_ = -1;
+  void* base_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Fixed-block zero-copy view over a store's file sequence
+/// (file_index = block / blocks_per_file), with once-per-block lazy
+/// checksum verification.
+class MappedBlockSource {
+ public:
+  /// `verifier` runs on the first access to each block and must throw on
+  /// a checksum mismatch (same classification as the pread-path verify
+  /// hook); passing blocks are remembered and never re-verified.  May be
+  /// null (no verification).  `stats`, when set, counts the lazy
+  /// verifies; the pointer must outlive this source.
+  using Verifier =
+      std::function<void(std::uint64_t block, std::span<const std::byte>)>;
+
+  MappedBlockSource(std::uint64_t block_bytes, std::uint64_t blocks_per_file,
+                    Verifier verifier, IoStats* stats = nullptr);
+
+  /// Attaches the mapping serving blocks
+  /// [file_index * blocks_per_file, (file_index + 1) * blocks_per_file).
+  void attach(std::uint64_t file_index, MappedFile file);
+
+  /// Zero-copy view of one block, verified (lazily, once).  Empty when
+  /// the block's byte range is not backed by an attached mapping — the
+  /// caller falls back to its pread path, which synthesizes or
+  /// zero-fills exactly as before.  Throws StorageError on a checksum
+  /// mismatch.
+  [[nodiscard]] std::span<const std::byte> block(std::uint64_t index) const;
+
+  /// madvise(WILLNEED) for the listed blocks — the mapped analogue of
+  /// BlockCache::prefetch_async.  Unbacked blocks are ignored.
+  void willneed(std::span<const std::uint64_t> blocks) const;
+
+  /// madvise(SEQUENTIAL) over every attached mapping (level sweeps).
+  void advise_sequential() const;
+
+  [[nodiscard]] std::uint64_t mapped_bytes() const;
+  [[nodiscard]] std::uint64_t files_mapped() const;
+  [[nodiscard]] MappedFile::Residency residency() const;
+
+ private:
+  struct Slot {
+    MappedFile file;
+    /// One bit per block of this file, set once its checksum passed.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> verified;
+  };
+
+  std::uint64_t block_bytes_;
+  std::uint64_t blocks_per_file_;
+  Verifier verifier_;
+  IoStats* stats_;
+  std::vector<Slot> slots_;
+};
+
+/// RAII marker: reads issued by this thread belong to a sequential scan
+/// (a full-graph analytics sweep, an MS-BFS level expansion).  Storage
+/// backends route scan reads to the zero-copy mapped path when one is
+/// active; point probes — no scope installed — keep the 2Q cache.
+/// Nests.
+class SequentialScanScope {
+ public:
+  SequentialScanScope() { ++depth(); }
+  SequentialScanScope(const SequentialScanScope&) = delete;
+  SequentialScanScope& operator=(const SequentialScanScope&) = delete;
+  ~SequentialScanScope() { --depth(); }
+
+  [[nodiscard]] static bool active() { return depth() > 0; }
+
+ private:
+  static int& depth() {
+    thread_local int tl_depth = 0;
+    return tl_depth;
+  }
+};
+
+}  // namespace mssg

@@ -89,6 +89,10 @@ class Pager {
     return cache_.async_metrics();
   }
 
+  /// Evicts the backing file from the OS page cache (cold benches) —
+  /// see File::drop_page_cache.  Best-effort, not counted in IoStats.
+  void drop_page_cache() const { file_.drop_page_cache(); }
+
   /// User metadata slots persisted in the header (8 available).
   static constexpr int kMetaSlots = 8;
   [[nodiscard]] std::uint64_t meta(int slot) const;

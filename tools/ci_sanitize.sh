@@ -49,6 +49,12 @@ FILTER+=':IoEngineStress.*'
 # A14 mixed-workload smoke) also runs via ctest under BOTH presets below.
 FILTER+=':VertexProgramEngine.*:*VpBfsEquivalence*:CcDeterminism.*'
 FILTER+=':AnalyticsReference.*:*AnalyticsScheduler*'
+# PR 9: the zero-copy mmap read path — scan threads read MAP_SHARED
+# views while the verified-bitmap latches lazily (fetch_or) and map/unmap
+# transitions race point probes on the cache path.  The full mmap label
+# (these suites plus the A15 smoke) also runs via ctest under BOTH
+# presets below.
+FILTER+=':MappedFile.*:MappedBlockSource.*:Mmap*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -87,6 +93,20 @@ run_preset() {
   LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
   UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir "$build_dir" -L analytics --output-on-failure
+  # The mmap label (MappedFile/MappedBlockSource mechanics, mmap-on/off
+  # equivalence, bit-rot parity, the A15 smoke) also runs under BOTH
+  # presets: tsan for the mapped-active/verified-bitmap atomics against
+  # concurrent scans, asan because mmap regions are *not* heap — asan
+  # poisons no redzones around them, so the per-block span bounds in
+  # MappedBlockSource are the only thing standing between a stale block
+  # index and a silent out-of-bounds read; shadow memory for MAP_SHARED
+  # pages is materialized lazily and must not trip intra-object checks.
+  echo "=== [$preset] ctest -L mmap ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$build_dir" -L mmap --output-on-failure
   echo "=== [$preset] OK ==="
 }
 
