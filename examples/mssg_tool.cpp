@@ -7,11 +7,12 @@
 //   mssg_tool ingest <edges.txt> <storage-dir> [--nodes N] [--backend B]
 //                   [--io-workers W] [--group-commit N]
 //   mssg_tool bfs   <storage-dir> <src> <dst> [--nodes N] [--backend B]
-//                   [--concurrency Q] [--budget T]
+//                   [--concurrency Q] [--budget T] [--live-ingest E.txt]
 //   mssg_tool khop  <storage-dir> <src> <k>   [--nodes N] [--backend B]
 //   mssg_tool cc    <storage-dir>             [--nodes N] [--backend B]
 //   mssg_tool analyze <storage-dir> <name> [param...] [--nodes N]
 //                   [--backend B] [--budget T] [--mmap]
+//                   [--live-ingest E.txt]
 //   mssg_tool defrag <storage-dir>            [--nodes N]
 //
 // Backends: grdb (default), kvstore, relational, stream.
@@ -44,9 +45,19 @@
 // deterministic storage fault (crash-recovery drills from the shell):
 //   mssg_tool ingest e.txt dir --fault-spec "path=dir,op=write,nth=40,kill"
 // See storage/fault_injector.hpp for the rule grammar.
+//
+// --live-ingest <edges.txt> (bfs / analyze) turns on snapshot isolation
+// and streams the file into the back-ends in batches on a background
+// thread WHILE the foreground queries run.  Queries submitted through
+// the scheduler pin their epoch at admission, so each one sees a single
+// consistent committed state no matter how many batches land meanwhile;
+// --metrics shows the txn.* rows (epochs_live, cow_pages,
+// snapshot_reads).  DESIGN.md "Snapshot isolation" has the semantics.
+#include <atomic>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "gen/datasets.hpp"
 #include "gen/stats.hpp"
@@ -76,6 +87,7 @@ struct CommonArgs {
   int io_workers = 2;
   int group_commit = 1;
   bool mmap = false;
+  std::string live_ingest;  ///< edge file streamed concurrently (empty = off)
 };
 
 CommonArgs parse_flags(int argc, char** argv, int first) {
@@ -111,6 +123,11 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
       // files in place; point probes keep the 2Q cache.  --metrics
       // shows the mmap.* rows (maps, zero_copy_reads, residency, ...).
       args.mmap = true;
+    } else if (flag == "--live-ingest") {
+      // Stream this edge file into the cluster on a background thread
+      // while the command's queries run; implies db.snapshots so every
+      // scheduled query reads one pinned committed epoch.
+      args.live_ingest = next();
     } else if (flag == "--fault-spec") {
       // Arm a deterministic storage fault, e.g.
       //   --fault-spec "path=grdb,op=write,kind=torn,nth=3,bytes=512,kill"
@@ -161,8 +178,43 @@ MssgCluster open_cluster(const std::string& dir, const CommonArgs& args) {
   config.db.journal_sync_interval =
       static_cast<std::uint32_t>(std::max(args.group_commit, 1));
   config.db.mmap_sealed = args.mmap;
+  config.db.snapshots = !args.live_ingest.empty();
   return MssgCluster(std::move(config));
 }
+
+/// Streams an edge file into the cluster in batches on its own thread —
+/// the writer half of --live-ingest.  start() before submitting queries,
+/// finish() after awaiting them (joins the thread, commits every node,
+/// prints what landed).
+class LiveIngestDriver {
+ public:
+  LiveIngestDriver(MssgCluster& cluster, const std::string& path)
+      : cluster_(cluster), edges_(load_edges(path)) {}
+
+  void start() {
+    thread_ = std::thread([this] {
+      constexpr std::size_t kBatch = 4096;
+      for (std::size_t i = 0; i < edges_.size(); i += kBatch) {
+        const std::size_t n = std::min(kBatch, edges_.size() - i);
+        cluster_.live_ingest(std::span(edges_.data() + i, n));
+        batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  void finish() {
+    if (thread_.joinable()) thread_.join();
+    cluster_.commit_all();
+    std::cout << "live-ingested " << edges_.size() << " edges in "
+              << batches_.load() << " batches while the queries ran\n";
+  }
+
+ private:
+  MssgCluster& cluster_;
+  std::vector<Edge> edges_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::thread thread_;
+};
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 3) return usage();
@@ -221,6 +273,11 @@ int cmd_bfs(int argc, char** argv) {
   auto cluster = open_cluster(argv[2], args);
   const VertexId src = std::stoull(argv[3]);
   const VertexId dst = std::stoull(argv[4]);
+  std::optional<LiveIngestDriver> live;
+  if (!args.live_ingest.empty()) {
+    live.emplace(cluster, args.live_ingest);
+    live->start();
+  }
   if (args.concurrency > 1) {
     // Q concurrent searches from consecutive sources, all sharing the
     // block caches through the query scheduler.
@@ -250,10 +307,12 @@ int cmd_bfs(int argc, char** argv) {
       if (outcome.truncated) std::cout << ", budget-truncated";
       std::cout << ")\n";
     }
+    if (live) live->finish();
     maybe_print_metrics(args, cluster);
     return 0;
   }
   const auto result = cluster.bfs(src, dst);
+  if (live) live->finish();
   if (result.distance == kUnvisited) {
     std::cout << "unreachable (scanned " << result.edges_scanned
               << " edges)\n";
@@ -350,10 +409,16 @@ int cmd_analyze(int argc, char** argv) {
   }
   const auto args = parse_flags(argc, argv, i);
   auto cluster = open_cluster(argv[2], args);
+  std::optional<LiveIngestDriver> live;
+  if (!args.live_ingest.empty()) {
+    live.emplace(cluster, args.live_ingest);
+    live->start();
+  }
   const QueryOutcome outcome = cluster.await_query(cluster.submit_analysis(
       name, params,
       args.budget != 0 ? std::optional<std::uint64_t>(args.budget)
                        : std::nullopt));
+  if (live) live->finish();
   if (!outcome.ok()) {
     std::cerr << "error: " << outcome.error << "\n";
     return 1;

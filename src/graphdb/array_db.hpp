@@ -6,8 +6,14 @@
 // xadj array spans the full global id space, reproducing the noted
 // scaling limitation ("each node has to store the full xadj array").
 // Serves as the lower bound on search time in every figure.
+//
+// Snapshot isolation covers the staging phase (the only mutable one):
+// same vertex-granularity COW as HashMapDB.  After finalize_ingest the
+// CSR is immutable — store_edges throws, so any snapshot is trivially
+// consistent.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,17 +23,26 @@ namespace mssg {
 
 class ArrayDB final : public GraphDB {
  public:
-  explicit ArrayDB(std::unique_ptr<MetadataStore> metadata)
-      : GraphDB(std::move(metadata)) {}
+  ArrayDB(const GraphDBConfig& config, std::unique_ptr<MetadataStore> metadata)
+      : GraphDB(std::move(metadata)), snapshots_enabled_(config.snapshots) {}
 
   void store_edges(std::span<const Edge> edges) override;
   void get_adjacency(VertexId v, std::vector<VertexId>& out) override;
   void for_each_vertex(const std::function<bool(VertexId)>& visit) override;
   void finalize_ingest() override;
+  void flush() override;
+
+  [[nodiscard]] SnapshotRef begin_snapshot() override;
+  [[nodiscard]] TxnState txn_state() const override;
 
   [[nodiscard]] std::string name() const override { return "Array"; }
 
  private:
+  const bool snapshots_enabled_;
+  mutable std::shared_mutex mu_;
+  VertexSnapshots txn_;
+  bool dirty_ = false;
+
   // Ingest-time temporary storage.
   std::unordered_map<VertexId, std::vector<VertexId>> staging_;
   bool finalized_ = false;

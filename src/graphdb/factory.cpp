@@ -32,9 +32,9 @@ std::unique_ptr<GraphDB> make_graphdb(Backend backend,
 
   switch (backend) {
     case Backend::kArray:
-      return std::make_unique<ArrayDB>(std::move(metadata));
+      return std::make_unique<ArrayDB>(config, std::move(metadata));
     case Backend::kHashMap:
-      return std::make_unique<HashMapDB>(std::move(metadata));
+      return std::make_unique<HashMapDB>(config, std::move(metadata));
     case Backend::kRelational:
       return std::make_unique<RelationalDB>(config, std::move(metadata));
     case Backend::kKVStore:

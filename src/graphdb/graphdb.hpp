@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "graphdb/metadata_store.hpp"
 #include "storage/io_stats.hpp"
+#include "storage/snapshot.hpp"
 
 namespace mssg {
 
@@ -88,6 +89,25 @@ class GraphDB {
 
   /// Persists any buffered state.
   virtual void flush() {}
+
+  /// Pins the last committed epoch and returns the handle (DESIGN.md
+  /// "Snapshot isolation").  A reader thread installs it in a
+  /// SnapshotScope; every read it then makes through this backend sees
+  /// exactly the pinned epoch, no matter how far concurrent
+  /// store_edges/flush have advanced.  Returns nullptr when snapshots
+  /// are disabled (`GraphDBConfig::snapshots`) or the backend does not
+  /// support them — SnapshotScope treats a null ref as "read live
+  /// state", so callers pin-and-install unconditionally.
+  [[nodiscard]] virtual SnapshotRef begin_snapshot() { return nullptr; }
+
+  /// Observability for the snapshot subsystem: the committed epoch, the
+  /// live pinned-snapshot count, and the COW versions currently shelved.
+  struct TxnState {
+    Epoch committed = 0;
+    std::uint64_t live_snapshots = 0;
+    std::uint64_t versions = 0;
+  };
+  [[nodiscard]] virtual TxnState txn_state() const { return {}; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -168,6 +188,15 @@ struct GraphDBConfig {
   /// Upper bound on vertex ids this node may see (sizes the external
   /// metadata file and grDB's level 0; in-memory stores grow lazily).
   VertexId max_vertices = 1u << 20;
+  /// Epoch-based snapshot isolation (DESIGN.md "Snapshot isolation"):
+  /// begin_snapshot() pins the last committed epoch and reads under a
+  /// SnapshotScope serve exactly that epoch while store_edges/flush
+  /// advance the next one.  Writers pay a copy-on-write pre-image on the
+  /// first mutation of each page/chunk per epoch (txn.cow_pages); with
+  /// no live snapshots retired versions purge at every commit, so the
+  /// overhead is one epoch of pre-images.  Off by default: the classic
+  /// ingest-then-query phasing pays nothing.
+  bool snapshots = false;
   /// Simulated device latency per block-cache miss, in microseconds
   /// (0 = off).  The harness's "disk" is the OS page cache, which hides
   /// the seek cost the paper's 2006-era drives paid on every miss; the

@@ -56,8 +56,13 @@ GrDB::GrDB(const GraphDBConfig& config,
         level.spec.block_bytes,
         [this, l](std::uint64_t block, std::span<std::byte> out) {
           Level& lvl = levels_[l];
-          if (block >= lvl.initialized.size() ||
-              !lvl.initialized.test(block)) {
+          bool present;
+          {
+            std::lock_guard<std::mutex> mlk(meta_mu_);
+            present =
+                block < lvl.initialized.size() && lvl.initialized.test(block);
+          }
+          if (!present) {
             // Block has never been written: every slot reads as empty.
             std::memset(out.data(), 0xFF, out.size());
             return;
@@ -72,33 +77,40 @@ GrDB::GrDB(const GraphDBConfig& config,
           // Synchronous write-back overwrites immediately; the async
           // path batches this barrier per eviction batch instead.
           if (journal_ != nullptr) journal_->undo_barrier();
-          if (block >= lvl.initialized.size()) {
-            lvl.initialized.resize(block + 1);
-          }
-          lvl.initialized.set(block);
-          const std::uint64_t n = options_.geometry.blocks_per_file(l);
-          ensure_file(l, block / n)
-              .write_at(lvl.spec.block_bytes * (block % n), in);
-        },
-        // Locator for the async engine — runs on the owning thread, so
-        // the metadata mutations below (bitmap growth, file creation)
-        // stay single-threaded; the worker only gets a (File*, offset).
-        [this, l](std::uint64_t block,
-                  bool for_write) -> std::optional<AsyncTarget> {
-          Level& lvl = levels_[l];
-          if (for_write) {
-            // Undo capture happens here, at submit time on the owning
-            // thread, before the payload can reach the worker.
-            maybe_log_undo(l, block);
+          {
+            std::lock_guard<std::mutex> mlk(meta_mu_);
             if (block >= lvl.initialized.size()) {
               lvl.initialized.resize(block + 1);
             }
             lvl.initialized.set(block);
-          } else if (block >= lvl.initialized.size() ||
-                     !lvl.initialized.test(block)) {
-            // Never written: the sync reader resolves it as all-empty
-            // without touching disk, so there is nothing to read ahead.
-            return std::nullopt;
+          }
+          const std::uint64_t n = options_.geometry.blocks_per_file(l);
+          ensure_file(l, block / n)
+              .write_at(lvl.spec.block_bytes * (block % n), in);
+        },
+        // Locator for the async engine — runs on the thread driving the
+        // cache (under its mutex), so callbacks exclude each other; the
+        // worker only gets a (File*, offset).
+        [this, l](std::uint64_t block,
+                  bool for_write) -> std::optional<AsyncTarget> {
+          Level& lvl = levels_[l];
+          if (for_write) {
+            // Undo capture happens here, at submit time, before the
+            // payload can reach the worker.
+            maybe_log_undo(l, block);
+            std::lock_guard<std::mutex> mlk(meta_mu_);
+            if (block >= lvl.initialized.size()) {
+              lvl.initialized.resize(block + 1);
+            }
+            lvl.initialized.set(block);
+          } else {
+            std::lock_guard<std::mutex> mlk(meta_mu_);
+            if (block >= lvl.initialized.size() ||
+                !lvl.initialized.test(block)) {
+              // Never written: the sync reader resolves it as all-empty
+              // without touching disk, so there is nothing to read ahead.
+              return std::nullopt;
+            }
           }
           const std::uint64_t n = options_.geometry.blocks_per_file(l);
           return AsyncTarget{&ensure_file(l, block / n),
@@ -111,24 +123,29 @@ GrDB::GrDB(const GraphDBConfig& config,
         level.store_id,
         {[this, l](std::uint64_t block, std::span<std::byte> data) {
            Level& lvl = levels_[l];
+           const std::uint32_t crc = crc32c(data);
+           std::lock_guard<std::mutex> mlk(meta_mu_);
            if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
-           lvl.block_crc[block] = crc32c(data);
+           lvl.block_crc[block] = crc;
          },
          [this, l](std::uint64_t block, std::span<std::byte> data) {
            const Level& lvl = levels_[l];
-           // Only disk-backed blocks have a recorded CRC; the reader's
-           // all-0xFF synthesis for uninitialized blocks never had one.
-           if (block >= lvl.initialized.size() ||
-               !lvl.initialized.test(block) ||
-               block >= lvl.block_crc.size()) {
-             return;
+           const std::uint32_t crc = crc32c(data);
+           {
+             std::lock_guard<std::mutex> mlk(meta_mu_);
+             // Only disk-backed blocks have a recorded CRC; the reader's
+             // all-0xFF synthesis for uninitialized blocks never had one.
+             if (block >= lvl.initialized.size() ||
+                 !lvl.initialized.test(block) ||
+                 block >= lvl.block_crc.size()) {
+               return;
+             }
+             if (crc == lvl.block_crc[block]) return;
            }
-           if (crc32c(data) != lvl.block_crc[block]) {
-             ++stats_.checksum_failures;
-             throw StorageError("grDB: level " + std::to_string(l) +
-                                " block " + std::to_string(block) +
-                                " failed sidecar checksum");
-           }
+           ++stats_.checksum_failures;
+           throw StorageError("grDB: level " + std::to_string(l) +
+                              " block " + std::to_string(block) +
+                              " failed sidecar checksum");
          },
          /*usable_bytes=*/0,
          // One undo fdatasync per write-behind batch, not per block.
@@ -137,6 +154,11 @@ GrDB::GrDB(const GraphDBConfig& config,
          }});
   }
   mmap_enabled_ = config.mmap_sealed;
+  snapshots_enabled_ = config.snapshots;
+  // Prompt retirement: dropping the last snapshot of an epoch purges
+  // the versions it pinned without waiting for the next commit.
+  epochs_.set_retire_hook(
+      [this](Epoch min_live) { versions_.purge(min_live); });
   if (config.async_io) cache_.enable_async_io(config.io_workers);
   if (config.journal) {
     journal_ = std::make_unique<WriteJournal>(dir_ / "grdb", &stats_,
@@ -144,6 +166,13 @@ GrDB::GrDB(const GraphDBConfig& config,
     recover(/*allow_rollback=*/true);
   }
   if (std::filesystem::exists(dir_ / "grdb.meta")) load_meta();
+  // With snapshots on, readers never attempt a map themselves (freezing
+  // the bitmaps must not race the writer), so map eagerly from writer
+  // context whenever the store is sealed: here, and at flush end.
+  if (mmap_enabled_ && snapshots_enabled_ &&
+      any_data_.load(std::memory_order_relaxed)) {
+    try_map_sealed();
+  }
 }
 
 GrDB::~GrDB() {
@@ -151,13 +180,18 @@ GrDB::~GrDB() {
   // file handles are still alive.  Force the group-commit boundary: a
   // deferred group must not outlive the store.
   try {
+    std::lock_guard<std::mutex> lock(write_mu_);
     flush_impl(/*force_commit=*/true);
   } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
   }
 }
 
 File& GrDB::ensure_file(int level, std::uint64_t file_index) {
+  // files_mu_ orders a reader-thread cache miss creating a file against
+  // flush iterating the vector; the File itself is stable once created
+  // (unique_ptr moves under resize don't move the File).
   Level& lvl = levels_[level];
+  std::lock_guard<std::mutex> lock(files_mu_);
   if (file_index >= lvl.files.size()) lvl.files.resize(file_index + 1);
   if (!lvl.files[file_index]) {
     const auto path = dir_ / ("level" + std::to_string(level) + "." +
@@ -169,15 +203,20 @@ File& GrDB::ensure_file(int level, std::uint64_t file_index) {
 }
 
 void GrDB::maybe_log_undo(int level, std::uint64_t block) {
-  if (journal_ == nullptr || in_flush_) return;
-  Level& lvl = levels_[level];
-  const bool was_initialized =
-      block < lvl.initialized.size() && lvl.initialized.test(block);
-  if (!was_initialized) {
-    lvl.fresh.insert(block);
+  if (journal_ == nullptr || in_flush_.load(std::memory_order_relaxed)) {
     return;
   }
-  if (lvl.fresh.contains(block)) return;
+  Level& lvl = levels_[level];
+  {
+    std::lock_guard<std::mutex> mlk(meta_mu_);
+    const bool was_initialized =
+        block < lvl.initialized.size() && lvl.initialized.test(block);
+    if (!was_initialized) {
+      lvl.fresh.insert(block);
+      return;
+    }
+    if (lvl.fresh.contains(block)) return;
+  }
   const std::uint64_t tag =
       (static_cast<std::uint64_t>(level) << 48) | block;
   if (journal_->undo_logged(tag)) return;
@@ -189,15 +228,24 @@ void GrDB::maybe_log_undo(int level, std::uint64_t block) {
 }
 
 void GrDB::clear_fresh() {
+  std::lock_guard<std::mutex> mlk(meta_mu_);
   for (Level& level : levels_) level.fresh.clear();
 }
 
 void GrDB::sync_level_files() {
-  for (Level& level : levels_) {
-    for (const auto& file : level.files) {
-      if (file != nullptr && file->is_open()) file->sync();
+  // Snapshot the handle set under files_mu_, sync outside it: fsync can
+  // take milliseconds and must not stall a reader's cache-miss
+  // ensure_file for its whole duration.
+  std::vector<File*> files;
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    for (Level& level : levels_) {
+      for (const auto& file : level.files) {
+        if (file != nullptr && file->is_open()) files.push_back(file.get());
+      }
     }
   }
+  for (File* file : files) file->sync();
 }
 
 void GrDB::recover(bool allow_rollback) {
@@ -209,8 +257,11 @@ void GrDB::recover(bool allow_rollback) {
     return;
   }
   // Replay writes the level files directly — a live sealed mapping would
-  // go stale (and its verified bitmap would lie).
-  unmap_sealed();
+  // go stale (and its verified bitmap would lie).  With snapshots on the
+  // mapping stays: replay only rewrites blocks the crashed epoch dirtied,
+  // all of which are in cow_since_map_ (captured before their first
+  // mutation), so the mapped path already declines them.
+  if (!snapshots_enabled_) unmap_sealed();
   for (const WriteJournal::Record& r : rec.records) {
     if (r.tag == kMetaTag) {
       write_meta_file(r.payload);
@@ -231,9 +282,11 @@ void GrDB::recover(bool allow_rollback) {
 
 void GrDB::flush_impl(bool force_commit) {
   if (journal_ == nullptr) {
+    const bool had_work = dirty_since_flush_.load(std::memory_order_relaxed);
     cache_.flush();
-    if (any_data_) save_meta();
-    dirty_since_flush_ = false;
+    if (any_data_.load(std::memory_order_relaxed)) save_meta();
+    dirty_since_flush_.store(false, std::memory_order_relaxed);
+    if (had_work) commit_epoch();
     rearm_mmap();
     return;
   }
@@ -253,8 +306,9 @@ void GrDB::flush_impl(bool force_commit) {
       [&dirty](std::uint16_t, std::uint64_t, std::span<std::byte>) {
         ++dirty;
       });
-  const bool work =
-      dirty != 0 || dirty_since_flush_ || journal_->dirty_epoch();
+  const bool work = dirty != 0 ||
+                    dirty_since_flush_.load(std::memory_order_relaxed) ||
+                    journal_->dirty_epoch();
   // A pending deferred group still needs its boundary commit even when
   // nothing new is dirty (e.g. the destructor's forced flush).
   if (!work && !journal_->group_pending()) {
@@ -274,12 +328,17 @@ void GrDB::flush_impl(bool force_commit) {
         [this](std::uint16_t store, std::uint64_t block,
                std::span<std::byte> data) {
           Level& lvl = levels_[store];
-          if (block >= lvl.initialized.size()) {
-            lvl.initialized.resize(block + 1);
+          {
+            std::lock_guard<std::mutex> mlk(meta_mu_);
+            if (block >= lvl.initialized.size()) {
+              lvl.initialized.resize(block + 1);
+            }
+            lvl.initialized.set(block);
+            if (block >= lvl.block_crc.size()) {
+              lvl.block_crc.resize(block + 1);
+            }
+            lvl.block_crc[block] = crc32c(data);
           }
-          lvl.initialized.set(block);
-          if (block >= lvl.block_crc.size()) lvl.block_crc.resize(block + 1);
-          lvl.block_crc[block] = crc32c(data);
           journal_->redo_record(
               (static_cast<std::uint64_t>(store) << 48) | block, data);
         });
@@ -304,19 +363,23 @@ void GrDB::flush_impl(bool force_commit) {
   journal_->redo_commit();
   clear_fresh();  // the group's "never committed" blocks just committed
   // 4. In-place phase (no undo capture — the redo log covers us now).
-  in_flush_ = true;
+  in_flush_.store(true, std::memory_order_relaxed);
   try {
     cache_.flush();
     write_meta_file(meta_bytes);
     sync_level_files();
   } catch (...) {
-    in_flush_ = false;
+    in_flush_.store(false, std::memory_order_relaxed);
     throw;
   }
-  in_flush_ = false;
+  in_flush_.store(false, std::memory_order_relaxed);
   // 5. Retire the epoch.
   journal_->trim();
-  dirty_since_flush_ = false;
+  dirty_since_flush_.store(false, std::memory_order_relaxed);
+  // The committed boundary is the ONLY place the snapshot epoch
+  // advances: a deferred (group-commit) flush returned above, so
+  // snapshots can never pin a state that a crash would roll back.
+  commit_epoch();
   rearm_mmap();  // everything durable, no group pending: sealed again
 }
 
@@ -324,8 +387,10 @@ std::vector<std::byte> GrDB::encode_meta() const {
   ByteWriter writer;
   writer.put_u64(kMetaMagic);
   writer.put_u64(options_.geometry.max_file_bytes);
-  writer.put_u64(max_vertex_);
+  writer.put_u64(max_vertex_.load(std::memory_order_relaxed));
   writer.put_u32(static_cast<std::uint32_t>(levels_.size()));
+  // A reader-thread eviction can grow a bitmap / CRC table mid-encode.
+  std::lock_guard<std::mutex> mlk(meta_mu_);
   for (const auto& level : levels_) {
     writer.put_u64(level.spec.entries_per_subblock);
     writer.put_u64(level.spec.block_bytes);
@@ -367,7 +432,7 @@ void GrDB::load_meta() {
   if (reader.get_u64() != options_.geometry.max_file_bytes) {
     throw StorageError("grDB: geometry mismatch (max file size)");
   }
-  max_vertex_ = reader.get_u64();
+  max_vertex_.store(reader.get_u64(), std::memory_order_relaxed);
   const auto level_count = reader.get_u32();
   if (level_count != levels_.size()) {
     throw StorageError("grDB: geometry mismatch (level count)");
@@ -387,26 +452,69 @@ void GrDB::load_meta() {
     }
     level.block_crc = reader.get_vector<std::uint32_t>();
   }
-  any_data_ = true;
+  any_data_.store(true, std::memory_order_relaxed);
 }
 
 // ---- Sub-block management --------------------------------------------------
 
-GrDB::SubblockRef GrDB::pin_subblock(int level, std::uint64_t subblock) {
+GrDB::SubblockRef GrDB::pin_subblock(int level, std::uint64_t subblock,
+                                     bool for_write) {
   const auto addr = grdb::locate(options_.geometry, level, subblock);
   SubblockRef ref;
   ref.offset = addr.block_offset;
   ref.entries = levels_[level].spec.entries_per_subblock;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(level) << 48) | addr.block;
+  if (for_write) {
+    // COW boundary: shelve the pre-image before the caller can mutate.
+    capture_version(level, addr.block, key);
+    ref.handle = cache_.get(levels_[level].store_id, addr.block);
+    return ref;
+  }
+  const Snapshot* snap =
+      snapshots_enabled_ ? SnapshotScope::active_for(this) : nullptr;
+  if (snap != nullptr) {
+    // Snapshot read.  Versions first: a block mutated after the pin MUST
+    // serve its shelved pre-image, whatever the live/mapped bytes say.
+    if (auto ver = versions_.lookup(key, snap->epoch())) {
+      ++stats_.txn_snapshot_reads;
+      ref.view = std::span<const std::byte>(ver->data(), ver->size());
+      ref.keepalive = std::move(ver);
+      return ref;
+    }
+    // Then the sealed mapping (copy + revalidate — dodges the cache and
+    // its mutex entirely, which is where concurrent readers win).
+    if (auto copy = mapped_snapshot_copy(level, addr.block, key)) {
+      ++stats_.txn_snapshot_reads;
+      ref.view = std::span<const std::byte>(copy->data(), copy->size());
+      ref.keepalive = std::move(copy);
+      return ref;
+    }
+    // Else an atomic live copy: VersionStore::read holds the version
+    // mutex across the copy, so a writer's first mutation of this block
+    // this epoch (whose capture needs that mutex) cannot begin mid-copy.
+    auto copy = versions_.read(key, snap->epoch(), [&] {
+      BlockHandle h = cache_.get(levels_[level].store_id, addr.block);
+      const auto data = h.data();
+      return std::vector<std::byte>(data.begin(), data.end());
+    });
+    ++stats_.txn_snapshot_reads;
+    ref.view = std::span<const std::byte>(copy->data(), copy->size());
+    ref.keepalive = std::move(copy);
+    return ref;
+  }
   // Sealed zero-copy path: a sequential scan (SequentialScanScope) on a
   // mapped store reads the block in place — no cache frame, no copy.
   // Point probes (no scope) keep the scan-resistant 2Q cache; an armed
   // FaultInjector always takes the pread path so fault indices match
-  // what the crash sweeps were calibrated against.
+  // what the crash sweeps were calibrated against.  The initialized
+  // bitmap is the frozen map-time copy: identical to the live one here
+  // (mutators unmap first outside snapshot mode), and safe to read
+  // without the meta lock.
   if (mmap_enabled_ && SequentialScanScope::active() &&
       !FaultInjector::instance().enabled() && mapped_or_map()) {
-    const Level& lvl = levels_[level];
-    if (addr.block < lvl.initialized.size() &&
-        lvl.initialized.test(addr.block)) {
+    const DynamicBitset& init = mapped_init_[level];
+    if (addr.block < init.size() && init.test(addr.block)) {
       ref.view = mapped_[level]->block(addr.block);
       if (!ref.view.empty()) {
         ++stats_.mmap_zero_copy_reads;
@@ -418,6 +526,75 @@ GrDB::SubblockRef GrDB::pin_subblock(int level, std::uint64_t subblock) {
   }
   ref.handle = cache_.get(levels_[level].store_id, addr.block);
   return ref;
+}
+
+void GrDB::capture_version(int level, std::uint64_t block,
+                           std::uint64_t key) {
+  if (!snapshots_enabled_) return;
+  // Unconditional while snapshots are enabled (not just while one is
+  // live): a snapshot may pin mid-epoch, after mutations began.  Purge
+  // keeps the cost at one epoch of pre-images when nobody reads.
+  const Epoch open = epochs_.open();
+  const bool captured = versions_.capture(key, open, [&] {
+    // Read the current bytes through the cache: a never-written block
+    // synthesizes its all-0xFF "empty" image, which is exactly the
+    // pre-image a fresh block needs.
+    BlockHandle h = cache_.get(levels_[level].store_id, block);
+    const auto data = h.data();
+    return std::vector<std::byte>(data.begin(), data.end());
+  });
+  if (captured) {
+    ++stats_.txn_cow_pages;
+    std::lock_guard<std::mutex> lk(stale_mu_);
+    cow_since_map_.insert(key);
+  }
+}
+
+std::shared_ptr<const std::vector<std::byte>> GrDB::mapped_snapshot_copy(
+    int level, std::uint64_t block, std::uint64_t key) {
+  if (!mmap_enabled_ ||
+      !mapped_active_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lk(stale_mu_);
+    if (cow_since_map_.contains(key)) return nullptr;
+  }
+  const DynamicBitset& init = mapped_init_[level];
+  if (block >= init.size() || !init.test(block)) return nullptr;
+  const std::span<const std::byte> view = mapped_[level]->block(block);
+  if (view.empty()) return nullptr;
+  auto copy =
+      std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
+  {
+    // Revalidate after the copy: if the block was COW-captured while we
+    // copied, a subsequent eviction/flush may have been rewriting the
+    // mapped file bytes under us — discard and take the version path.
+    // (The capture publishes to cow_since_map_ BEFORE the first
+    // mutation, so a clean recheck proves the copy saw quiescent bytes.)
+    std::lock_guard<std::mutex> lk(stale_mu_);
+    if (cow_since_map_.contains(key)) return nullptr;
+  }
+  return copy;
+}
+
+void GrDB::commit_epoch() {
+  if (!snapshots_enabled_) return;
+  epochs_.advance();
+  versions_.purge(epochs_.min_live());
+}
+
+SnapshotRef GrDB::begin_snapshot() {
+  if (!snapshots_enabled_) return nullptr;
+  // The live extent over-approximates the committed one; over-included
+  // vertices resolve to their (empty) pre-image versions.
+  return epochs_.pin(this, max_vertex_.load(std::memory_order_relaxed) + 1,
+                     any_data_.load(std::memory_order_relaxed));
+}
+
+GraphDB::TxnState GrDB::txn_state() const {
+  if (!snapshots_enabled_) return {};
+  return {epochs_.current(), epochs_.live_count(), versions_.versions()};
 }
 
 bool GrDB::mapped_or_map() {
@@ -435,12 +612,28 @@ bool GrDB::try_map_sealed() {
   // group still deferring its boundary.  (Clean cached copies of the
   // same bytes are fine.)
   const bool sealed =
-      any_data_ && !dirty_since_flush_ &&
+      any_data_.load(std::memory_order_relaxed) &&
+      !dirty_since_flush_.load(std::memory_order_relaxed) &&
       (journal_ == nullptr || !journal_->group_pending()) &&
       !FaultInjector::instance().enabled();
   if (!sealed) {
     ++stats_.mmap_fallbacks;
     return false;
+  }
+  // Freeze the per-level initialized bitmaps and sidecar CRCs as of this
+  // seal.  Readers consult the frozen copies lock-free: unlike the live
+  // tables (which a reader-thread eviction may grow mid-read), these
+  // never change while the mapping is active.  With snapshots on, the
+  // mapping may outlive later mutations — blocks COW'd since the seal
+  // are declined via cow_since_map_ before the frozen CRC could lie.
+  mapped_init_.assign(levels_.size(), {});
+  mapped_crc_.assign(levels_.size(), {});
+  {
+    std::lock_guard<std::mutex> mlk(meta_mu_);
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      mapped_init_[l] = levels_[l].initialized;
+      mapped_crc_[l] = levels_[l].block_crc;
+    }
   }
   std::vector<std::unique_ptr<MappedBlockSource>> sources;
   sources.reserve(levels_.size());
@@ -454,9 +647,9 @@ bool GrDB::try_map_sealed() {
           // pin_subblock only hands the source initialized blocks, which
           // flush gave a sidecar CRC; the guard matches the hook's.
           [this, l](std::uint64_t block, std::span<const std::byte> data) {
-            const Level& lvl = levels_[l];
-            if (block >= lvl.block_crc.size()) return;
-            if (crc32c(data) != lvl.block_crc[block]) {
+            const std::vector<std::uint32_t>& crc = mapped_crc_[l];
+            if (block >= crc.size()) return;
+            if (crc32c(data) != crc[block]) {
               ++stats_.checksum_failures;
               throw StorageError("grDB: level " + std::to_string(l) +
                                  " block " + std::to_string(block) +
@@ -488,6 +681,12 @@ bool GrDB::try_map_sealed() {
     return false;
   }
   mapped_ = std::move(sources);
+  {
+    // Everything the map serves matches the files as of this seal; later
+    // COW captures re-populate the stale set.
+    std::lock_guard<std::mutex> slk(stale_mu_);
+    cow_since_map_.clear();
+  }
   mapped_active_.store(true, std::memory_order_release);
   return true;
 }
@@ -497,17 +696,26 @@ void GrDB::unmap_sealed() {
   std::lock_guard<std::mutex> lock(map_mu_);
   mmap_retry_ = false;
   if (!mapped_active_.load(std::memory_order_relaxed)) return;
-  // Callers (mutations, journal replay) run exclusively — no concurrent
-  // scan holds a view into these mappings.
+  // Callers (mutations, journal replay, exclusive maintenance) run with
+  // no concurrent reader — nobody holds a view into these mappings.
   mapped_active_.store(false, std::memory_order_release);
   mapped_.clear();
+  mapped_init_.clear();
+  mapped_crc_.clear();
   ++stats_.mmap_fallbacks;
 }
 
 void GrDB::rearm_mmap() {
   if (!mmap_enabled_) return;
-  std::lock_guard<std::mutex> lock(map_mu_);
-  if (!mapped_active_.load(std::memory_order_relaxed)) mmap_retry_ = true;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (!mapped_active_.load(std::memory_order_relaxed)) mmap_retry_ = true;
+  }
+  // With snapshots on, readers never map (pin_subblock only tests
+  // mapped_active_, since freezing the bitmaps must not race the
+  // writer): map eagerly from this writer context at every sealed
+  // boundary instead.
+  if (snapshots_enabled_) try_map_sealed();
 }
 
 std::uint64_t GrDB::allocate_subblock(int level) {
@@ -521,7 +729,7 @@ std::uint64_t GrDB::allocate_subblock(int level) {
     subblock = lvl.alloc++;
   }
   // Fresh sub-blocks start all-empty (a recycled one may hold stale data).
-  SubblockRef ref = pin_subblock(level, subblock);
+  SubblockRef ref = pin_subblock(level, subblock, /*for_write=*/true);
   std::memset(ref.handle.mutable_data().data() + ref.offset, 0xFF,
               lvl.spec.subblock_bytes());
   return subblock;
@@ -557,16 +765,24 @@ std::vector<std::pair<int, std::uint64_t>> GrDB::chain_of(VertexId v) {
 void GrDB::poke_entry(int level, std::uint64_t subblock, std::uint64_t index,
                       std::uint64_t value) {
   MSSG_CHECK(level >= 0 && level < static_cast<int>(levels_.size()));
+  // Exclusive maintenance (fault-injection hook, fsck probes): the one
+  // context that still unmaps in snapshot mode — callers guarantee no
+  // reader is live.
+  std::lock_guard<std::mutex> lock(write_mu_);
   unmap_sealed();
-  SubblockRef ref = pin_subblock(level, subblock);
+  SubblockRef ref = pin_subblock(level, subblock, /*for_write=*/true);
   MSSG_CHECK(index < ref.entries);
   ref.set(index, value);
-  dirty_since_flush_ = true;
+  dirty_since_flush_.store(true, std::memory_order_relaxed);
 }
 
 std::uint64_t GrDB::allocated_subblocks(int level) const {
   MSSG_CHECK(level >= 0 && level < static_cast<int>(levels_.size()));
-  if (level == 0) return any_data_ ? max_vertex_ + 1 : 0;
+  if (level == 0) {
+    return any_data_.load(std::memory_order_relaxed)
+               ? max_vertex_.load(std::memory_order_relaxed) + 1
+               : 0;
+  }
   return levels_[level].alloc;
 }
 
@@ -587,6 +803,12 @@ void GrDB::publish_metrics(MetricsSnapshot& snap) const {
     snap.add("mmap.resident_pages", residency.resident_pages);
     snap.add("mmap.sampled_pages", residency.sampled_pages);
   }
+  if (snapshots_enabled_) {
+    const TxnState txn = txn_state();
+    snap.add("txn.epochs_live", txn.live_snapshots);
+    snap.add("txn.committed_epoch", txn.committed);
+    snap.add("txn.versions_held", txn.versions);
+  }
 }
 
 void GrDB::drop_os_page_cache() const {
@@ -605,10 +827,17 @@ void GrDB::drop_os_page_cache() const {
 // ---- Reads -----------------------------------------------------------------
 
 void GrDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
-  if (!any_data_ || v > max_vertex_) {
-    // Nothing was ever stored at/above this id on this node; level-0
-    // space beyond the extent is untouched (reads as empty anyway).
-    if (!any_data_) return;
+  const Snapshot* snap =
+      snapshots_enabled_ ? SnapshotScope::active_for(this) : nullptr;
+  if (snap != nullptr) {
+    // The pinned extent over-approximates the committed one; vertices it
+    // admits that were only stored after the pin resolve to their all-0xFF
+    // pre-image versions, i.e. the empty set.
+    if (!snap->nonempty() || v >= snap->extent()) return;
+  } else if (!any_data_.load(std::memory_order_relaxed)) {
+    // Nothing was ever stored on this node; level-0 space beyond the
+    // extent is untouched (reads as empty anyway).
+    return;
   }
   int level = 0;
   std::uint64_t subblock = v;
@@ -636,11 +865,26 @@ void GrDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
 }
 
 void GrDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
-  if (!any_data_) return;
+  const Snapshot* snap =
+      snapshots_enabled_ ? SnapshotScope::active_for(this) : nullptr;
+  if (snap != nullptr) {
+    if (!snap->nonempty()) return;
+    // Over-included vertices (stored after the pin) read their empty
+    // pre-image and are skipped — the sweep sees exactly the epoch.
+    SequentialScanScope scan_scope;
+    for (VertexId v = 0; v < snap->extent(); ++v) {
+      SubblockRef ref = pin_subblock(0, v);
+      if (grdb::classify(ref.get(0)) == EntryKind::kEmpty) continue;
+      if (!visit(v)) return;
+    }
+    return;
+  }
+  if (!any_data_.load(std::memory_order_relaxed)) return;
   // The level-0 sweep is the canonical sequential scan — mapped-path
   // eligible regardless of what the caller installed.
   SequentialScanScope scan_scope;
-  for (VertexId v = 0; v <= max_vertex_; ++v) {
+  const VertexId last = max_vertex_.load(std::memory_order_relaxed);
+  for (VertexId v = 0; v <= last; ++v) {
     SubblockRef ref = pin_subblock(0, v);
     if (grdb::classify(ref.get(0)) == EntryKind::kEmpty) continue;
     if (!visit(v)) return;
@@ -648,13 +892,14 @@ void GrDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
 }
 
 void GrDB::prefetch(std::span<const VertexId> vertices) {
-  if (!any_data_) return;
+  if (!any_data_.load(std::memory_order_relaxed)) return;
   // Distinct level-0 blocks, ascending => file offsets ascending.
   std::vector<std::uint64_t> blocks;
   blocks.reserve(vertices.size());
   const std::uint64_t k0 = levels_[0].spec.subblocks_per_block();
+  const VertexId last = max_vertex_.load(std::memory_order_relaxed);
   for (const VertexId v : vertices) {
-    if (v <= max_vertex_) blocks.push_back(v / k0);
+    if (v <= last) blocks.push_back(v / k0);
   }
   std::sort(blocks.begin(), blocks.end());
   blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
@@ -681,7 +926,13 @@ void GrDB::prefetch(std::span<const VertexId> vertices) {
 // ---- Writes ----------------------------------------------------------------
 
 void GrDB::store_edges(std::span<const Edge> edges) {
-  unmap_sealed();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // With snapshots on the sealed mapping STAYS mapped: pinned readers may
+  // hold views into it, and every block this ingest mutates is COW'd
+  // into cow_since_map_ before its bytes change, so the mapped read path
+  // declines exactly the blocks that go stale.  Without snapshots the
+  // classic discipline holds — mutation unmaps first.
+  if (!snapshots_enabled_) unmap_sealed();
   // Batch by source: one chain walk per distinct vertex per batch.
   std::unordered_map<VertexId, std::vector<VertexId>> by_source;
   for (const auto& e : edges) {
@@ -693,9 +944,13 @@ void GrDB::store_edges(std::span<const Edge> edges) {
 
 void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
   if (neighbors.empty()) return;
-  any_data_ = true;
-  dirty_since_flush_ = true;
-  max_vertex_ = std::max(max_vertex_, v);
+  any_data_.store(true, std::memory_order_relaxed);
+  dirty_since_flush_.store(true, std::memory_order_relaxed);
+  // write_mu_ serializes writers; the load-compare-store cannot race
+  // another writer, and readers tolerate any momentary value.
+  if (v > max_vertex_.load(std::memory_order_relaxed)) {
+    max_vertex_.store(v, std::memory_order_relaxed);
+  }
   const int last_level = static_cast<int>(levels_.size()) - 1;
 
   // Walk to the tail, remembering the parent sub-block for copy-up mode.
@@ -713,7 +968,7 @@ void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
     subblock = grdb::pointer_subblock(last);
   }
 
-  SubblockRef ref = pin_subblock(level, subblock);
+  SubblockRef ref = pin_subblock(level, subblock, /*for_write=*/true);
   std::uint64_t d = ref.entries;
   // First empty slot; d means the sub-block is completely full.
   std::uint64_t idx = 0;
@@ -740,10 +995,12 @@ void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
     if (options_.growth == GrDBGrowth::kCopyUp && level >= 1 &&
         level < last_level) {
       const std::uint64_t new_subblock = allocate_subblock(next_level);
-      SubblockRef new_ref = pin_subblock(next_level, new_subblock);
+      SubblockRef new_ref =
+          pin_subblock(next_level, new_subblock, /*for_write=*/true);
       for (std::uint64_t i = 0; i < idx; ++i) new_ref.set(i, ref.get(i));
       MSSG_CHECK(prev_level >= 0);
-      SubblockRef parent = pin_subblock(prev_level, prev_subblock);
+      SubblockRef parent =
+          pin_subblock(prev_level, prev_subblock, /*for_write=*/true);
       parent.set(parent.entries - 1,
                  grdb::make_pointer_entry(next_level, new_subblock));
       release_subblock(level, subblock);
@@ -760,7 +1017,8 @@ void GrDB::append(VertexId v, std::span<const VertexId> neighbors) {
     std::uint64_t displaced = grdb::kEmptySlot;
     if (idx == d) displaced = ref.get(d - 1);  // full: relocate last entry
     const std::uint64_t new_subblock = allocate_subblock(next_level);
-    SubblockRef new_ref = pin_subblock(next_level, new_subblock);
+    SubblockRef new_ref =
+        pin_subblock(next_level, new_subblock, /*for_write=*/true);
     ref.set(d - 1, grdb::make_pointer_entry(next_level, new_subblock));
     prev_level = level;
     prev_subblock = subblock;
@@ -914,14 +1172,18 @@ std::vector<int> optimal_levels(std::uint64_t degree,
 }  // namespace
 
 std::uint64_t GrDB::defragment() {
-  if (!any_data_) return 0;
+  if (!any_data_.load(std::memory_order_relaxed)) return 0;
+  // Exclusive maintenance: like poke_entry, runs with no reader live, so
+  // unmapping is safe even in snapshot mode.
+  std::lock_guard<std::mutex> lock(write_mu_);
   unmap_sealed();
-  dirty_since_flush_ = true;
+  dirty_since_flush_.store(true, std::memory_order_relaxed);
   std::uint64_t rewritten = 0;
   std::vector<VertexId> neighbors;
   std::vector<std::pair<int, std::uint64_t>> chain;
 
-  for (VertexId v = 0; v <= max_vertex_; ++v) {
+  const VertexId last_vertex = max_vertex_.load(std::memory_order_relaxed);
+  for (VertexId v = 0; v <= last_vertex; ++v) {
     chain.clear();
     find_tail(v, &chain);
     if (chain.size() <= 1) continue;
@@ -947,7 +1209,7 @@ std::uint64_t GrDB::defragment() {
     std::size_t pos = 0;
     for (std::size_t step = 0; step < target.size(); ++step) {
       const int level = target[step];
-      SubblockRef ref = pin_subblock(level, subblock);
+      SubblockRef ref = pin_subblock(level, subblock, /*for_write=*/true);
       const std::uint64_t d = ref.entries;
       std::memset(ref.handle.mutable_data().data() + ref.offset, 0xFF,
                   levels_[level].spec.subblock_bytes());

@@ -50,8 +50,19 @@ class GrDB final : public GraphDB {
   /// Group-commit aware: with journal_sync_interval > 1 only every n-th
   /// flush commits durably; the rest defer into the group (the
   /// destructor forces the boundary).
-  void flush() override { flush_impl(/*force_commit=*/false); }
+  void flush() override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    flush_impl(/*force_commit=*/false);
+  }
   void finalize_ingest() override { flush(); }
+
+  /// Pins the last committed epoch (DESIGN.md "Snapshot isolation").
+  /// With `GraphDBConfig::snapshots` on, reads under a SnapshotScope
+  /// holding the ref serve exactly that epoch — version pre-images
+  /// first, then the sealed mapping, then an atomic live copy — while
+  /// store_edges/flush advance the next epoch concurrently.
+  [[nodiscard]] SnapshotRef begin_snapshot() override;
+  [[nodiscard]] TxnState txn_state() const override;
 
   /// Sequential sweep of the level-0 extent; visits vertices whose first
   /// entry is non-empty.
@@ -132,10 +143,13 @@ class GrDB final : public GraphDB {
   /// A pinned sub-block: the owning block handle plus entry accessors.
   /// On the sealed mmap path `view` is set instead of `handle` — the
   /// entries read directly from the mapping, no cache frame involved;
-  /// such refs are read-only (set() asserts).
+  /// such refs are read-only (set() asserts).  Snapshot reads set `view`
+  /// over `keepalive`, a refcounted immutable block image (a COW
+  /// pre-image or a pinned-epoch copy) that outlives any purge.
   struct SubblockRef {
     BlockHandle handle;
     std::span<const std::byte> view;  ///< zero-copy mapped block, or empty
+    std::shared_ptr<const std::vector<std::byte>> keepalive;
     std::uint64_t offset = 0;  ///< byte offset of the sub-block in block
     std::uint64_t entries = 0;
 
@@ -143,7 +157,11 @@ class GrDB final : public GraphDB {
     void set(std::uint64_t i, std::uint64_t value);
   };
 
-  SubblockRef pin_subblock(int level, std::uint64_t subblock);
+  /// Pins for reading by default; `for_write` routes through the COW
+  /// capture (pre-image shelved on the first mutation of the block per
+  /// epoch) before handing out the mutable cache frame.
+  SubblockRef pin_subblock(int level, std::uint64_t subblock,
+                           bool for_write = false);
   File& ensure_file(int level, std::uint64_t file_index);
   std::uint64_t allocate_subblock(int level);
   void release_subblock(int level, std::uint64_t subblock);
@@ -171,6 +189,23 @@ class GrDB final : public GraphDB {
   void recover(bool allow_rollback);
   void clear_fresh();
 
+  /// COW capture: shelves the block's current bytes (via the cache, so
+  /// a never-written block captures its all-0xFF "empty" image) as the
+  /// open epoch's pre-image, once per (block, epoch).  Runs before every
+  /// mutable pin while snapshots are enabled.
+  void capture_version(int level, std::uint64_t block, std::uint64_t key);
+  /// Snapshot read from the sealed mapping: copy-then-revalidate.  The
+  /// block must have been initialized at map time (frozen bitmap) and
+  /// never COW-captured since the map (cow_since_map_) — checked again
+  /// after the copy, so a racing first mutation (whose eviction/flush
+  /// could rewrite the mapped file bytes mid-copy) discards the copy and
+  /// falls back.  Returns nullptr to decline.
+  std::shared_ptr<const std::vector<std::byte>> mapped_snapshot_copy(
+      int level, std::uint64_t block, std::uint64_t key);
+  /// Commit boundary bookkeeping: advances the epoch and purges
+  /// versions no live snapshot can read.
+  void commit_epoch();
+
   /// True when the sealed mapping is live (fast path), otherwise one
   /// map attempt per sealed epoch.
   bool mapped_or_map();
@@ -196,20 +231,52 @@ class GrDB final : public GraphDB {
   std::vector<Level> levels_;
   std::unique_ptr<WriteJournal> journal_;
   BlockCache cache_;
-  VertexId max_vertex_ = 0;
-  bool any_data_ = false;
-  bool in_flush_ = false;  // post-commit in-place phase: skip undo capture
-  bool dirty_since_flush_ = false;
+  // Relaxed atomics: with snapshots on, reader threads consult these
+  // while the (write_mu_-serialized) writer mutates them; cross-thread
+  // visibility of the values they guard rides on the EpochManager mutex
+  // (pin happens-after advance) rather than on these loads.
+  std::atomic<VertexId> max_vertex_{0};
+  std::atomic<bool> any_data_{false};
+  std::atomic<bool> in_flush_{false};  // post-commit phase: skip undo capture
+  std::atomic<bool> dirty_since_flush_{false};
+
+  // Serializes the mutator entry points (store_edges, flush, poke_entry,
+  // defragment) against each other; readers never take it.
+  std::mutex write_mu_;
+  // Leaf mutex over per-level metadata a reader-thread cache callback
+  // can mutate (initialized bitmap, sidecar CRCs, fresh set) while the
+  // writer reads it outside the cache lock (encode_meta, map freezing).
+  // Callbacks already exclude each other via the cache mutex; this only
+  // orders them against those non-callback readers.
+  mutable std::mutex meta_mu_;
+  // Leaf mutex over the per-level files vectors: a reader-thread cache
+  // miss may create a file (ensure_file) while flush iterates them.
+  std::mutex files_mu_;
+
+  // Snapshot isolation (GraphDBConfig::snapshots).
+  bool snapshots_enabled_ = false;
+  EpochManager epochs_;
+  VersionStore<std::vector<std::byte>> versions_;  // key = level<<48 | block
 
   // The sealed zero-copy read path (GraphDBConfig::mmap_sealed).
   // mapped_active_ is the lock-free fast-path flag concurrent scan
-  // readers check; map_mu_ serializes map/unmap/re-arm (mutators run
-  // exclusively, so unmap never races a reader holding a view).
+  // readers check; map_mu_ serializes map/unmap/re-arm.  Without
+  // snapshots, mutators run exclusively and unmap first, so no reader
+  // holds a view across a transition.  With snapshots the mapping is
+  // never unmapped while readers run: pin_subblock serves mapped bytes
+  // only for blocks frozen at map time (mapped_init_/mapped_crc_ are
+  // immutable copies) and never COW-captured since (cow_since_map_), so
+  // file rewrites by eviction/flush can only touch blocks the mapped
+  // path already declines.
   bool mmap_enabled_ = false;
   bool mmap_retry_ = true;  // one map attempt per sealed epoch (map_mu_)
   std::atomic<bool> mapped_active_{false};
   mutable std::mutex map_mu_;
   std::vector<std::unique_ptr<MappedBlockSource>> mapped_;  // per level
+  std::vector<DynamicBitset> mapped_init_;          // frozen at map time
+  std::vector<std::vector<std::uint32_t>> mapped_crc_;  // frozen at map time
+  mutable std::mutex stale_mu_;
+  std::unordered_set<std::uint64_t> cow_since_map_;  // keys captured since map
 };
 
 }  // namespace mssg

@@ -6,7 +6,18 @@
 // Here that is a from-scratch page-based B+tree (src/storage/btree)
 // storing 8 KB adjacency chunks keyed by (vertex, chunk).  The page cache
 // is the BlockCache; Figure 5.2 disables it via GraphDBConfig.
+//
+// Snapshot isolation (GraphDBConfig::snapshots): copy-on-write at vertex
+// granularity — before the first append to a vertex in an epoch, its
+// whole decoded adjacency list is shelved (VertexSnapshots); a committed
+// pager flush is the epoch boundary.  The pager/B+tree substrate is not
+// internally thread-safe, so snapshot mode serializes operations under
+// one mutex (never held across the for_each_vertex visitor); reads still
+// interleave with ingest at call granularity, which is what the isolation
+// guarantee is about.  With snapshots off no lock is ever taken.
 #pragma once
+
+#include <mutex>
 
 #include "graphdb/chunk_store.hpp"
 #include "graphdb/graphdb.hpp"
@@ -22,16 +33,12 @@ class KVStoreDB final : public GraphDB {
 
   void store_edges(std::span<const Edge> edges) override;
   void get_adjacency(VertexId v, std::vector<VertexId>& out) override;
-  void for_each_vertex(const std::function<bool(VertexId)>& visit) override {
-    // Every stored vertex has a chunk-0 record; a key scan yields them in
-    // ascending order.
-    tree_.scan(BTreeKey{0, 0}, BTreeKey{~std::uint64_t{0}, ~std::uint32_t{0}},
-               [&](const BTreeKey& key, std::span<const std::byte>) {
-                 return key.secondary != 0 || visit(key.primary);
-               });
-  }
+  void for_each_vertex(const std::function<bool(VertexId)>& visit) override;
   void flush() override;
   void finalize_ingest() override { flush(); }
+
+  [[nodiscard]] SnapshotRef begin_snapshot() override;
+  [[nodiscard]] TxnState txn_state() const override;
 
   /// Probes the index (internal pages only) for each vertex's chunk-0
   /// leaf and issues one sorted async read batch for the leaves.
@@ -64,6 +71,10 @@ class KVStoreDB final : public GraphDB {
     BTree& tree_;
   };
 
+  const bool snapshots_enabled_;
+  mutable std::mutex mu_;  ///< snapshot mode only; pager isn't reentrant
+  VertexSnapshots txn_;
+  bool dirty_ = false;
   IoStats stats_;
   Pager pager_;
   BTree tree_;

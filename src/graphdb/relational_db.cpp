@@ -111,6 +111,7 @@ void RelationalDB::Backend::put_chunk(VertexId v, std::uint32_t chunk,
 RelationalDB::RelationalDB(const GraphDBConfig& config,
                            std::unique_ptr<MetadataStore> metadata)
     : GraphDB(std::move(metadata)),
+      snapshots_enabled_(config.snapshots),
       pager_(config.dir / "relational.db", kPageBytes,
              config.cache_enabled ? config.cache_bytes : 0, &stats_,
              /*async_io=*/false, config.journal, config.io_workers,
@@ -123,17 +124,96 @@ RelationalDB::RelationalDB(const GraphDBConfig& config,
 }
 
 void RelationalDB::store_edges(std::span<const Edge> edges) {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (snapshots_enabled_) lock.lock();
   std::unordered_map<VertexId, std::vector<VertexId>> by_source;
   for (const auto& e : edges) by_source[e.src].push_back(e.dst);
+  const Epoch open = snapshots_enabled_ ? txn_.epochs.open() : 0;
   for (const auto& [src, neighbors] : by_source) {
+    if (snapshots_enabled_) {
+      // Vertex-granularity COW: shelve the whole decoded list before the
+      // first append of the epoch rewrites its rows.
+      txn_.versions.capture(src, open, [&] {
+        std::vector<VertexId> current;
+        chunks_.read(src, current);
+        return current;
+      });
+      dirty_ = true;
+    }
     chunks_.append(src, neighbors);
   }
 }
 
 void RelationalDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (snapshots_enabled_) {
+    lock.lock();
+    if (const Snapshot* snap = SnapshotScope::active_for(this)) {
+      if (auto ver = txn_.versions.lookup(v, snap->epoch())) {
+        out.insert(out.end(), ver->begin(), ver->end());
+        return;
+      }
+    }
+  }
   chunks_.read(v, out);
 }
 
-void RelationalDB::flush() { pager_.flush(); }
+void RelationalDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
+  auto enumerate = [this](const std::function<bool(VertexId)>& fn) {
+    // Index scan over chunk-0 keys (vertex ids ascending).
+    index_.scan(BTreeKey{0, 0}, BTreeKey{~std::uint64_t{0}, ~std::uint32_t{0}},
+                [&](const BTreeKey& key, std::span<const std::byte>) {
+                  return key.secondary != 0 || fn(key.primary);
+                });
+  };
+  if (!snapshots_enabled_) {
+    enumerate(visit);
+    return;
+  }
+  // Collect under the lock, visit outside it: visitors re-enter this
+  // backend (graph_stats calls get_adjacency per vertex).
+  const Snapshot* snap = SnapshotScope::active_for(this);
+  std::vector<VertexId> vertices;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enumerate([&](VertexId v) {
+      if (snap != nullptr) {
+        // First stored after the pin -> empty pre-image -> invisible.
+        if (auto ver = txn_.versions.lookup(v, snap->epoch())) {
+          if (ver->empty()) return true;
+        }
+      }
+      vertices.push_back(v);
+      return true;
+    });
+  }
+  for (const VertexId v : vertices) {
+    if (!visit(v)) return;
+  }
+}
+
+void RelationalDB::flush() {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (snapshots_enabled_) lock.lock();
+  pager_.flush();
+  // Epochs advance only at COMMITTED boundaries: a flush that deferred
+  // into a journal group is roll-backable and must stay in the open
+  // epoch.
+  if (snapshots_enabled_ && dirty_ && !pager_.group_pending()) {
+    txn_.advance_and_purge();
+    dirty_ = false;
+  }
+}
+
+SnapshotRef RelationalDB::begin_snapshot() {
+  if (!snapshots_enabled_) return nullptr;
+  return txn_.epochs.pin(this, /*extent=*/0, /*nonempty=*/true);
+}
+
+GraphDB::TxnState RelationalDB::txn_state() const {
+  if (!snapshots_enabled_) return {};
+  return {txn_.epochs.current(), txn_.epochs.live_count(),
+          txn_.versions.versions()};
+}
 
 }  // namespace mssg

@@ -8,7 +8,15 @@
 // (format version, column count, null bitmap, per-column lengths) — the
 // generic-row overheads that make MySQL the slowest backend in all of the
 // thesis' figures.
+//
+// Snapshot isolation mirrors KVStoreDB: vertex-granularity COW of the
+// decoded adjacency list, committed pager flushes as epoch boundaries,
+// and one coarse mutex in snapshot mode (the pager/B+tree/heap substrate
+// is not internally thread-safe; the lock is never held across the
+// for_each_vertex visitor).
 #pragma once
+
+#include <mutex>
 
 #include "graphdb/chunk_store.hpp"
 #include "graphdb/graphdb.hpp"
@@ -25,15 +33,12 @@ class RelationalDB final : public GraphDB {
 
   void store_edges(std::span<const Edge> edges) override;
   void get_adjacency(VertexId v, std::vector<VertexId>& out) override;
-  void for_each_vertex(const std::function<bool(VertexId)>& visit) override {
-    // Index scan over chunk-0 keys (vertex ids ascending).
-    index_.scan(BTreeKey{0, 0}, BTreeKey{~std::uint64_t{0}, ~std::uint32_t{0}},
-                [&](const BTreeKey& key, std::span<const std::byte>) {
-                  return key.secondary != 0 || visit(key.primary);
-                });
-  }
+  void for_each_vertex(const std::function<bool(VertexId)>& visit) override;
   void flush() override;
   void finalize_ingest() override { flush(); }
+
+  [[nodiscard]] SnapshotRef begin_snapshot() override;
+  [[nodiscard]] TxnState txn_state() const override;
 
   [[nodiscard]] std::string name() const override {
     return "Relational(MySQL)";
@@ -65,6 +70,10 @@ class RelationalDB final : public GraphDB {
     HeapFile& heap_;
   };
 
+  const bool snapshots_enabled_;
+  mutable std::mutex mu_;  ///< snapshot mode only; pager isn't reentrant
+  VertexSnapshots txn_;
+  bool dirty_ = false;
   IoStats stats_;
   Pager pager_;
   BTree index_;   // (vertex, chunk) -> RowId, pager meta slots 0-1

@@ -25,22 +25,24 @@ std::uint32_t slot_crc(std::uint64_t length, std::uint64_t seq) {
 StreamDB::StreamDB(const GraphDBConfig& config,
                    std::unique_ptr<MetadataStore> metadata)
     : GraphDB(std::move(metadata)),
+      snapshots_enabled_(config.snapshots),
       log_(File::open(config.dir / "stream.log", &stats_)) {
-  log_bytes_ = log_.size();
+  std::uint64_t bytes = log_.size();
   if (config.journal) {
     commit_ = File::open(config.dir / "stream.commit", &stats_);
     if (const auto committed = read_committed_length()) {
       // A crash can leave a torn tail past the committed length (or, if
       // the commit-slot write itself died, past the previous commit);
       // everything before it is intact, so reopen just ignores the tail.
-      log_bytes_ = std::min(log_bytes_, *committed);
+      bytes = std::min(bytes, *committed);
     } else {
       // No valid commit yet: fall back to whole edges only.
-      log_bytes_ -= log_bytes_ % sizeof(Edge);
+      bytes -= bytes % sizeof(Edge);
     }
   } else {
-    log_bytes_ -= log_bytes_ % sizeof(Edge);
+    bytes -= bytes % sizeof(Edge);
   }
+  log_bytes_.store(bytes, std::memory_order_relaxed);
   write_buffer_.reserve(kWriteBufferEdges);
 }
 
@@ -76,33 +78,63 @@ void StreamDB::write_commit_slot(std::uint64_t length) {
 }
 
 void StreamDB::store_edges(std::span<const Edge> edges) {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (snapshots_enabled_) lock.lock();
   for (const auto& e : edges) {
     write_buffer_.push_back(e);
-    if (write_buffer_.size() >= kWriteBufferEdges) flush();
+    if (write_buffer_.size() >= kWriteBufferEdges) flush_locked();
   }
 }
 
 void StreamDB::flush() {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (snapshots_enabled_) lock.lock();
+  flush_locked();
+}
+
+void StreamDB::flush_locked() {
   if (write_buffer_.empty()) return;
   const auto bytes = std::as_bytes(std::span(write_buffer_));
-  log_.write_at(log_bytes_, bytes);
+  const std::uint64_t base = log_bytes_.load(std::memory_order_relaxed);
+  log_.write_at(base, bytes);
   if (commit_.is_open()) {
     // Order matters: the appended edges must be durable before the
     // commit slot can claim them.
     log_.sync();
-    write_commit_slot(log_bytes_ + bytes.size());
+    write_commit_slot(base + bytes.size());
   }
-  log_bytes_ += bytes.size();
+  // Publish the new committed extent AFTER the bytes are written: a
+  // concurrent begin_snapshot sees either the old boundary or a fully
+  // readable new one.
+  log_bytes_.store(base + bytes.size(), std::memory_order_release);
   write_buffer_.clear();
+  // Every flush that appended is a committed boundary (the dual-slot
+  // sidecar has no deferred mode).
+  if (snapshots_enabled_) epochs_.advance();
 }
 
-void StreamDB::scan(const std::function<void(const Edge&)>& visit) {
-  flush();
+std::uint64_t StreamDB::scan_extent() {
+  if (snapshots_enabled_) {
+    if (const Snapshot* snap = SnapshotScope::active_for(this)) {
+      // The pinned committed prefix — no flush, no lock: bytes below it
+      // are never rewritten, appends land past it.
+      return snap->extent();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+    return log_bytes_.load(std::memory_order_acquire);
+  }
+  flush_locked();
+  return log_bytes_.load(std::memory_order_relaxed);
+}
+
+void StreamDB::scan_prefix(std::uint64_t limit,
+                           const std::function<void(const Edge&)>& visit) {
   std::vector<std::byte> buffer(kScanBufferBytes);
   std::uint64_t offset = 0;
-  while (offset < log_bytes_) {
+  while (offset < limit) {
     const std::size_t n = static_cast<std::size_t>(
-        std::min<std::uint64_t>(buffer.size(), log_bytes_ - offset));
+        std::min<std::uint64_t>(buffer.size(), limit - offset));
     log_.read_at(offset, std::span(buffer.data(), n));
     MSSG_CHECK(n % sizeof(Edge) == 0);
     const auto* edges = reinterpret_cast<const Edge*>(buffer.data());
@@ -112,15 +144,30 @@ void StreamDB::scan(const std::function<void(const Edge&)>& visit) {
   }
 }
 
+SnapshotRef StreamDB::begin_snapshot() {
+  if (!snapshots_enabled_) return nullptr;
+  // Extent = the committed log length; unflushed buffered edges are
+  // invisible, exactly like every other backend's open epoch.
+  const std::uint64_t extent = log_bytes_.load(std::memory_order_acquire);
+  return epochs_.pin(this, extent, extent != 0);
+}
+
+GraphDB::TxnState StreamDB::txn_state() const {
+  if (!snapshots_enabled_) return {};
+  // StreamDB shelves no versions — the log prefix IS the version.
+  return {epochs_.current(), epochs_.live_count(), 0};
+}
+
 void StreamDB::get_adjacency(VertexId v, std::vector<VertexId>& out) {
-  scan([&](const Edge& e) {
+  scan_prefix(scan_extent(), [&](const Edge& e) {
     if (e.src == v) out.push_back(e.dst);
   });
 }
 
 void StreamDB::for_each_vertex(const std::function<bool(VertexId)>& visit) {
   std::unordered_set<VertexId> sources;
-  scan([&](const Edge& e) { sources.insert(e.src); });
+  scan_prefix(scan_extent(),
+              [&](const Edge& e) { sources.insert(e.src); });
   // Visit in ascending id order, not hash order: an early-exit visitor
   // (connected components seeding, k-th vertex sampling) otherwise sees
   // a run-dependent prefix and every counter downstream of it stops
@@ -136,7 +183,7 @@ void StreamDB::get_adjacency_batch(
     std::span<const VertexId> fringe,
     std::unordered_map<VertexId, std::vector<VertexId>>& out) {
   const std::unordered_set<VertexId> wanted(fringe.begin(), fringe.end());
-  scan([&](const Edge& e) {
+  scan_prefix(scan_extent(), [&](const Edge& e) {
     if (wanted.contains(e.src)) out[e.src].push_back(e.dst);
   });
 }

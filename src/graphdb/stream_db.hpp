@@ -17,9 +17,19 @@
 // torn tail that reopen simply ignores.  With `journal` off the sidecar
 // is not written and reopen falls back to the file size rounded down to
 // whole edges.
+//
+// Snapshot isolation is free for an append-only log: a snapshot pins the
+// committed byte extent, and a prefix scan of [0, extent) needs no lock
+// at all — appends only ever land past it (pread is thread-safe, bytes
+// below the committed length are never rewritten).  Each flush that
+// appends advances the epoch.  The writer side (buffer, flush) takes a
+// mutex in snapshot mode; live (non-snapshot) reads take it too, since
+// they implicitly flush first.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -50,6 +60,9 @@ class StreamDB final : public GraphDB {
   void flush() override;
   void finalize_ingest() override { flush(); }
 
+  [[nodiscard]] SnapshotRef begin_snapshot() override;
+  [[nodiscard]] TxnState txn_state() const override;
+
   [[nodiscard]] std::string name() const override { return "StreamDB"; }
   [[nodiscard]] IoStats io_stats() const override { return stats_; }
 
@@ -62,16 +75,27 @@ class StreamDB final : public GraphDB {
   static constexpr std::size_t kWriteBufferEdges = 64 * 1024;
   static constexpr std::size_t kScanBufferBytes = 1u << 20;
 
-  void scan(const std::function<void(const Edge&)>& visit);
+  /// If a snapshot of this store is installed on the thread, returns its
+  /// pinned extent; otherwise flushes (under the writer lock in snapshot
+  /// mode) and returns the full committed length.
+  [[nodiscard]] std::uint64_t scan_extent();
+  /// Scans log bytes [0, limit) — the committed prefix never changes, so
+  /// no lock is needed while reading it.
+  void scan_prefix(std::uint64_t limit,
+                   const std::function<void(const Edge&)>& visit);
+  void flush_locked();
   /// Reads both commit slots and returns the committed log length from
   /// the newest valid one (nullopt when neither validates).
   [[nodiscard]] std::optional<std::uint64_t> read_committed_length();
   void write_commit_slot(std::uint64_t length);
 
+  const bool snapshots_enabled_;
+  std::mutex mu_;  ///< writer side (buffer, flush); snapshot mode only
+  EpochManager epochs_;
   IoStats stats_;
   File log_;
   File commit_;  ///< dual-slot commit sidecar (invalid when journal off)
-  std::uint64_t log_bytes_ = 0;
+  std::atomic<std::uint64_t> log_bytes_{0};  ///< committed log extent
   std::uint64_t commit_seq_ = 0;  ///< seq of the newest valid slot
   std::vector<Edge> write_buffer_;
 };

@@ -120,12 +120,36 @@ QueryScheduler::Ticket MssgCluster::submit_analysis(
   return scheduler_->submit(
       [this, name, params](Communicator& comm, QueryContext& ctx) {
         GraphDB& db = *dbs_[comm.rank()];
+        // Pin this rank's committed epoch for the whole analysis: every
+        // read the rank thread makes sees exactly that epoch, no matter
+        // how far live_ingest advances meanwhile.  With snapshots off
+        // begin_snapshot() returns nullptr and the scope is a no-op.
+        SnapshotScope snapshot(db.begin_snapshot());
         if (queries_.is_concurrent(name)) {
           return queries_.run_concurrent(name, comm, db, params, ctx);
         }
         return queries_.run(name, comm, db, params);
       },
       /*exclusive=*/!concurrent, token_budget);
+}
+
+void MssgCluster::live_ingest(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  std::vector<Rank> targets(edges.size());
+  partitioner_->route(edges, targets);
+  std::vector<std::vector<Edge>> per_node(dbs_.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    per_node[static_cast<std::size_t>(targets[i])].push_back(edges[i]);
+  }
+  for (std::size_t node = 0; node < dbs_.size(); ++node) {
+    if (per_node[node].empty()) continue;
+    dbs_[node]->store_edges(per_node[node]);
+    dbs_[node]->flush();
+  }
+}
+
+void MssgCluster::commit_all() {
+  for (const auto& db : dbs_) db->flush();
 }
 
 QueryOutcome MssgCluster::await_query(const QueryScheduler::Ticket& ticket) {

@@ -76,6 +76,20 @@ class MssgCluster {
   /// Streams arbitrary sources (one per front-end node).
   IngestReport ingest(std::vector<std::unique_ptr<EdgeSource>> sources);
 
+  /// Live ingest: routes a batch straight into the back-end stores via
+  /// the partitioner and commits it (flush on every touched node, which
+  /// advances those stores' epochs).  The minimal concurrent-write path:
+  /// with GraphDBConfig::snapshots on, queries submitted through the
+  /// scheduler keep reading their pinned epoch while these batches land.
+  /// Bypasses the front-end Ingestion pipeline (no declustering windows,
+  /// no ingest report) — use ingest() for bulk loads.
+  void live_ingest(std::span<const Edge> edges);
+
+  /// Commits buffered writes on every back-end node (one flush each);
+  /// with snapshots on this is the epoch boundary after which new
+  /// snapshots see the writes.
+  void commit_all();
+
   /// Runs a distributed BFS over all back-end nodes.
   ClusterQueryResult bfs(VertexId src, VertexId dst, BfsOptions options = {});
 

@@ -109,6 +109,13 @@ struct IoStats {
                                           ///< state at map time, or a
                                           ///< mutation/replay unmapping a
                                           ///< live mapping
+  detail::RelaxedCounter txn_snapshot_reads;  ///< reads served from a pinned
+                                              ///< epoch (COW version or
+                                              ///< frozen extent) instead of
+                                              ///< live state
+  detail::RelaxedCounter txn_cow_pages;  ///< pre-image versions captured on
+                                         ///< the first mutation of a
+                                         ///< page/chunk in an epoch
 
   void reset() { *this = IoStats{}; }
 
@@ -140,6 +147,8 @@ struct IoStats {
     mmap_zero_copy_reads += other.mmap_zero_copy_reads;
     mmap_lazy_verifies += other.mmap_lazy_verifies;
     mmap_fallbacks += other.mmap_fallbacks;
+    txn_snapshot_reads += other.txn_snapshot_reads;
+    txn_cow_pages += other.txn_cow_pages;
     return *this;
   }
 
@@ -193,6 +202,11 @@ inline void publish_io(const IoStats& s, MetricsSnapshot& snap,
   snap.add("mmap.zero_copy_reads", s.mmap_zero_copy_reads);
   snap.add("mmap.lazy_verifies", s.mmap_lazy_verifies);
   snap.add("mmap.fallbacks", s.mmap_fallbacks);
+  // Snapshot-isolation counters (DESIGN.md "Snapshot isolation") keep a
+  // fixed "txn." namespace; backends publish txn.epochs_live alongside
+  // from their EpochManager in publish_metrics.
+  snap.add("txn.snapshot_reads", s.txn_snapshot_reads);
+  snap.add("txn.cow_pages", s.txn_cow_pages);
 }
 
 }  // namespace mssg

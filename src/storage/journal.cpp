@@ -64,6 +64,7 @@ void WriteJournal::append(File& file, std::uint64_t& bytes, std::uint64_t tag,
 void WriteJournal::undo_record(std::uint64_t tag,
                                std::span<const std::byte> payload) {
   MSSG_CHECK(tag != kCommitTag);
+  std::lock_guard lk(mu_);
   if (!undo_logged_.insert(tag).second) return;
   append(undo_, undo_bytes_, tag, payload);
   // Durability is the caller's barrier: a pre-image must be fdatasync'd
@@ -74,12 +75,14 @@ void WriteJournal::undo_record(std::uint64_t tag,
 }
 
 void WriteJournal::undo_barrier() {
+  std::lock_guard lk(mu_);
   if (!undo_dirty_) return;
   undo_.sync();
   undo_dirty_ = false;
 }
 
 void WriteJournal::redo_begin() {
+  std::lock_guard lk(mu_);
   if (deferred_flushes_ != 0) return;  // group open: append to it
   redo_.truncate(kHeaderBytes);
   redo_bytes_ = kHeaderBytes;
@@ -87,6 +90,7 @@ void WriteJournal::redo_begin() {
 }
 
 void WriteJournal::redo_defer() {
+  std::lock_guard lk(mu_);
   ++deferred_flushes_;
   if (stats_ != nullptr) ++stats_->journal_deferred_flushes;
 }
@@ -94,11 +98,13 @@ void WriteJournal::redo_defer() {
 void WriteJournal::redo_record(std::uint64_t tag,
                                std::span<const std::byte> payload) {
   MSSG_CHECK(tag != kCommitTag);
+  std::lock_guard lk(mu_);
   append(redo_, redo_bytes_, tag, payload);
   ++redo_count_;
 }
 
 void WriteJournal::redo_commit() {
+  std::lock_guard lk(mu_);
   // First sync: the records themselves — including any deferred
   // flushes' records, synced here for the first time.  Second sync: the
   // commit record, which only means anything once everything before it
@@ -148,6 +154,7 @@ WriteJournal::Parsed WriteJournal::parse(const File& file) {
 }
 
 WriteJournal::Recovery WriteJournal::plan_recovery() {
+  std::lock_guard lk(mu_);
   Recovery out;
   Parsed redo = parse(redo_);
   if (redo.committed) {
@@ -166,6 +173,7 @@ WriteJournal::Recovery WriteJournal::plan_recovery() {
 }
 
 void WriteJournal::trim() {
+  std::lock_guard lk(mu_);
   // Undo first: dying between the two truncates leaves a committed redo,
   // whose roll-forward is idempotent.  The reverse order could leave only
   // the undo log and roll back a committed epoch.

@@ -46,6 +46,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -81,6 +82,7 @@ class WriteJournal {
 
   /// True if `tag` already has a pre-image this epoch.
   [[nodiscard]] bool undo_logged(std::uint64_t tag) const {
+    std::lock_guard lk(mu_);
     return undo_logged_.contains(tag);
   }
 
@@ -98,7 +100,10 @@ class WriteJournal {
   /// True if any pre-image was captured since the last trim(): the data
   /// file may diverge from its committed state, so a flush must run even
   /// if no cache pages are dirty.
-  [[nodiscard]] bool dirty_epoch() const { return !undo_logged_.empty(); }
+  [[nodiscard]] bool dirty_epoch() const {
+    std::lock_guard lk(mu_);
+    return !undo_logged_.empty();
+  }
 
   /// Starts a redo epoch.  With no group pending it discards any stale
   /// uncommitted redo records; with deferred flushes accumulated it
@@ -113,6 +118,7 @@ class WriteJournal {
   /// True when the flush closing now must commit rather than defer —
   /// i.e. it is the sync_interval-th of its group.
   [[nodiscard]] bool commit_due() const {
+    std::lock_guard lk(mu_);
     return deferred_flushes_ + 1 >= sync_interval_;
   }
 
@@ -124,7 +130,10 @@ class WriteJournal {
 
   /// True when deferred flushes are awaiting their boundary commit (a
   /// forced flush must run even if nothing new is dirty).
-  [[nodiscard]] bool group_pending() const { return deferred_flushes_ != 0; }
+  [[nodiscard]] bool group_pending() const {
+    std::lock_guard lk(mu_);
+    return deferred_flushes_ != 0;
+  }
 
   /// Makes the group's redo records durable, then appends and syncs the
   /// commit record.  After this returns every flush of the group is
@@ -151,6 +160,13 @@ class WriteJournal {
               std::span<const std::byte> payload);
   static Parsed parse(const File& file);
 
+  // One leaf mutex over all journal state: with snapshot isolation on,
+  // a reader-thread cache miss can evict a dirty block and capture its
+  // undo pre-image while the writer thread runs a flush's redo sequence
+  // — the two paths append to different files but share the counters
+  // and the undo_logged_ set.  Ops under it never call out, so it nests
+  // safely inside the BlockCache mutex.
+  mutable std::mutex mu_;
   File undo_;
   File redo_;
   std::uint64_t undo_bytes_ = 0;

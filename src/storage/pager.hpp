@@ -109,6 +109,13 @@ class Pager {
   [[nodiscard]] IoStats* stats() const { return stats_; }
   [[nodiscard]] bool journaled() const { return journal_ != nullptr; }
 
+  /// True while deferred group-commit flushes await their boundary: the
+  /// last flush() was NOT a committed (crash-recoverable) state.  The
+  /// snapshot layer checks this so epochs only advance at real commits.
+  [[nodiscard]] bool group_pending() const {
+    return journal_ != nullptr && journal_->group_pending();
+  }
+
  private:
   struct Header {
     std::uint64_t magic;

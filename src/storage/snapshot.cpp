@@ -1,0 +1,28 @@
+#include "storage/snapshot.hpp"
+
+namespace mssg {
+
+namespace {
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+thread_local SnapshotScope* g_top = nullptr;
+
+SnapshotScope*& top_frame() { return g_top; }
+}  // namespace
+
+SnapshotScope::SnapshotScope(SnapshotRef snap)
+    : prev_(top_frame()), snap_(std::move(snap)) {
+  top_frame() = this;
+}
+
+SnapshotScope::~SnapshotScope() { top_frame() = prev_; }
+
+const Snapshot* SnapshotScope::active_for(const void* owner) {
+  for (const SnapshotScope* s = top_frame(); s != nullptr; s = s->prev_) {
+    if (s->snap_ != nullptr && s->snap_->owner() == owner) {
+      return s->snap_.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mssg

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
 #include <random>
 #include <set>
+#include <thread>
 #include <unordered_map>
 
 #include "gen/memory_graph.hpp"
@@ -279,6 +283,232 @@ TEST_P(Differential, RandomAnalysesMatchInMemoryReference) {
     }
   }
 }
+
+// ---- snapshot isolation, differentially ------------------------------------
+// The same reference-model idea with epochs in play: seeded interleaved
+// write / flush / read sequences against a snapshot-enabled backend,
+// with up to a handful of snapshots pinned at random points.  The
+// reference is a two-map model — `committed` (state as of the last
+// flush) and `pending` (stored but unflushed) — plus one frozen copy of
+// `committed` per live snapshot.  Every snapshot read must match its
+// frozen copy exactly, no matter how many writes landed since the pin;
+// every live read must see committed+pending.  Any divergence prints
+// the generating seed.
+
+/// committed + pending merged — what a live (unpinned) read sees.
+Reference merged_view(const Reference& committed, const Reference& pending) {
+  Reference all = committed;
+  for (const auto& [v, neighbors] : pending) {
+    auto& out = all[v];
+    out.insert(out.end(), neighbors.begin(), neighbors.end());
+  }
+  return all;
+}
+
+class DifferentialTxn : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(DifferentialTxn, InterleavedSnapshotReadsMatchFrozenReference) {
+  const Backend backend = GetParam();
+  for (const std::uint64_t seed : {9001u, 9002u, 9003u}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "backend=" << to_string(backend) << " seed=" << seed
+                 << " (reproduce with this seed)");
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<VertexId> vertex(0, kVertexSpace - 1);
+
+    TempDir dir;
+    GraphDBConfig config;
+    config.snapshots = true;
+    auto db = make_db(backend, dir, config);
+    Reference committed;  // state as of the last flush
+    Reference pending;    // stored but not yet flushed
+    // Each live snapshot paired with the committed state it pinned.
+    std::vector<std::pair<SnapshotRef, Reference>> snaps;
+
+    const int ops = 80;
+    for (int op = 0; op < ops; ++op) {
+      switch (rng() % 6) {
+        case 0: {  // store a batch (buffered in the open epoch)
+          std::vector<Edge> batch(1 + rng() % 15);
+          for (auto& e : batch) e = Edge{vertex(rng), vertex(rng)};
+          db->store_edges(batch);
+          for (const auto& e : batch) pending[e.src].push_back(e.dst);
+          break;
+        }
+        case 1: {  // flush: the committed epoch boundary
+          db->flush();
+          committed = merged_view(committed, pending);
+          pending.clear();
+          break;
+        }
+        case 2: {  // pin a snapshot of the committed state
+          if (snaps.size() >= 3) snaps.erase(snaps.begin() + rng() % 3);
+          snaps.emplace_back(db->begin_snapshot(), committed);
+          break;
+        }
+        case 3: {  // release a snapshot (retires its epoch)
+          if (!snaps.empty()) snaps.erase(snaps.begin() + rng() % snaps.size());
+          break;
+        }
+        case 4: {  // snapshot reads: must match the frozen copy exactly
+          if (snaps.empty()) break;
+          const auto& [snap, frozen] = snaps[rng() % snaps.size()];
+          SnapshotScope scope(snap);
+          for (int probe = 0; probe < 3; ++probe) {
+            const VertexId v = vertex(rng);
+            std::vector<VertexId> got;
+            db->get_adjacency(v, got);
+            const auto it = frozen.find(v);
+            const std::vector<VertexId> want =
+                it == frozen.end() ? std::vector<VertexId>{} : it->second;
+            ASSERT_EQ(sorted(got), sorted(want)) << "pinned vertex " << v;
+          }
+          std::set<VertexId> visited;
+          db->for_each_vertex([&](VertexId v) {
+            EXPECT_TRUE(visited.insert(v).second) << "duplicate visit of " << v;
+            return true;
+          });
+          ASSERT_EQ(visited, reference_vertex_set(frozen));
+          break;
+        }
+        default: {  // live reads: committed + pending
+          const Reference all = merged_view(committed, pending);
+          for (int probe = 0; probe < 3; ++probe) {
+            const VertexId v = vertex(rng);
+            std::vector<VertexId> got;
+            db->get_adjacency(v, got);
+            const auto it = all.find(v);
+            const std::vector<VertexId> want =
+                it == all.end() ? std::vector<VertexId>{} : it->second;
+            ASSERT_EQ(sorted(got), sorted(want)) << "live vertex " << v;
+          }
+          if (backend == Backend::kStream) {
+            // StreamDB live reads implicitly flush (the log scan needs
+            // the buffer on disk), so they commit the open epoch.
+            committed = merged_view(committed, pending);
+            pending.clear();
+          }
+          break;
+        }
+      }
+    }
+
+    // Closing sweep: release the pins, commit everything, and compare
+    // the final state over the full vertex space.
+    snaps.clear();
+    db->flush();
+    committed = merged_view(committed, pending);
+    pending.clear();
+    db->finalize_ingest();
+    for (VertexId v = 0; v < kVertexSpace; ++v) {
+      std::vector<VertexId> got;
+      db->get_adjacency(v, got);
+      const auto it = committed.find(v);
+      const std::vector<VertexId> want =
+          it == committed.end() ? std::vector<VertexId>{} : it->second;
+      ASSERT_EQ(sorted(got), sorted(want)) << "final sweep, vertex " << v;
+    }
+  }
+}
+
+// The racing half: a writer commits deterministic batches while reader
+// threads pin snapshots and sweep.  Batch b appends neighbor
+// kVertexSpace+b to EVERY vertex, so any consistent snapshot shows the
+// same prefix {kVertexSpace..kVertexSpace+k-1} on every vertex — a torn
+// read (mid-batch state) or a cross-vertex mix of epochs is immediately
+// visible.  Two fences bound k: `lo` (batches certainly committed
+// before the pin) and `hi` (batches possibly started).
+TEST_P(DifferentialTxn, ConcurrentSnapshotReadersSeeWholeEpochsOnly) {
+  const Backend backend = GetParam();
+  constexpr VertexId kV = 8;
+  constexpr std::uint64_t kBatches = 24;
+
+  TempDir dir;
+  GraphDBConfig config;
+  config.snapshots = true;
+  auto db = make_db(backend, dir, config);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> lo{0}, hi{0};
+  std::mutex fail_mu;
+  std::vector<std::string> failures;
+  auto fail = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(fail_mu);
+    failures.push_back(msg);
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) && failures.empty()) {
+        const std::uint64_t floor = lo.load(std::memory_order_acquire);
+        SnapshotScope scope(db->begin_snapshot());
+        std::optional<std::size_t> k;
+        for (VertexId v = 0; v < kV; ++v) {
+          std::vector<VertexId> adj;
+          db->get_adjacency(v, adj);
+          std::sort(adj.begin(), adj.end());
+          for (std::size_t i = 0; i < adj.size(); ++i) {
+            if (adj[i] != kV + i) {
+              fail("vertex " + std::to_string(v) + " slot " +
+                   std::to_string(i) + " holds " + std::to_string(adj[i]) +
+                   ": not the committed prefix");
+              return;
+            }
+          }
+          if (!k) {
+            k = adj.size();
+          } else if (adj.size() != *k) {
+            fail("vertex " + std::to_string(v) + " sees " +
+                 std::to_string(adj.size()) + " batches, vertex 0 saw " +
+                 std::to_string(*k) + ": epochs mixed across vertices");
+            return;
+          }
+        }
+        // hi only grows, so reading it after the sweep keeps the bound.
+        const std::uint64_t ceil = hi.load(std::memory_order_acquire);
+        if (*k < floor || *k > ceil) {
+          fail("snapshot saw " + std::to_string(*k) + " batches outside [" +
+               std::to_string(floor) + ", " + std::to_string(ceil) + "]");
+          return;
+        }
+      }
+    });
+  }
+
+  for (std::uint64_t b = 0; b < kBatches; ++b) {
+    hi.store(b + 1, std::memory_order_release);
+    std::vector<Edge> batch;
+    batch.reserve(kV);
+    for (VertexId v = 0; v < kV; ++v) batch.push_back(Edge{v, kV + b});
+    db->store_edges(batch);
+    db->flush();
+    lo.store(b + 1, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  for (const auto& msg : failures) ADD_FAILURE() << msg;
+  // Every epoch retired: versions drain once no snapshot pins them.
+  const auto state = db->txn_state();
+  EXPECT_EQ(state.live_snapshots, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, DifferentialTxn,
+    ::testing::Values(Backend::kArray, Backend::kHashMap, Backend::kRelational,
+                      Backend::kKVStore, Backend::kStream, Backend::kGrDB),
+    [](const ::testing::TestParamInfo<Backend>& param_info) {
+      switch (param_info.param) {
+        case Backend::kArray: return std::string("Array");
+        case Backend::kHashMap: return std::string("HashMap");
+        case Backend::kRelational: return std::string("Relational");
+        case Backend::kKVStore: return std::string("KVStore");
+        case Backend::kStream: return std::string("StreamDB");
+        case Backend::kGrDB: return std::string("GrDB");
+      }
+      return std::string("unknown");
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, Differential,

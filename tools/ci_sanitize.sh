@@ -55,6 +55,17 @@ FILTER+=':AnalyticsReference.*:*AnalyticsScheduler*'
 # (these suites plus the A15 smoke) also runs via ctest under BOTH
 # presets below.
 FILTER+=':MappedFile.*:MappedBlockSource.*:Mmap*'
+# PR 10: epoch-based snapshot isolation — reader threads pin epochs and
+# walk COW pre-images while the ingest path captures versions, advances
+# epochs and retires them; the stress suites race 8 readers against a
+# live writer and the interleaved differential harness replays
+# store/flush/pin/release schedules on every backend.  (Note the PR 6
+# `*Differential.*` pattern does NOT match `DifferentialTxn.*` — the
+# literal dot sits after "Differential", so the new suite is listed
+# explicitly.)  The full txn label also runs via ctest under BOTH
+# presets below.
+FILTER+=':EpochMechanics.*:*SnapshotCow*:SnapshotMmap.*:*SnapshotStress*'
+FILTER+=':*DifferentialTxn*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -107,6 +118,20 @@ run_preset() {
   LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
   UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir "$build_dir" -L mmap --output-on-failure
+  # The txn label (epoch/COW mechanics, snapshot stress, the interleaved
+  # differential harness, the crash-label epoch sweeps' sibling suites,
+  # the A16 smoke) also runs under BOTH presets: tsan because snapshot
+  # isolation IS a cross-thread visibility claim — readers on retired
+  # pins, the version-shelf double-check, the eager-remap handoff — and
+  # asan for the captured pre-image buffers (a version outliving its
+  # block, or a purge racing a reader, shows up as heap-use-after-free
+  # here first).
+  echo "=== [$preset] ctest -L txn ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$build_dir" -L txn --output-on-failure
   echo "=== [$preset] OK ==="
 }
 
