@@ -14,8 +14,23 @@
 //                   [--backend B] [--budget T] [--mmap]
 //                   [--live-ingest E.txt]
 //   mssg_tool defrag <storage-dir>            [--nodes N]
+//   mssg_tool query <storage-dir> "<query>"   [--nodes N] [--backend B]
+//                   [--fifo] [--budget T] [--live-ingest E.txt]
+//   mssg_tool serve <storage-dir>             [--nodes N] [--backend B]
+//                   [--fifo] [--budget T]
 //
 // Backends: grdb (default), kvstore, relational, stream.
+//
+// query runs ONE query-language statement (DESIGN.md "Serving
+// front-end") through a ServeSession — parse -> plan -> scheduler with
+// per-class priorities/deadlines:
+//   mssg_tool query dir "PATH 3 17 MAXLEN 5"
+//   mssg_tool query dir "NEIGHBORS 3 DEPTH 2 WHERE META = 1"
+//   mssg_tool query dir "RANK TOP 10"
+// serve reads statements line by line from stdin (blank lines skipped,
+// `quit` exits) against one long-lived session; --metrics prints the
+// serve.* per-class rows merged with the cluster snapshot at exit.
+// --fifo disables the SLO policies (the A17 baseline).
 //
 // --mmap (any cluster command; grDB only) turns on the sealed zero-copy
 // read path: scans read mmap'd level files in place while point probes
@@ -63,6 +78,7 @@
 #include "gen/stats.hpp"
 #include "ingest/edge_source.hpp"
 #include "mssg/mssg.hpp"
+#include "serve/session.hpp"
 #include "storage/fault_injector.hpp"
 
 namespace {
@@ -70,8 +86,8 @@ namespace {
 using namespace mssg;
 
 int usage() {
-  std::cerr << "usage: mssg_tool gen|stats|ingest|bfs|khop|cc|analyze|defrag"
-               " ...\n"
+  std::cerr << "usage: mssg_tool gen|stats|ingest|bfs|khop|cc|analyze|"
+               "query|serve|defrag ...\n"
                "       (see header comment of examples/mssg_tool.cpp)\n";
   return 2;
 }
@@ -87,6 +103,7 @@ struct CommonArgs {
   int io_workers = 2;
   int group_commit = 1;
   bool mmap = false;
+  bool fifo = false;  ///< serve/query: disable SLO class policies
   std::string live_ingest;  ///< edge file streamed concurrently (empty = off)
 };
 
@@ -118,6 +135,10 @@ CommonArgs parse_flags(int argc, char** argv, int first) {
       // Journal group commit: fsync every N-th flush (1 = every flush,
       // the classic fully-durable behavior).
       args.group_commit = std::stoi(next());
+    } else if (flag == "--fifo") {
+      // serve/query: submit every class at priority 0 with no deadline
+      // (the baseline the A17 load harness compares against).
+      args.fifo = true;
     } else if (flag == "--mmap") {
       // Zero-copy sealed read path (grDB): scans read mmap'd level
       // files in place; point probes keep the 2Q cache.  --metrics
@@ -429,6 +450,69 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+void print_serve_result(const serve::ServeResult& result) {
+  if (!result.ok()) {
+    std::cout << "error: " << result.error << "\n";
+    return;
+  }
+  std::cout << "[" << serve::to_string(result.query_class) << ", "
+            << result.jobs << (result.jobs == 1 ? " job" : " jobs")
+            << ", queue " << result.queue_seconds << " s, run "
+            << result.run_seconds << " s";
+  if (result.truncated) std::cout << ", budget-truncated";
+  if (result.deadline_missed) std::cout << ", deadline-missed";
+  std::cout << "]";
+  for (const double v : result.values) std::cout << " " << v;
+  std::cout << "\n";
+}
+
+serve::ServeConfig serve_config(const CommonArgs& args) {
+  serve::ServeConfig config;
+  config.fifo = args.fifo;
+  if (args.budget != 0) config.token_budget = args.budget;
+  return config;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto args = parse_flags(argc, argv, 4);
+  auto cluster = open_cluster(argv[2], args);
+  serve::ServeSession session(cluster, serve_config(args));
+  std::optional<LiveIngestDriver> live;
+  if (!args.live_ingest.empty()) {
+    live.emplace(cluster, args.live_ingest);
+    live->start();
+  }
+  const serve::ServeResult result = session.execute(argv[3]);
+  if (live) live->finish();
+  print_serve_result(result);
+  if (args.metrics) {
+    MetricsSnapshot snap = cluster.metrics_snapshot();
+    snap.merge(session.metrics_snapshot());
+    std::cout << snap.to_json() << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto args = parse_flags(argc, argv, 3);
+  auto cluster = open_cluster(argv[2], args);
+  serve::ServeSession session(cluster, serve_config(args));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    print_serve_result(session.execute(line));
+  }
+  if (args.metrics) {
+    MetricsSnapshot snap = cluster.metrics_snapshot();
+    snap.merge(session.metrics_snapshot());
+    std::cout << snap.to_json() << "\n";
+  }
+  return 0;
+}
+
 int cmd_defrag(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto args = parse_flags(argc, argv, 3);
@@ -452,6 +536,8 @@ int main(int argc, char** argv) {
     if (command == "khop") return cmd_khop(argc, argv);
     if (command == "cc") return cmd_cc(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "query") return cmd_query(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
     if (command == "defrag") return cmd_defrag(argc, argv);
     return usage();
   } catch (const Error& e) {

@@ -114,9 +114,18 @@ std::vector<double> MssgCluster::run_analysis(
 QueryScheduler::Ticket MssgCluster::submit_analysis(
     const std::string& name, const std::vector<std::uint64_t>& params,
     std::optional<std::uint64_t> token_budget) {
+  SubmitOptions options;
+  options.token_budget = token_budget;
+  return submit_analysis(name, params, options);
+}
+
+QueryScheduler::Ticket MssgCluster::submit_analysis(
+    const std::string& name, const std::vector<std::uint64_t>& params,
+    SubmitOptions options) {
   // Concurrent-safe analyses share the cluster; legacy analyses mutate
-  // the per-node metadata stores, so they are admitted exclusively.
-  const bool concurrent = queries_.is_concurrent(name);
+  // the per-node metadata stores, so they are admitted exclusively
+  // regardless of what the caller put in `options`.
+  options.exclusive = !queries_.is_concurrent(name);
   return scheduler_->submit(
       [this, name, params](Communicator& comm, QueryContext& ctx) {
         GraphDB& db = *dbs_[comm.rank()];
@@ -130,7 +139,19 @@ QueryScheduler::Ticket MssgCluster::submit_analysis(
         }
         return queries_.run(name, comm, db, params);
       },
-      /*exclusive=*/!concurrent, token_budget);
+      options);
+}
+
+QueryScheduler::Ticket MssgCluster::submit_job(ClusterJob job,
+                                               SubmitOptions options) {
+  return scheduler_->submit(
+      [this, moved_job = std::move(job)](Communicator& comm,
+                                         QueryContext& ctx) {
+        GraphDB& db = *dbs_[comm.rank()];
+        SnapshotScope snapshot(db.begin_snapshot());
+        return moved_job(comm, ctx, db);
+      },
+      options);
 }
 
 void MssgCluster::live_ingest(std::span<const Edge> edges) {

@@ -108,6 +108,27 @@ class MssgCluster {
       const std::string& name, const std::vector<std::uint64_t>& params,
       std::optional<std::uint64_t> token_budget = std::nullopt);
 
+  /// Full-control submission for the serving front-end: the analysis
+  /// runs with the given priority/deadline/budget (SubmitOptions).  The
+  /// exclusive flag is decided by the registry — a legacy analysis is
+  /// always admitted exclusively, whatever the caller set.
+  QueryScheduler::Ticket submit_analysis(
+      const std::string& name, const std::vector<std::uint64_t>& params,
+      SubmitOptions options);
+
+  /// A cluster job: one invocation per back-end rank against that
+  /// rank's GraphDB, under the scheduler's per-query context and with
+  /// the rank's committed epoch pinned (snapshot semantics identical to
+  /// submit_analysis).  Rank 0's return vector becomes the outcome —
+  /// the serving front-end's point lookups run through this.  Jobs must
+  /// not mutate shared per-node state (submit them exclusive if they
+  /// do).
+  using ClusterJob = std::function<std::vector<double>(
+      Communicator& comm, QueryContext& ctx, GraphDB& db)>;
+
+  /// Submits a cluster job to the concurrent query engine.
+  QueryScheduler::Ticket submit_job(ClusterJob job, SubmitOptions options);
+
   /// Blocks until a submitted analysis finishes.
   QueryOutcome await_query(const QueryScheduler::Ticket& ticket);
 

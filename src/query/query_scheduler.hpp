@@ -22,14 +22,26 @@
 //  - Per-query cache attribution: the query's rank threads run under a
 //    CacheAttributionScope, so the shared 2Q BlockCache splits its
 //    hit/miss counts per query ("sched.q<id>.cache_hits", hit ratios).
+//  - SLO scheduling (the serving front-end, DESIGN.md "Serving
+//    front-end"): admission is ordered by (priority desc, submission
+//    order asc) — a waiting point lookup with a higher priority is
+//    admitted ahead of earlier-submitted full-graph scans — and a query
+//    may carry a deadline: if it is not admitted by its deadline it
+//    EXPIRES (fails with a structured error, never runs, still lands in
+//    the sched.* aggregates), and if it finishes after its deadline the
+//    completion is counted as a deadline miss.  Every priority defaults
+//    to 0 and deadlines default to off, so callers that never heard of
+//    SLOs get plain FIFO — the pre-serving behavior.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,15 +79,38 @@ using QueryJob =
 struct QueryOutcome {
   std::vector<double> result;  ///< rank 0's analysis result
   bool truncated = false;      ///< token budget ran out
+  bool expired = false;        ///< missed its deadline in the admission queue
+  bool deadline_missed = false;  ///< ran, but finished after its deadline
   std::uint64_t cache_hits = 0;    ///< shared-cache hits attributed here
   std::uint64_t cache_misses = 0;
   double cache_hit_ratio = 0.0;
   double queue_seconds = 0.0;  ///< time waiting for admission
   double seconds = 0.0;        ///< execution wall time
+  std::uint64_t tokens_spent = 0;  ///< budget tokens charged by the query
   std::string error;           ///< empty on success
   MetricsSnapshot metrics;     ///< merged over the query's rank registries
 
   [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Per-submission scheduling knobs.  The defaults reproduce the
+/// pre-serving behavior exactly: priority 0, no deadline, the config's
+/// token budget.
+struct SubmitOptions {
+  /// Exclusive queries mutate shared per-node state and run alone.
+  bool exclusive = false;
+  /// Admission order is (priority desc, submission order asc); higher
+  /// runs sooner.  The serving front-end maps point lookups above
+  /// traversals above full-graph scans.
+  int priority = 0;
+  /// Seconds from submission the query must START by; 0 = none.  A query
+  /// still waiting in the admission queue at its deadline expires: it
+  /// never runs, its outcome carries `expired` plus an error, and it is
+  /// counted in sched.expired.  A query that starts in time but finishes
+  /// late completes normally with `deadline_missed` set (sched.deadline_miss).
+  double deadline_seconds = 0;
+  /// Per-query token budget override (see submit()); nullopt = config.
+  std::optional<std::uint64_t> token_budget;
 };
 
 class QueryScheduler {
@@ -116,7 +151,16 @@ class QueryScheduler {
   /// scheduler aggregates balance.  (The config-level 0 keeps its
   /// documented "unlimited" meaning.)
   Ticket submit(QueryJob job, bool exclusive = false,
-                std::optional<std::uint64_t> token_budget = std::nullopt);
+                std::optional<std::uint64_t> token_budget = std::nullopt) {
+    SubmitOptions options;
+    options.exclusive = exclusive;
+    options.token_budget = token_budget;
+    return submit(std::move(job), options);
+  }
+
+  /// Full-control submission: priority ordering and deadlines on top of
+  /// the exclusive/budget knobs (see SubmitOptions).
+  Ticket submit(QueryJob job, const SubmitOptions& options);
 
   /// Blocks until the query finishes and returns its outcome.  Safe to
   /// call more than once per ticket.
@@ -140,21 +184,45 @@ class QueryScheduler {
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
 
  private:
+  /// One queued-for-admission query.  Entries are created at submit()
+  /// time under the admission lock, so the FIFO order within a priority
+  /// is exactly the submission order, not the racy order in which the
+  /// runner threads happen to start waiting.
+  struct Waiter {
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< admission ticket, unique, monotonic
+    bool exclusive = false;
+  };
+  struct WaiterOrder {
+    bool operator()(const Waiter& a, const Waiter& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+    }
+  };
+
   void run_query(const std::shared_ptr<Ticket::State>& state, QueryJob job,
-                 bool exclusive, bool rejected);
-  void admit(bool exclusive);
+                 const SubmitOptions& options, bool rejected, Waiter waiter);
+  /// Blocks until this waiter is the admission head and a slot fits, or
+  /// its deadline passes.  Returns false on expiry (waiter removed).
+  bool admit(const Waiter& waiter,
+             std::chrono::steady_clock::time_point deadline, bool has_deadline);
   void release(bool exclusive);
   void record_completion(const Ticket::State& state, bool rejected);
 
   CommWorld& world_;
   QuerySchedulerConfig config_;
 
-  // Admission state.
+  // Admission state.  Waiting queries sit in `waiters_` ordered by
+  // (priority desc, seq asc); only the head may take the next slot, so
+  // equal priorities admit strictly FIFO and a pending exclusive query
+  // at the head gates later shared submissions (anti-starvation), while
+  // a higher-priority arrival overtakes the whole queue.
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   int running_ = 0;
-  int pending_exclusive_ = 0;
   bool exclusive_running_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::set<Waiter, WaiterOrder> waiters_;
 
   // Completed-query accounting.
   mutable std::mutex metrics_mu_;

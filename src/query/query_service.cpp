@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/serial.hpp"
 #include "query/analytics.hpp"
 #include "query/bidirectional_bfs.hpp"
 #include "query/connected_components.hpp"
@@ -230,6 +231,57 @@ QueryService::QueryService() {
   // edges_scanned, adjacency_fetches, seconds), but runs on the
   // concurrent path: query-private visited state, so many may share one
   // cluster.
+  // params: {k [, iterations]} -> {v0, rank0, v1, rank1, ...}: the
+  // global top-k PageRank vertices ordered by (rank desc, vertex asc).
+  // PageRank's ranks are bit-identical across rank counts (sorted-fold
+  // determinism, see analytics.hpp), so the comparator — and therefore
+  // the whole result — is a pure function of the graph: the query
+  // language's `RANK TOP k` differential-tests against this byte for
+  // byte.  iterations 0 (or absent) = the PageRank default.
+  register_concurrent("toprank", [](Communicator& comm, GraphDB& db,
+                                    const std::vector<std::uint64_t>& params,
+                                    QueryContext& ctx) {
+    MSSG_CHECK(!params.empty());
+    const std::uint64_t k = params[0];
+    PageRankOptions options;
+    options.engine = vp_options(ctx);
+    if (params.size() >= 2 && params[1] != 0) options.iterations = params[1];
+    std::vector<std::pair<VertexId, double>> local;
+    parallel_pagerank(comm, db, options, &local);
+    // Allgather every rank's (vertex, rank) pairs and merge on all ranks
+    // (cheap, deterministic, and saves a broadcast round).
+    ByteWriter writer;
+    writer.put_varint(local.size());
+    for (const auto& [vertex, rank] : local) {
+      writer.put_u64(vertex);
+      writer.put_double(rank);
+    }
+    const std::vector<PayloadBuffer> slots =
+        comm.allgather(PayloadBuffer(writer.take()));
+    std::vector<std::pair<VertexId, double>> merged;
+    for (const PayloadBuffer& slot : slots) {
+      ByteReader reader(slot.span());
+      const std::uint64_t n = reader.get_varint();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const VertexId vertex = reader.get_u64();
+        const double rank = reader.get_double();
+        merged.emplace_back(vertex, rank);
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (merged.size() > k) merged.resize(k);
+    std::vector<double> out;
+    out.reserve(2 * merged.size());
+    for (const auto& [vertex, rank] : merged) {
+      out.push_back(static_cast<double>(vertex));
+      out.push_back(rank);
+    }
+    return out;
+  });
   register_concurrent("cbfs", [](Communicator& comm, GraphDB& db,
                                  const std::vector<std::uint64_t>& params,
                                  QueryContext& ctx) {

@@ -17,9 +17,9 @@ TEST(QueryServiceApi, BuiltInAnalysesListed) {
   QueryService service;
   const auto names = service.names();
   const std::vector<std::string> expected{
-      "bfs",           "bidir-bfs", "cbfs",   "cc",        "kcore",
-      "khop",          "lp-cc",     "ms-bfs", "pagerank",  "pipelined-bfs",
-      "sssp",          "stats",     "triangles", "vp-bfs"};
+      "bfs",           "bidir-bfs", "cbfs",      "cc",        "kcore",
+      "khop",          "lp-cc",     "ms-bfs",    "pagerank",  "pipelined-bfs",
+      "sssp",          "stats",     "toprank",   "triangles", "vp-bfs"};
   EXPECT_EQ(names, expected);  // names() is sorted
   for (const auto& name : expected) EXPECT_TRUE(service.has(name));
   EXPECT_FALSE(service.has("page-rank"));

@@ -66,6 +66,16 @@ FILTER+=':MappedFile.*:MappedBlockSource.*:Mmap*'
 # presets below.
 FILTER+=':EpochMechanics.*:*SnapshotCow*:SnapshotMmap.*:*SnapshotStress*'
 FILTER+=':*DifferentialTxn*'
+# PR 11: the serving front-end — the parser fuzz wall hammers the
+# lexer's byte handling (mutated non-UTF8 input is exactly where a
+# one-past-the-end read hides, asan territory), the SLO scheduler
+# invariants race queued waiters against priority overtake and
+# deadline-expiry wakeups (tsan territory), and the live-ingest
+# differential runs session reads against a concurrent writer.  The
+# full serve label (these suites plus the A17 loadgen smoke) also runs
+# via ctest under BOTH presets below.
+FILTER+=':QueryLangParse.*:QueryLangFuzz.*:*QueryLangDifferential*'
+FILTER+=':ServeScheduler.*:ServeAccounting.*:ServeLiveIngest.*'
 export MSSG_CRASH_SWEEP_STRIDE="${MSSG_CRASH_SWEEP_STRIDE:-7}"
 
 run_preset() {
@@ -132,6 +142,18 @@ run_preset() {
   LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
   UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir "$build_dir" -L txn --output-on-failure
+  # The serve label (query-language parse/fuzz/differential, the SLO
+  # scheduler invariants, the A17 loadgen smoke) also runs under BOTH
+  # presets: tsan for the admission queue's waiter set and the open-loop
+  # harness's dispatcher/worker threads, asan-ubsan for the hand-written
+  # lexer over hostile bytes (the fuzz corpus exists to catch exactly
+  # the out-of-bounds reads asan sees first).
+  echo "=== [$preset] ctest -L serve ==="
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_stack_use_after_return=1 strict_string_checks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/asan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$build_dir" -L serve --output-on-failure
   echo "=== [$preset] OK ==="
 }
 
